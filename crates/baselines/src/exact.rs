@@ -1,0 +1,181 @@
+//! The original DBSCAN algorithm (Ester et al. 1996, §2.1 of the paper).
+//!
+//! Used as ground truth for the accuracy experiments (Table 4): the Rand
+//! index compares every parallel algorithm's output against this one.
+//! Region queries run on a kd-tree, so the implementation is exact for any
+//! dimensionality; the expansion is the textbook seed-list BFS with
+//! first-come border assignment.
+
+use rpdbscan_geom::{Dataset, KdTree};
+use rpdbscan_metrics::Clustering;
+
+/// Exact DBSCAN result: labels plus the core flags the region-split
+/// merge logic needs.
+#[derive(Debug, Clone)]
+pub struct ExactOutput {
+    /// Point labels (None = noise).
+    pub clustering: Clustering,
+    /// `core[i]` is true iff point `i` is a core point.
+    pub core: Vec<bool>,
+}
+
+/// Runs exact DBSCAN on `data`.
+///
+/// `|N_ε(p)|` counts `p` itself, matching the original paper and every
+/// implementation compared here (RP-DBSCAN likewise counts the query
+/// point's own sub-cell).
+///
+/// ```
+/// use rpdbscan_baselines::exact_dbscan;
+/// use rpdbscan_geom::Dataset;
+///
+/// let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1, 0.0]).collect();
+/// let data = Dataset::from_rows(2, &rows).unwrap();
+/// let out = exact_dbscan(&data, 0.25, 3);
+/// assert_eq!(out.clustering.num_clusters(), 1);
+/// ```
+pub fn dbscan(data: &Dataset, eps: f64, min_pts: usize) -> ExactOutput {
+    let n = data.len();
+    let mut labels: Vec<Option<u32>> = vec![None; n];
+    let mut core = vec![false; n];
+    if n == 0 {
+        return ExactOutput {
+            clustering: Clustering::new(labels),
+            core,
+        };
+    }
+    let tree = KdTree::build(
+        data.dim(),
+        data.flat().to_vec(),
+        (0..n as u32).collect(),
+    );
+
+    // Pass 1: core flags.
+    let mut neighbors: Vec<u32> = Vec::new();
+    for i in 0..n {
+        neighbors.clear();
+        tree.for_each_within(data.point_at(i), eps, |id, _| neighbors.push(id));
+        core[i] = neighbors.len() >= min_pts;
+    }
+
+    // Pass 2: expansion from unvisited core points.
+    let mut visited = vec![false; n];
+    let mut next_cluster = 0u32;
+    let mut queue: Vec<u32> = Vec::new();
+    for i in 0..n {
+        if !core[i] || visited[i] {
+            continue;
+        }
+        let cid = next_cluster;
+        next_cluster += 1;
+        visited[i] = true;
+        labels[i] = Some(cid);
+        queue.clear();
+        queue.push(i as u32);
+        while let Some(u) = queue.pop() {
+            // u is core: everything in its ε-ball joins the cluster and
+            // core neighbours continue the expansion.
+            neighbors.clear();
+            tree.for_each_within(data.point(rpdbscan_geom::PointId(u)), eps, |id, _| {
+                neighbors.push(id)
+            });
+            for &v in &neighbors {
+                let vi = v as usize;
+                if labels[vi].is_none() {
+                    labels[vi] = Some(cid);
+                }
+                if core[vi] && !visited[vi] {
+                    visited[vi] = true;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    ExactOutput {
+        clustering: Clustering::new(labels),
+        core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_line(n: usize, step: f64) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * step, 0.0]).collect();
+        Dataset::from_rows(2, &rows).unwrap()
+    }
+
+    #[test]
+    fn chain_forms_one_cluster() {
+        let d = grid_line(50, 0.1);
+        let out = dbscan(&d, 0.25, 3);
+        assert_eq!(out.clustering.num_clusters(), 1);
+        assert_eq!(out.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn gap_splits_clusters() {
+        let mut rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1, 0.0]).collect();
+        rows.extend((0..20).map(|i| vec![100.0 + i as f64 * 0.1, 0.0]));
+        let d = Dataset::from_rows(2, &rows).unwrap();
+        let out = dbscan(&d, 0.25, 3);
+        assert_eq!(out.clustering.num_clusters(), 2);
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let d = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let out = dbscan(&d, 1.0, 2);
+        assert_eq!(out.clustering.noise_count(), 2);
+        assert!(!out.core[0] && !out.core[1]);
+    }
+
+    #[test]
+    fn min_pts_one_everything_clusters() {
+        let d = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![10.0, 10.0]]).unwrap();
+        let out = dbscan(&d, 1.0, 1);
+        assert_eq!(out.clustering.num_clusters(), 2);
+        assert_eq!(out.clustering.noise_count(), 0);
+    }
+
+    #[test]
+    fn border_point_is_labeled_but_not_core() {
+        // A 20-point dense run; one extra point reachable from the run's
+        // last core point but with too few neighbours to be core itself.
+        let mut rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.01, 0.0]).collect();
+        rows.push(vec![0.45, 0.0]); // sees only the tail of the run
+        let d = Dataset::from_rows(2, &rows).unwrap();
+        let out = dbscan(&d, 0.3, 10);
+        assert_eq!(out.clustering.num_clusters(), 1);
+        let border = out.clustering.labels()[20];
+        assert_eq!(border, out.clustering.labels()[0]);
+        assert!(!out.core[20], "border point must not be core");
+        assert!(out.core[10], "interior point must be core");
+    }
+
+    #[test]
+    fn core_count_includes_self() {
+        // 3 points pairwise within eps: with minPts=3 all are core.
+        let d = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1]]).unwrap();
+        let out = dbscan(&d, 0.5, 3);
+        assert!(out.core.iter().all(|&c| c));
+        assert_eq!(out.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::from_flat(3, vec![]).unwrap();
+        let out = dbscan(&d, 1.0, 3);
+        assert!(out.clustering.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_count_toward_density() {
+        let rows = vec![vec![1.0, 1.0]; 5];
+        let d = Dataset::from_rows(2, &rows).unwrap();
+        let out = dbscan(&d, 0.1, 5);
+        assert_eq!(out.clustering.num_clusters(), 1);
+        assert!(out.core.iter().all(|&c| c));
+    }
+}

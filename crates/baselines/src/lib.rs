@@ -1,0 +1,53 @@
+//! The comparison algorithms of the paper's evaluation (Table 2).
+//!
+//! | Algorithm | Paper description | Module |
+//! |---|---|---|
+//! | DBSCAN | original algorithm (ground truth) | [`exact`] |
+//! | SPARK-DBSCAN | cost-based region split, **without** ρ-approximation | [`region`] with [`region::SplitStrategy::CostBased`] + exact local clustering |
+//! | ESP-DBSCAN | even-split region split with ρ-approximation | [`region`] with [`region::SplitStrategy::EvenSplit`] |
+//! | RBP-DBSCAN | reduced-boundary region split with ρ-approximation | [`region`] with [`region::SplitStrategy::ReducedBoundary`] |
+//! | CBP-DBSCAN | cost-based region split with ρ-approximation | [`region`] with [`region::SplitStrategy::CostBased`] |
+//! | NG-DBSCAN | vertex-centric neighbour graph | [`ng`] |
+//!
+//! All parallel baselines run on the same [`rpdbscan_engine::Engine`] as
+//! RP-DBSCAN so their stage timings, load imbalance, and duplication are
+//! directly comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod naive;
+pub mod ng;
+pub mod region;
+pub mod rho_approx;
+
+pub use exact::dbscan as exact_dbscan;
+pub use naive::{NaiveParams, NaiveRandomDbscan};
+pub use ng::{NgDbscan, NgParams};
+pub use region::{RegionDbscan, RegionParams, SplitStrategy};
+pub use rho_approx::rho_approx_dbscan;
+
+use rpdbscan_metrics::Clustering;
+use serde::{Deserialize, Serialize};
+
+/// Output common to the parallel baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    /// Point labels (None = noise).
+    pub clustering: Clustering,
+    /// Total points processed across all splits — exceeds `N` for the
+    /// region-split family because overlap regions duplicate points
+    /// (Figure 14).
+    pub points_processed: u64,
+    /// Number of data splits used.
+    pub num_splits: usize,
+}
+
+/// Statistics shared by baseline implementations, serialisable for the
+/// experiment harness.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SplitStats {
+    /// Points per split (after halo duplication where applicable).
+    pub split_sizes: Vec<usize>,
+}

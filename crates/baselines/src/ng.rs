@@ -1,0 +1,303 @@
+//! NG-DBSCAN (Lulli et al., VLDB'17) — the vertex-centric baseline
+//! (§2.2.3 of the paper).
+//!
+//! Phase 1 grows an approximate k-nearest-neighbour graph from a random
+//! starting configuration by NN-descent-style neighbour-of-neighbour
+//! refinement; Phase 2 derives an ε-graph from it, marks core vertices by
+//! their ε-degree, and propagates cluster membership over core–core
+//! edges. Both phases run as engine stages over vertex chunks, mirroring
+//! the vertex-centric ("think like a vertex") execution model.
+//!
+//! The construction is approximate by design — exactly the trade-off the
+//! original system makes — and the paper's evaluation shows the neighbour
+//! graph construction dominating its runtime on large inputs.
+
+use crate::BaselineOutput;
+use rpdbscan_core::graph::UnionFind;
+use rpdbscan_engine::Engine;
+use rpdbscan_geom::{dist2, Dataset};
+use rpdbscan_grid::FxHashSet;
+use rpdbscan_metrics::Clustering;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NG-DBSCAN parameters (defaults follow the open-source configuration's
+/// spirit: a modest k refined over a handful of rounds).
+#[derive(Debug, Clone, Copy)]
+pub struct NgParams {
+    /// DBSCAN radius ε.
+    pub eps: f64,
+    /// DBSCAN density threshold.
+    pub min_pts: usize,
+    /// Neighbour-list length k of the approximate k-NN graph.
+    pub k_neighbors: usize,
+    /// NN-descent refinement rounds.
+    pub rounds: usize,
+    /// Neighbours-of-neighbours sampled per neighbour each round.
+    pub sample: usize,
+    /// RNG seed for the random starting configuration.
+    pub seed: u64,
+}
+
+impl NgParams {
+    /// Defaults: k = max(2·minPts, 16) capped at 48, 6 rounds, sample 4.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            k_neighbors: (2 * min_pts).clamp(16, 48),
+            rounds: 6,
+            sample: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The NG-DBSCAN runner.
+#[derive(Debug, Clone)]
+pub struct NgDbscan {
+    params: NgParams,
+}
+
+impl NgDbscan {
+    /// Builds a runner.
+    pub fn new(params: NgParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs both phases on the engine with stage names `ng:*`.
+    pub fn run(&self, data: &Dataset, engine: &Engine) -> BaselineOutput {
+        let p = self.params;
+        let n = data.len();
+        if n == 0 {
+            return BaselineOutput {
+                clustering: Clustering::new(vec![]),
+                points_processed: 0,
+                num_splits: engine.workers(),
+            };
+        }
+        let k = p.k_neighbors.min(n.saturating_sub(1)).max(1);
+        let chunks = vertex_chunks(n, engine.workers().max(1) * 2);
+
+        // ---- Phase 1: approximate k-NN graph ---------------------------
+        // Random starting configuration.
+        let init = engine.run_stage("ng:init", chunks.clone(), |ci, (lo, hi)| {
+            let mut rng = StdRng::seed_from_u64(p.seed ^ (ci as u64).wrapping_mul(0x9e37_79b9));
+            let mut lists = Vec::with_capacity(hi - lo);
+            for u in lo..hi {
+                let mut nbrs: Vec<(f64, u32)> = Vec::with_capacity(k);
+                let mut seen = FxHashSet::default();
+                seen.insert(u as u32);
+                // `seen.len() < n` guards tiny inputs where fewer than k
+                // distinct non-self candidates exist.
+                while nbrs.len() < k && seen.len() < n {
+                    let v = rng.gen_range(0..n as u32);
+                    if seen.insert(v) {
+                        nbrs.push((dist2(data.point_at(u), data.point_at(v as usize)), v));
+                    }
+                }
+                nbrs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
+                lists.push(nbrs);
+            }
+            lists
+        });
+        let mut knn: Vec<Vec<(f64, u32)>> = init.outputs.into_iter().flatten().collect();
+
+        // NN-descent rounds: candidates are neighbours of neighbours.
+        // Each superstep of a vertex-centric framework shuffles the
+        // neighbour lists between workers; charge that movement.
+        let list_bytes = (n * k * 12) as u64; // (dist f64 + id u32) per slot
+        for round in 0..p.rounds {
+            engine.shuffle_cost(&format!("ng:shuffle-{round}"), list_bytes);
+            let snapshot = &knn;
+            let refined = engine.run_stage(
+                &format!("ng:descend-{round}"),
+                chunks.clone(),
+                |_, (lo, hi)| {
+                    let mut lists = Vec::with_capacity(hi - lo);
+                    for u in lo..hi {
+                        let pu = data.point_at(u);
+                        let mut best = snapshot[u].clone();
+                        let mut seen: FxHashSet<u32> =
+                            best.iter().map(|&(_, v)| v).collect();
+                        seen.insert(u as u32);
+                        for &(_, v) in snapshot[u].iter().take(p.sample) {
+                            for &(_, w) in snapshot[v as usize].iter().take(p.sample) {
+                                if seen.insert(w) {
+                                    best.push((dist2(pu, data.point_at(w as usize)), w));
+                                }
+                            }
+                        }
+                        best.sort_unstable_by(|a, b| {
+                            a.0.partial_cmp(&b.0).expect("finite distance")
+                        });
+                        best.truncate(k);
+                        lists.push(best);
+                    }
+                    lists
+                },
+            );
+            knn = refined.outputs.into_iter().flatten().collect();
+        }
+
+        // ---- Phase 2: ε-graph, cores, propagation ----------------------
+        let eps2 = p.eps * p.eps;
+        // Symmetrised ε-adjacency from the k-NN lists.
+        let eps_stage = engine.run_stage("ng:eps-graph", chunks.clone(), |_, (lo, hi)| {
+            let mut edges = Vec::new();
+            for u in lo..hi {
+                for &(d2, v) in &knn[u] {
+                    if d2 <= eps2 {
+                        edges.push((u as u32, v));
+                    }
+                }
+            }
+            edges
+        });
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, v) in eps_stage.outputs.into_iter().flatten() {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+
+        // Core marking by ε-degree (self included, as everywhere else).
+        let core: Vec<bool> = (0..n).map(|u| adj[u].len() + 1 >= p.min_pts).collect();
+
+        // Clusters: components of core vertices; borders attach to any
+        // core ε-neighbour.
+        let mut uf = UnionFind::new(n);
+        for u in 0..n {
+            if !core[u] {
+                continue;
+            }
+            for &v in &adj[u] {
+                if core[v as usize] {
+                    uf.union(u as u32, v);
+                }
+            }
+        }
+        let mut dense: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut labels: Vec<Option<u32>> = vec![None; n];
+        for u in 0..n {
+            if core[u] {
+                let root = uf.find(u as u32);
+                let next = dense.len() as u32;
+                let cid = *dense.entry(root).or_insert(next);
+                labels[u] = Some(cid);
+            }
+        }
+        for u in 0..n {
+            if labels[u].is_none() {
+                if let Some(&v) = adj[u].iter().find(|&&v| core[v as usize]) {
+                    labels[u] = labels[v as usize];
+                }
+            }
+        }
+        BaselineOutput {
+            clustering: Clustering::new(labels),
+            points_processed: n as u64,
+            num_splits: chunks_len(n, engine.workers().max(1) * 2),
+        }
+    }
+}
+
+fn vertex_chunks(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let step = n.div_ceil(parts.max(1)).max(1);
+    (0..n).step_by(step).map(|lo| (lo, (lo + step).min(n))).collect()
+}
+
+fn chunks_len(n: usize, parts: usize) -> usize {
+    vertex_chunks(n, parts).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use rpdbscan_engine::CostModel;
+    use rpdbscan_metrics::{rand_index, NoisePolicy};
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.61803398875;
+                let r = spread * (i % 10) as f64 / 10.0;
+                vec![cx + r * a.cos(), cy + r * a.sin()]
+            })
+            .collect()
+    }
+
+    fn engine() -> Engine {
+        Engine::with_cost_model(4, CostModel::free())
+    }
+
+    #[test]
+    fn separated_blobs_recovered() {
+        let mut rows = blob(0.0, 0.0, 100, 0.4);
+        rows.extend(blob(30.0, 30.0, 100, 0.4));
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let out = NgDbscan::new(NgParams::new(1.0, 5)).run(&data, &engine());
+        let exact = exact::dbscan(&data, 1.0, 5);
+        let ri = rand_index(
+            &exact.clustering,
+            &out.clustering,
+            NoisePolicy::SingleCluster,
+        );
+        assert!(ri > 0.95, "NG-DBSCAN too inaccurate: RI {ri}");
+        assert_eq!(out.clustering.num_clusters(), 2);
+    }
+
+    #[test]
+    fn outliers_stay_noise() {
+        let mut rows = blob(0.0, 0.0, 100, 0.4);
+        rows.push(vec![500.0, 500.0]);
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let out = NgDbscan::new(NgParams::new(1.0, 5)).run(&data, &engine());
+        assert_eq!(out.clustering.labels()[100], None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rows = blob(0.0, 0.0, 120, 0.6);
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let a = NgDbscan::new(NgParams::new(0.5, 4)).run(&data, &engine());
+        let b = NgDbscan::new(NgParams::new(0.5, 4)).run(&data, &engine());
+        assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let e = engine();
+        let empty = Dataset::from_flat(2, vec![]).unwrap();
+        let out = NgDbscan::new(NgParams::new(1.0, 3)).run(&empty, &e);
+        assert!(out.clustering.is_empty());
+
+        let one = Dataset::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
+        let out = NgDbscan::new(NgParams::new(1.0, 3)).run(&one, &e);
+        assert_eq!(out.clustering.noise_count(), 1);
+    }
+
+    #[test]
+    fn stage_names_logged() {
+        let rows = blob(0.0, 0.0, 60, 0.4);
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let e = engine();
+        NgDbscan::new(NgParams::new(1.0, 4)).run(&data, &e);
+        let rep = e.report();
+        assert!(rep.stages.iter().any(|s| s.name == "ng:init"));
+        assert!(rep.stages.iter().any(|s| s.name.starts_with("ng:descend-")));
+        assert!(rep.stages.iter().any(|s| s.name == "ng:eps-graph"));
+    }
+
+    #[test]
+    fn no_duplication() {
+        let rows = blob(0.0, 0.0, 80, 0.4);
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        let out = NgDbscan::new(NgParams::new(1.0, 4)).run(&data, &engine());
+        assert_eq!(out.points_processed, 80);
+    }
+}

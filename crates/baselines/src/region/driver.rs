@@ -1,0 +1,330 @@
+//! The region-split driver: split → halo → local clustering → merge.
+
+use crate::region::split::{split_regions, Region, SplitStrategy};
+use crate::rho_approx::rho_approx_dbscan;
+use crate::{exact, BaselineOutput};
+use rpdbscan_core::graph::UnionFind;
+use rpdbscan_engine::Engine;
+use rpdbscan_geom::{Dataset, PointId};
+use rpdbscan_grid::FxHashMap;
+use rpdbscan_metrics::Clustering;
+
+/// Parameters of a region-split DBSCAN run.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionParams {
+    /// DBSCAN radius ε.
+    pub eps: f64,
+    /// DBSCAN density threshold.
+    pub min_pts: usize,
+    /// `Some(ρ)` uses ρ-approximate local DBSCAN (ESP/RBP/CBP); `None`
+    /// uses exact local DBSCAN (SPARK-DBSCAN, Table 2 "wo. ρ-approx").
+    pub rho: Option<f64>,
+    /// Number of contiguous sub-regions.
+    pub num_splits: usize,
+    /// Cut-plane strategy.
+    pub strategy: SplitStrategy,
+}
+
+impl RegionParams {
+    /// ESP-DBSCAN configuration (even-split + ρ-approximation).
+    pub fn esp(eps: f64, min_pts: usize, rho: f64, k: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            rho: Some(rho),
+            num_splits: k,
+            strategy: SplitStrategy::EvenSplit,
+        }
+    }
+
+    /// RBP-DBSCAN configuration (reduced-boundary + ρ-approximation).
+    pub fn rbp(eps: f64, min_pts: usize, rho: f64, k: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            rho: Some(rho),
+            num_splits: k,
+            strategy: SplitStrategy::ReducedBoundary,
+        }
+    }
+
+    /// CBP-DBSCAN configuration (cost-based + ρ-approximation).
+    pub fn cbp(eps: f64, min_pts: usize, rho: f64, k: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            rho: Some(rho),
+            num_splits: k,
+            strategy: SplitStrategy::CostBased,
+        }
+    }
+
+    /// SPARK-DBSCAN configuration (cost-based, exact local DBSCAN).
+    pub fn spark(eps: f64, min_pts: usize, k: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            rho: None,
+            num_splits: k,
+            strategy: SplitStrategy::CostBased,
+        }
+    }
+}
+
+/// A region-split parallel DBSCAN (ESP-/RBP-/CBP-/SPARK-DBSCAN, §2.2.2).
+#[derive(Debug, Clone)]
+pub struct RegionDbscan {
+    params: RegionParams,
+}
+
+/// Per-split local clustering result.
+struct LocalResult {
+    /// The split's processing set (owners + halo), global ids.
+    ids: Vec<PointId>,
+    /// Local labels aligned with `ids`.
+    labels: Vec<Option<u32>>,
+    /// Core flags aligned with `ids`.
+    core: Vec<bool>,
+}
+
+impl RegionDbscan {
+    /// Builds a runner.
+    pub fn new(params: RegionParams) -> Self {
+        Self { params }
+    }
+
+    /// Runs split → local clustering → merge on the engine, with stage
+    /// names `split:*`, `local:*`, `merge:*` for the breakdown metrics.
+    pub fn run(&self, data: &Dataset, engine: &Engine) -> BaselineOutput {
+        let p = self.params;
+
+        // ---- Split phase (the paper's "expensive data split") ----------
+        let split = engine.run_stage("split:partition", vec![()], |_, ()| {
+            let regions = split_regions(data, p.num_splits, p.eps, p.strategy);
+            build_processing_sets(data, &regions, p.eps)
+        });
+        let processing: Vec<Vec<PointId>> = split.outputs.into_iter().next().expect("one task");
+        let points_processed: u64 = processing.iter().map(|s| s.len() as u64).sum();
+        let num_splits = processing.len();
+        // The split phase physically redistributes every processed point
+        // (owners + duplicated halos) to its worker; charge that shuffle.
+        let point_bytes = (data.dim() * 4) as u64;
+        engine.shuffle_cost("split:shuffle", points_processed * point_bytes);
+
+        // ---- Local clustering ------------------------------------------
+        let locals = engine.run_stage("local:clustering", processing, |_, ids| {
+            let sub = data.gather(&ids);
+            let (labels, core) = match p.rho {
+                Some(rho) => {
+                    let out = rho_approx_dbscan(&sub, p.eps, p.min_pts, rho);
+                    (out.clustering.labels().to_vec(), out.core)
+                }
+                None => {
+                    let out = exact::dbscan(&sub, p.eps, p.min_pts);
+                    (out.clustering.labels().to_vec(), out.core)
+                }
+            };
+            LocalResult { ids, labels, core }
+        });
+
+        // ---- Merge phase ------------------------------------------------
+        let merged = engine.run_stage("merge:clusters", vec![locals.outputs], |_, locals| {
+            merge_local_clusters(data.len(), &locals)
+        });
+        let clustering = merged.outputs.into_iter().next().expect("one task");
+        BaselineOutput {
+            clustering,
+            points_processed,
+            num_splits,
+        }
+    }
+}
+
+/// Expands each region to its processing set: every point within the core
+/// box inflated by ε (owners plus halo). This is where the region-split
+/// family duplicates points (Figure 14).
+fn build_processing_sets(data: &Dataset, regions: &[Region], eps: f64) -> Vec<Vec<PointId>> {
+    let inflated: Vec<_> = regions.iter().map(|r| r.bbox.inflate(eps)).collect();
+    let mut sets: Vec<Vec<PointId>> = regions.iter().map(|r| r.point_ids.clone()).collect();
+    // A membership mask per region avoids double-inserting owners.
+    for (id, point) in data.iter() {
+        for (ri, bb) in inflated.iter().enumerate() {
+            if bb.contains(point) && !regions[ri].bbox.contains(point) {
+                sets[ri].push(id);
+            }
+        }
+    }
+    sets
+}
+
+/// Merges local clusterings through shared points: two local clusters
+/// unify when they share a point that at least one side saw as core (the
+/// standard MR-DBSCAN merge rule). Final labels prefer assignments from a
+/// split that saw the point as core.
+fn merge_local_clusters(n: usize, locals: &[LocalResult]) -> Clustering {
+    // Global cluster key space: (split, local label) densely packed.
+    let mut offsets = Vec::with_capacity(locals.len());
+    let mut total = 0u32;
+    for l in locals {
+        offsets.push(total);
+        let max_label = l.labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+        total += max_label;
+    }
+    let mut uf = UnionFind::new(total as usize);
+
+    // For each point: (global cluster key, was core there) per split.
+    let mut assignment: FxHashMap<u32, (u32, bool)> = FxHashMap::default();
+    let mut final_label: Vec<Option<u32>> = vec![None; n];
+    let mut final_is_core: Vec<bool> = vec![false; n];
+    for (si, l) in locals.iter().enumerate() {
+        for (pos, &pid) in l.ids.iter().enumerate() {
+            let Some(local) = l.labels[pos] else { continue };
+            let key = offsets[si] + local;
+            let is_core = l.core[pos];
+            match assignment.get(&pid.0) {
+                Some(&(prev_key, prev_core)) => {
+                    if is_core || prev_core {
+                        uf.union(prev_key, key);
+                    }
+                    if is_core && !prev_core {
+                        assignment.insert(pid.0, (key, true));
+                    }
+                }
+                None => {
+                    assignment.insert(pid.0, (key, is_core));
+                }
+            }
+            // Track the preferred label source.
+            if final_label[pid.index()].is_none() || (is_core && !final_is_core[pid.index()]) {
+                final_label[pid.index()] = Some(key);
+                final_is_core[pid.index()] = is_core;
+            }
+        }
+    }
+    // Resolve through the union-find and densify.
+    let mut dense: FxHashMap<u32, u32> = FxHashMap::default();
+    let labels = final_label
+        .into_iter()
+        .map(|l| {
+            l.map(|key| {
+                let root = uf.find(key);
+                let next = dense.len() as u32;
+                *dense.entry(root).or_insert(next)
+            })
+        })
+        .collect();
+    Clustering::new(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpdbscan_engine::CostModel;
+    use rpdbscan_metrics::{rand_index, NoisePolicy};
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.61803398875;
+                let r = spread * (i % 10) as f64 / 10.0;
+                vec![cx + r * a.cos(), cy + r * a.sin()]
+            })
+            .collect()
+    }
+
+    fn world() -> Dataset {
+        let mut rows = blob(0.0, 0.0, 80, 0.4);
+        rows.extend(blob(15.0, 3.0, 80, 0.4));
+        rows.extend(blob(-9.0, 11.0, 80, 0.4));
+        rows.push(vec![60.0, 60.0]);
+        Dataset::from_rows(2, &rows).unwrap()
+    }
+
+    fn engine() -> Engine {
+        Engine::with_cost_model(4, CostModel::free())
+    }
+
+    #[test]
+    fn all_variants_match_exact_dbscan() {
+        let data = world();
+        let exact = exact::dbscan(&data, 1.0, 5);
+        for params in [
+            RegionParams::esp(1.0, 5, 0.01, 4),
+            RegionParams::rbp(1.0, 5, 0.01, 4),
+            RegionParams::cbp(1.0, 5, 0.01, 4),
+            RegionParams::spark(1.0, 5, 4),
+        ] {
+            let out = RegionDbscan::new(params).run(&data, &engine());
+            let ri = rand_index(
+                &exact.clustering,
+                &out.clustering,
+                NoisePolicy::SingleCluster,
+            );
+            assert_eq!(ri, 1.0, "{:?}", params.strategy);
+            assert_eq!(out.clustering.num_clusters(), 3);
+            assert_eq!(out.clustering.noise_count(), 1);
+        }
+    }
+
+    #[test]
+    fn duplication_exceeds_n_with_multiple_splits() {
+        let data = world();
+        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 6)).run(&data, &engine());
+        assert!(
+            out.points_processed >= data.len() as u64,
+            "halo must not lose points"
+        );
+        assert!(out.num_splits > 1);
+    }
+
+    #[test]
+    fn single_split_no_duplication() {
+        let data = world();
+        let out = RegionDbscan::new(RegionParams::cbp(1.0, 5, 0.01, 1)).run(&data, &engine());
+        assert_eq!(out.points_processed, data.len() as u64);
+        assert_eq!(out.num_splits, 1);
+    }
+
+    #[test]
+    fn cluster_spanning_a_cut_is_merged() {
+        // One long dense chain crossing the whole space: any cut slices
+        // it, so merge correctness is what keeps it a single cluster.
+        let rows: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 * 0.05, 0.0]).collect();
+        let data = Dataset::from_rows(2, &rows).unwrap();
+        for strategy in [
+            SplitStrategy::EvenSplit,
+            SplitStrategy::ReducedBoundary,
+            SplitStrategy::CostBased,
+        ] {
+            let params = RegionParams {
+                eps: 0.2,
+                min_pts: 3,
+                rho: Some(0.01),
+                num_splits: 5,
+                strategy,
+            };
+            let out = RegionDbscan::new(params).run(&data, &engine());
+            assert_eq!(out.clustering.num_clusters(), 1, "{strategy:?}");
+            assert_eq!(out.clustering.noise_count(), 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn stage_names_logged() {
+        let data = world();
+        let e = engine();
+        RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4)).run(&data, &e);
+        let rep = e.report();
+        for prefix in ["split:", "local:", "merge:"] {
+            assert!(rep.stages.iter().any(|s| s.name.starts_with(prefix)));
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data = Dataset::from_flat(2, vec![]).unwrap();
+        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4)).run(&data, &engine());
+        assert!(out.clustering.is_empty());
+        assert_eq!(out.points_processed, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! The region-split family of parallel DBSCANs (§2.2.2 of the paper).
+//!
+//! All three published strategies share one framework — recursively cut
+//! the space into `k` contiguous sub-regions, grow each by an ε halo so
+//! boundary neighbourhoods are complete, cluster every sub-region locally,
+//! then merge local clusters through the points shared by overlapping
+//! halos. They differ only in how cut planes are chosen:
+//!
+//! * **even-split** (ESP-DBSCAN / RDD-DBSCAN): balance point *counts*;
+//! * **reduced-boundary** (RBP-DBSCAN / DBSCAN-MR): minimise points inside
+//!   the overlap slab;
+//! * **cost-based** (CBP-DBSCAN, SPARK-DBSCAN / MR-DBSCAN): balance an
+//!   estimated local-clustering *cost*.
+//!
+//! The framework exhibits — by design — the three problems the paper
+//! attributes to the same-split restriction: an expensive split phase,
+//! load imbalance under skew, and duplicated points in overlaps. The
+//! experiment harness measures all three.
+
+mod driver;
+mod split;
+
+pub use driver::{RegionDbscan, RegionParams};
+pub use split::{split_regions, Region, SplitStrategy};

@@ -1,0 +1,342 @@
+//! Region partitioners: even-split, reduced-boundary, and cost-based cuts.
+
+use rpdbscan_geom::{Aabb, Dataset, PointId};
+use rpdbscan_grid::FxHashMap;
+
+/// Cut-plane selection strategy (Table 2's three region-split families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Balance point counts (median cut along the widest dimension).
+    EvenSplit,
+    /// Minimise the number of points inside the ±ε overlap slab.
+    ReducedBoundary,
+    /// Balance an estimated local-clustering cost (Σ n_cell² per side).
+    CostBased,
+}
+
+/// One contiguous sub-region: a core box owning `point_ids` (disjoint
+/// across regions; halos are added later by the driver).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The region's core bounding box.
+    pub bbox: Aabb,
+    /// Points whose coordinates fall in the core box.
+    pub point_ids: Vec<PointId>,
+}
+
+/// Number of candidate cut positions evaluated per dimension by the
+/// reduced-boundary and cost-based strategies.
+const CANDIDATES: usize = 15;
+/// Minimum fraction of a region's points each side of a cut must keep, so
+/// degenerate slivers cannot be produced.
+const MIN_SIDE_FRACTION: f64 = 0.1;
+
+/// Recursively splits `data` into `k` contiguous regions using `strategy`
+/// (always splitting the currently largest region, as the published
+/// algorithms do).
+pub fn split_regions(data: &Dataset, k: usize, eps: f64, strategy: SplitStrategy) -> Vec<Region> {
+    let k = k.max(1);
+    let Some(bbox) = data.bounding_box() else {
+        return vec![Region {
+            bbox: Aabb::new(vec![0.0; data.dim()], vec![0.0; data.dim()]),
+            point_ids: Vec::new(),
+        }];
+    };
+    let mut regions = vec![Region {
+        bbox,
+        point_ids: data.ids().collect(),
+    }];
+    while regions.len() < k {
+        // Split the region with the most points.
+        let (idx, _) = regions
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.point_ids.len())
+            .expect("non-empty region list");
+        if regions[idx].point_ids.len() < 2 {
+            break; // nothing left to split
+        }
+        let region = regions.swap_remove(idx);
+        match split_one(data, &region, eps, strategy) {
+            Some((a, b)) => {
+                regions.push(a);
+                regions.push(b);
+            }
+            None => {
+                regions.push(region);
+                break; // unsplittable (all points coincide)
+            }
+        }
+    }
+    regions
+}
+
+/// Splits one region into two along the chosen cut, or `None` when every
+/// candidate is degenerate.
+fn split_one(
+    data: &Dataset,
+    region: &Region,
+    eps: f64,
+    strategy: SplitStrategy,
+) -> Option<(Region, Region)> {
+    let (dim, cut) = match strategy {
+        SplitStrategy::EvenSplit => even_split_cut(data, region)?,
+        SplitStrategy::ReducedBoundary => boundary_cut(data, region, eps)?,
+        SplitStrategy::CostBased => cost_cut(data, region, eps)?,
+    };
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for &p in &region.point_ids {
+        if data.point(p)[dim] <= cut {
+            left.push(p);
+        } else {
+            right.push(p);
+        }
+    }
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    let (lb, rb) = region.bbox.split_at(dim, cut);
+    Some((
+        Region {
+            bbox: lb,
+            point_ids: left,
+        },
+        Region {
+            bbox: rb,
+            point_ids: right,
+        },
+    ))
+}
+
+/// Median cut along the widest dimension (even-split partitioning).
+fn even_split_cut(data: &Dataset, region: &Region) -> Option<(usize, f64)> {
+    let dim = region.bbox.widest_dim();
+    let mut coords: Vec<f64> = region
+        .point_ids
+        .iter()
+        .map(|&p| data.point(p)[dim])
+        .collect();
+    coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+    let cut = coords[coords.len() / 2];
+    // A median equal to the maximum leaves the right side empty (heavy
+    // duplicates); fall back to the midpoint, then give up.
+    if cut >= *coords.last().unwrap() {
+        let mid = 0.5 * (coords[0] + coords[coords.len() - 1]);
+        if mid > coords[0] && mid < *coords.last().unwrap() {
+            return Some((dim, mid));
+        }
+        return None;
+    }
+    Some((dim, cut))
+}
+
+/// Candidate cut positions: `CANDIDATES` quantiles of the point
+/// coordinates along `dim`, constrained to keep `MIN_SIDE_FRACTION` on
+/// both sides. Returns `(cut, left_count)` pairs.
+fn quantile_candidates(sorted: &[f64]) -> Vec<(f64, usize)> {
+    let n = sorted.len();
+    let lo = ((n as f64) * MIN_SIDE_FRACTION) as usize;
+    let hi = n - lo;
+    let mut out = Vec::new();
+    for q in 1..=CANDIDATES {
+        let i = n * q / (CANDIDATES + 1);
+        if i <= lo || i >= hi || i == 0 {
+            continue;
+        }
+        // Cut at the midpoint between adjacent quantile coordinates, so
+        // empty bands between clusters are reachable cut positions (the
+        // whole point of reduced-boundary partitioning).
+        let cut = 0.5 * (sorted[i - 1] + sorted[i]);
+        if cut >= sorted[n - 1] || cut < sorted[0] {
+            continue;
+        }
+        // left side = points with coord <= cut
+        let left = sorted.partition_point(|&v| v <= cut);
+        if left == 0 || left == n {
+            continue;
+        }
+        out.push((cut, left));
+    }
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// Reduced-boundary cut: over all dimensions, the candidate with the
+/// fewest points in the `±ε` slab around the plane.
+fn boundary_cut(data: &Dataset, region: &Region, eps: f64) -> Option<(usize, f64)> {
+    let d = data.dim();
+    let mut best: Option<(usize, f64, usize)> = None;
+    for dim in 0..d {
+        let mut coords: Vec<f64> = region
+            .point_ids
+            .iter()
+            .map(|&p| data.point(p)[dim])
+            .collect();
+        coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+        for (cut, _) in quantile_candidates(&coords) {
+            let lo = coords.partition_point(|&v| v < cut - eps);
+            let hi = coords.partition_point(|&v| v <= cut + eps);
+            let slab = hi - lo;
+            if best.is_none_or(|(_, _, b)| slab < b) {
+                best = Some((dim, cut, slab));
+            }
+        }
+    }
+    best.map(|(dim, cut, _)| (dim, cut))
+}
+
+/// Cost-based cut (MR-DBSCAN's ESP/CBP estimator): per ε-cell cost is
+/// `n_c²` (range-query work scales with local density squared); choose the
+/// candidate minimising the cost difference between sides.
+fn cost_cut(data: &Dataset, region: &Region, eps: f64) -> Option<(usize, f64)> {
+    let d = data.dim();
+    // ε-sided histogram restricted to the split dimension: cell cost
+    // bucketed by its 1-d lattice index, per dimension.
+    let mut best: Option<(usize, f64, f64)> = None;
+    for dim in 0..d {
+        // Full d-dimensional cell histogram, then project onto `dim`.
+        let mut cells: FxHashMap<Vec<i64>, u64> = FxHashMap::default();
+        for &p in &region.point_ids {
+            let key: Vec<i64> = data.point(p).iter().map(|v| (v / eps).floor() as i64).collect();
+            *cells.entry(key).or_insert(0) += 1;
+        }
+        let mut coords: Vec<f64> = region
+            .point_ids
+            .iter()
+            .map(|&p| data.point(p)[dim])
+            .collect();
+        coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+        // Project cell costs onto this dimension's lattice.
+        let mut lane_cost: FxHashMap<i64, f64> = FxHashMap::default();
+        for (key, n) in &cells {
+            *lane_cost.entry(key[dim]).or_insert(0.0) += (*n as f64) * (*n as f64);
+        }
+        let total: f64 = lane_cost.values().sum();
+        for (cut, _) in quantile_candidates(&coords) {
+            let cut_lane = (cut / eps).floor() as i64;
+            let left: f64 = lane_cost
+                .iter()
+                .filter(|(&lane, _)| lane <= cut_lane)
+                .map(|(_, &c)| c)
+                .sum();
+            let diff = (2.0 * left - total).abs();
+            if best.is_none_or(|(_, _, b)| diff < b) {
+                best = Some((dim, cut, diff));
+            }
+        }
+    }
+    best.map(|(dim, cut, _)| (dim, cut))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flat: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(0.0..100.0)).collect();
+        Dataset::from_flat(2, flat).unwrap()
+    }
+
+    fn skewed(n: usize, seed: u64) -> Dataset {
+        // 80% of the mass in a tiny corner blob.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            if i < n * 8 / 10 {
+                flat.push(rng.gen_range(0.0..2.0));
+                flat.push(rng.gen_range(0.0..2.0));
+            } else {
+                flat.push(rng.gen_range(0.0..100.0));
+                flat.push(rng.gen_range(0.0..100.0));
+            }
+        }
+        Dataset::from_flat(2, flat).unwrap()
+    }
+
+    fn check_disjoint_cover(data: &Dataset, regions: &[Region]) {
+        let mut seen = vec![false; data.len()];
+        for r in regions {
+            for p in &r.point_ids {
+                assert!(!seen[p.index()], "point owned by two regions");
+                seen[p.index()] = true;
+                assert!(r.bbox.contains(data.point(*p)), "owner box must contain point");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some point unowned");
+    }
+
+    #[test]
+    fn even_split_produces_k_balanced_regions() {
+        let d = uniform(2000, 1);
+        let rs = split_regions(&d, 8, 2.0, SplitStrategy::EvenSplit);
+        assert_eq!(rs.len(), 8);
+        check_disjoint_cover(&d, &rs);
+        let sizes: Vec<usize> = rs.iter().map(|r| r.point_ids.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max <= min * 2, "even split too unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn all_strategies_cover_uniform_and_skewed() {
+        for strategy in [
+            SplitStrategy::EvenSplit,
+            SplitStrategy::ReducedBoundary,
+            SplitStrategy::CostBased,
+        ] {
+            for data in [uniform(1500, 2), skewed(1500, 3)] {
+                let rs = split_regions(&data, 6, 2.0, strategy);
+                check_disjoint_cover(&data, &rs);
+                assert!(rs.len() >= 2, "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_boundary_prefers_sparse_slabs() {
+        // Two dense columns separated by an empty band: the cut must fall
+        // in the band (zero boundary points) rather than the median.
+        let mut flat = Vec::new();
+        for i in 0..500 {
+            flat.push(1.0 + (i % 10) as f64 * 0.01);
+            flat.push(i as f64 * 0.1);
+        }
+        for i in 0..500 {
+            flat.push(99.0 + (i % 10) as f64 * 0.01);
+            flat.push(i as f64 * 0.1);
+        }
+        let d = Dataset::from_flat(2, flat).unwrap();
+        let rs = split_regions(&d, 2, 1.0, SplitStrategy::ReducedBoundary);
+        assert_eq!(rs.len(), 2);
+        // Each side keeps exactly one column.
+        let sizes: Vec<usize> = rs.iter().map(|r| r.point_ids.len()).collect();
+        assert_eq!(sizes, vec![500, 500]);
+    }
+
+    #[test]
+    fn identical_points_are_unsplittable() {
+        let d = Dataset::from_flat(2, vec![5.0, 5.0].repeat(100)).unwrap();
+        let rs = split_regions(&d, 4, 1.0, SplitStrategy::EvenSplit);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].point_ids.len(), 100);
+    }
+
+    #[test]
+    fn empty_dataset_single_empty_region() {
+        let d = Dataset::from_flat(2, vec![]).unwrap();
+        let rs = split_regions(&d, 4, 1.0, SplitStrategy::CostBased);
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].point_ids.is_empty());
+    }
+
+    #[test]
+    fn k_one_is_identity() {
+        let d = uniform(100, 4);
+        let rs = split_regions(&d, 1, 1.0, SplitStrategy::EvenSplit);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].point_ids.len(), 100);
+    }
+}

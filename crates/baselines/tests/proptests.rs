@@ -1,0 +1,165 @@
+//! Property-based tests for the baseline algorithms.
+
+use proptest::prelude::*;
+use rpdbscan_baselines::region::{split_regions, SplitStrategy};
+use rpdbscan_baselines::{exact_dbscan, rho_approx_dbscan, RegionDbscan, RegionParams};
+use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_geom::{dist, Dataset};
+use rpdbscan_metrics::{rand_index, NoisePolicy};
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exact DBSCAN's core flags match the definition: |N_eps(p)| >= minPts.
+    #[test]
+    fn exact_core_flags_match_definition(
+        pts in dataset_strategy(),
+        eps in 0.3f64..4.0,
+        min_pts in 1usize..8,
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let out = exact_dbscan(&data, eps, min_pts);
+        for i in 0..pts.len() {
+            let n = pts.iter().filter(|q| dist(&pts[i], q) <= eps).count();
+            prop_assert_eq!(out.core[i], n >= min_pts, "point {}", i);
+        }
+    }
+
+    /// Exact DBSCAN labels: core points are clustered, noise points have
+    /// no core point within eps.
+    #[test]
+    fn exact_labels_consistent(
+        pts in dataset_strategy(),
+        eps in 0.3f64..4.0,
+        min_pts in 1usize..8,
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let out = exact_dbscan(&data, eps, min_pts);
+        let labels = out.clustering.labels();
+        for i in 0..pts.len() {
+            if out.core[i] {
+                prop_assert!(labels[i].is_some(), "core point {} unlabeled", i);
+            }
+            if labels[i].is_none() {
+                // No core point within eps may exist for a noise point.
+                for j in 0..pts.len() {
+                    if out.core[j] {
+                        prop_assert!(
+                            dist(&pts[i], &pts[j]) > eps,
+                            "noise point {} within eps of core {}",
+                            i, j
+                        );
+                    }
+                }
+            }
+        }
+        // Two core points within eps share a cluster.
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if out.core[i] && out.core[j] && dist(&pts[i], &pts[j]) <= eps {
+                    prop_assert_eq!(labels[i], labels[j]);
+                }
+            }
+        }
+    }
+
+    /// Theorem 5.4's sandwich, testable form: on *stable* configurations
+    /// — where exact DBSCAN at (1−ρ)ε and (1+ρ)ε already agree — the
+    /// ρ-approximate clustering must equal the exact one. Unstable
+    /// configurations (a pair sitting within ρ·ε of the ε boundary) are
+    /// exactly the cases the theorem permits to differ, so they are
+    /// discarded rather than asserted on.
+    #[test]
+    fn rho_approx_exact_on_stable_configurations(
+        pts in dataset_strategy(),
+        eps in 0.5f64..3.0,
+        min_pts in 2usize..6,
+    ) {
+        let rho = 0.01;
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let lo = exact_dbscan(&data, (1.0 - rho) * eps, min_pts);
+        let hi = exact_dbscan(&data, (1.0 + rho) * eps, min_pts);
+        prop_assume!(lo.core == hi.core);
+        prop_assume!(
+            rand_index(&lo.clustering, &hi.clustering, NoisePolicy::Singletons) == 1.0
+        );
+        let exact = exact_dbscan(&data, eps, min_pts);
+        let approx = rho_approx_dbscan(&data, eps, min_pts, rho);
+        // Core sets are sandwiched, and the sandwich is tight here.
+        prop_assert_eq!(&approx.core, &exact.core);
+        // On core points, the cell-based clustering is a *coarsening* of
+        // exact DBSCAN's: Lemma 3.5's fully-direct rule can merge two
+        // exact clusters through a shared border point lying in a core
+        // cell (a corner case the paper's Corollary 3.6 glosses over —
+        // see EXPERIMENTS.md), but it can never split a cluster, because
+        // every exact density-reachability chain induces cell edges.
+        let exact_labels = exact.clustering.labels();
+        let approx_labels = approx.clustering.labels();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if exact.core[i] && exact.core[j] && exact_labels[i] == exact_labels[j] {
+                    prop_assert_eq!(
+                        approx_labels[i], approx_labels[j],
+                        "core pair ({}, {}) split by the approximation", i, j
+                    );
+                }
+            }
+        }
+        // Border/noise sandwich: labeled at (1−ρ)ε ⇒ labeled by the
+        // approximation; noise at (1+ρ)ε ⇒ noise in the approximation.
+        for i in 0..pts.len() {
+            if lo.clustering.labels()[i].is_some() {
+                prop_assert!(approx.clustering.labels()[i].is_some(), "point {}", i);
+            }
+            if hi.clustering.labels()[i].is_none() {
+                prop_assert!(approx.clustering.labels()[i].is_none(), "point {}", i);
+            }
+        }
+    }
+
+    /// Every split strategy yields a disjoint cover of the points.
+    #[test]
+    fn split_regions_disjoint_cover(
+        pts in dataset_strategy(),
+        k in 1usize..8,
+        strategy in prop::sample::select(vec![
+            SplitStrategy::EvenSplit,
+            SplitStrategy::ReducedBoundary,
+            SplitStrategy::CostBased,
+        ]),
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let regions = split_regions(&data, k, 0.5, strategy);
+        let mut seen = vec![false; pts.len()];
+        for r in &regions {
+            for p in &r.point_ids {
+                prop_assert!(!seen[p.index()]);
+                seen[p.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// The region-split driver agrees with exact DBSCAN when using exact
+    /// local clustering (SPARK configuration), for any split count.
+    #[test]
+    fn spark_region_driver_matches_exact(
+        pts in dataset_strategy(),
+        k in 1usize..6,
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let exact = exact_dbscan(&data, 1.0, 3);
+        let engine = Engine::with_cost_model(2, CostModel::free());
+        let out = RegionDbscan::new(RegionParams::spark(1.0, 3, k)).run(&data, &engine);
+        let ri = rand_index(
+            &exact.clustering,
+            &out.clustering,
+            NoisePolicy::SingleCluster,
+        );
+        prop_assert!(ri >= 0.97, "Rand index {} too low (k={})", ri, k);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion micro-bench: two-level cell dictionary construction and
+//! wire encoding (the Phase I-2 costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpdbscan_data::{synth, SynthConfig};
+use rpdbscan_grid::{CellDictionary, GridSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let data = synth::cosmo_like(SynthConfig::new(50_000));
+    let mut group = c.benchmark_group("dictionary_build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for eps in [0.4, 1.6] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let spec = GridSpec::new(3, eps, 0.01).expect("valid grid");
+            b.iter(|| {
+                let dict = CellDictionary::build_from_points(
+                    spec.clone(),
+                    data.iter().map(|(_, p)| p),
+                );
+                black_box(dict.num_cells())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let data = synth::cosmo_like(SynthConfig::new(50_000));
+    let spec = GridSpec::new(3, 0.8, 0.01).expect("valid grid");
+    let dict = CellDictionary::build_from_points(spec, data.iter().map(|(_, p)| p));
+    let mut group = c.benchmark_group("dictionary_wire");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("encode", |b| b.iter(|| black_box(dict.encode().len())));
+    let wire = dict.encode();
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let d = CellDictionary::decode(black_box(wire.clone())).expect("valid wire");
+            black_box(d.num_cells())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_encode_decode);
+criterion_main!(benches);

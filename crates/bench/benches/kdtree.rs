@@ -1,0 +1,55 @@
+//! Criterion micro-bench: kd-tree construction and radius queries — the
+//! index under both the sub-dictionary candidate search (Lemma 5.6) and
+//! the exact-DBSCAN baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpdbscan_data::{synth, SynthConfig};
+use rpdbscan_geom::KdTree;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree_build");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [10_000usize, 50_000] {
+        let data = synth::cosmo_like(SynthConfig::new(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let t = KdTree::build(
+                    3,
+                    data.flat().to_vec(),
+                    (0..data.len() as u32).collect(),
+                );
+                black_box(t.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let data = synth::cosmo_like(SynthConfig::new(50_000));
+    let tree = KdTree::build(3, data.flat().to_vec(), (0..data.len() as u32).collect());
+    let queries: Vec<&[f64]> = data.iter().take(500).map(|(_, p)| p).collect();
+    let mut group = c.benchmark_group("kdtree_radius_query");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for radius in [0.4, 1.6] {
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &radius, |b, &r| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    tree.for_each_within(black_box(q), r, |_, _| total += 1);
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

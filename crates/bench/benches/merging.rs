@@ -1,0 +1,94 @@
+//! Criterion micro-bench / ablation: progressive graph merging.
+//!
+//! Measures a tournament over realistic cell subgraphs, and the §6.1.4
+//! ablation — merging with vs without redundant-full-edge reduction (the
+//! reduction is what keeps later rounds cheap, Figure 17).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpdbscan_core::graph::{CellSubgraph, CellType};
+use rpdbscan_core::merge::{merge_pair, tournament};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Builds `k` subgraphs over a shared core-cell universe, mimicking
+/// Phase II output: each partition knows a disjoint slice of vertex types
+/// and contributes edges into the whole universe.
+fn synth_subgraphs(k: usize, cells: u32, edges_per_graph: usize, seed: u64) -> Vec<CellSubgraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slice = cells / k as u32;
+    (0..k)
+        .map(|i| {
+            let mut g = CellSubgraph::new();
+            let lo = i as u32 * slice;
+            let hi = if i == k - 1 { cells } else { lo + slice };
+            for c in lo..hi {
+                g.set_type(
+                    c,
+                    if rng.gen_bool(0.8) {
+                        CellType::Core
+                    } else {
+                        CellType::NonCore
+                    },
+                );
+            }
+            for _ in 0..edges_per_graph {
+                let from = rng.gen_range(lo..hi);
+                // Edges target nearby cells, as real reachability does.
+                let to = (from as i64 + rng.gen_range(-40..40)).clamp(0, cells as i64 - 1) as u32;
+                if from != to {
+                    g.add_edge(from, to);
+                }
+            }
+            g
+        })
+        .collect()
+}
+
+fn bench_tournament(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_merging");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("tournament_16x5000_edges", |b| {
+        b.iter_with_setup(
+            || synth_subgraphs(16, 20_000, 5_000, 7),
+            |graphs| black_box(tournament(graphs, |_, _| {}).num_edges()),
+        )
+    });
+    group.bench_function("single_merge_pair", |b| {
+        b.iter_with_setup(
+            || {
+                let mut gs = synth_subgraphs(2, 20_000, 20_000, 9);
+                (gs.remove(0), gs.remove(0))
+            },
+            |(g1, g2)| black_box(merge_pair(g1, g2).num_edges()),
+        )
+    });
+    // Ablation: union without edge reduction (what merging would cost if
+    // cycles were kept — the edge count never shrinks).
+    group.bench_function("union_without_reduction", |b| {
+        b.iter_with_setup(
+            || synth_subgraphs(16, 20_000, 5_000, 7),
+            |graphs| {
+                let mut all = CellSubgraph::new();
+                let mut edges = 0usize;
+                for g in graphs {
+                    for (&cell, &t) in g.types().iter() {
+                        all.set_type(cell, t);
+                    }
+                    for &(a, b2) in g.edges().iter() {
+                        all.add_edge(a, b2);
+                    }
+                    edges = all.num_edges();
+                }
+                black_box(edges)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tournament);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-bench: pair-counting metrics at the §7.5 accuracy
+//! scale (100k points) — linear-time contingency-table implementations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpdbscan_metrics::{adjusted_rand_index, normalized_mutual_info, rand_index, Clustering, NoisePolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn clusterings(n: usize) -> (Clustering, Clustering) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Clustering::new(
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.05) {
+                    None
+                } else {
+                    Some(rng.gen_range(0..12u32))
+                }
+            })
+            .collect(),
+    );
+    let b = Clustering::new(
+        a.labels()
+            .iter()
+            .map(|l| {
+                if rng.gen_bool(0.02) {
+                    None
+                } else {
+                    l.map(|v| (v + 1) % 12)
+                }
+            })
+            .collect(),
+    );
+    (a, b)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (a, b) = clusterings(100_000);
+    let mut group = c.benchmark_group("clustering_metrics_100k");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("rand_index", |bch| {
+        bch.iter(|| black_box(rand_index(&a, &b, NoisePolicy::SingleCluster)))
+    });
+    group.bench_function("adjusted_rand_index", |bch| {
+        bch.iter(|| black_box(adjusted_rand_index(&a, &b, NoisePolicy::SingleCluster)))
+    });
+    group.bench_function("nmi", |bch| {
+        bch.iter(|| black_box(normalized_mutual_info(&a, &b, NoisePolicy::SingleCluster)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Ablation: partitioning strategies (the design choice at the heart of
+//! the paper).
+//!
+//! Compares, on one skewed workload:
+//!
+//! * **pseudo random partitioning** (RP-DBSCAN) — random *cells* plus the
+//!   broadcast dictionary;
+//! * **naive random split** (§2.2.1's SDBC/S-DBSCAN family) — random
+//!   *points*, no shared summary: fast and balanced but *inaccurate*;
+//! * **region split** (even/reduced-boundary/cost-based) — accurate but
+//!   imbalanced and duplicating.
+//!
+//! The three-way trade-off is the paper's Table-2 landscape in one run:
+//! only pseudo random partitioning scores 1.0 accuracy AND ~1 balance AND
+//! 1.0× duplication.
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin ablation_partitioning
+//! ```
+
+use rpdbscan_baselines::{exact_dbscan, NaiveParams, NaiveRandomDbscan};
+use rpdbscan_bench::*;
+use rpdbscan_data::{synth, SynthConfig};
+use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_metrics::{rand_index, NoisePolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    strategy: String,
+    rand_index: f64,
+    load_imbalance: f64,
+    duplication: f64,
+    elapsed: f64,
+    clusters: usize,
+}
+
+fn main() {
+    let n = (40_000.0 * scale()) as usize;
+    let data = synth::geolife_like(SynthConfig::new(n));
+    let eps = 0.3;
+    let min_pts = 10;
+    println!("GeoLife-like skewed data, n={n}, eps={eps}, minPts={min_pts}\n");
+    let exact = exact_dbscan(&data, eps, min_pts);
+    let ri = |c: &rpdbscan_metrics::Clustering| {
+        rand_index(&exact.clustering, c, NoisePolicy::SingleCluster)
+    };
+    let mut rows = Vec::new();
+
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>11} {:>9}",
+        "strategy", "RI", "imbalance", "duplication", "elapsed(s)", "clusters"
+    );
+    // Pseudo random (RP-DBSCAN).
+    {
+        let (row, out, _) = run_rp(&data, "geo", eps, min_pts, WORKERS);
+        let r = AblationRow {
+            strategy: "pseudo-random cells (RP)".into(),
+            rand_index: ri(&out.clustering),
+            load_imbalance: row.load_imbalance,
+            duplication: row.points_processed as f64 / n as f64,
+            elapsed: row.elapsed,
+            clusters: row.clusters,
+        };
+        print_row(&r);
+        rows.push(r);
+    }
+    // Naive random points (no dictionary).
+    {
+        let engine = Engine::with_cost_model(WORKERS, CostModel::default());
+        let out = NaiveRandomDbscan::new(NaiveParams::new(eps, min_pts, WORKERS))
+            .run(&data, &engine);
+        let report = engine.report();
+        let r = AblationRow {
+            strategy: "naive random points".into(),
+            rand_index: ri(&out.clustering),
+            load_imbalance: report.load_imbalance_with_prefix("naive:local"),
+            duplication: out.points_processed as f64 / n as f64,
+            elapsed: report.total_elapsed(),
+            clusters: out.clustering.num_clusters(),
+        };
+        print_row(&r);
+        rows.push(r);
+    }
+    // Region split family.
+    for (name, params) in region_baselines(eps, min_pts, WORKERS)
+        .into_iter()
+        .filter(|(a, _)| *a != "SPARK-DBSCAN")
+    {
+        let (row, _) = run_region(&data, "geo", name, params, WORKERS);
+        let engine_clustering = {
+            let engine = Engine::with_cost_model(WORKERS, CostModel::free());
+            rpdbscan_baselines::RegionDbscan::new(params)
+                .run(&data, &engine)
+                .clustering
+        };
+        let r = AblationRow {
+            strategy: format!("region split ({name})"),
+            rand_index: ri(&engine_clustering),
+            load_imbalance: row.load_imbalance,
+            duplication: row.points_processed as f64 / n as f64,
+            elapsed: row.elapsed,
+            clusters: row.clusters,
+        };
+        print_row(&r);
+        rows.push(r);
+    }
+    write_csv("ablation_partitioning", &rows);
+    println!("\nThe paper's claim in one table: only pseudo random partitioning keeps");
+    println!("accuracy at 1.0, balance near 1, and duplication at exactly 1.0x.");
+}
+
+fn print_row(r: &AblationRow) {
+    println!(
+        "{:<26} {:>8.4} {:>10.2} {:>12.3} {:>11.3} {:>9}",
+        r.strategy, r.rand_index, r.load_imbalance, r.duplication, r.elapsed, r.clusters
+    );
+}

@@ -1,0 +1,18 @@
+//! Calibration helper: verifies each data set's ε₁₀ (the radius that
+//! yields on the order of ten clusters, §7.1.4) and prints the cluster
+//! counts across the ladder. Not one of the paper's figures — a tool for
+//! keeping the registry in `rpdbscan_bench::datasets()` honest.
+
+use rpdbscan_bench::{datasets, run_rp, WORKERS};
+
+fn main() {
+    for spec in datasets() {
+        let data = spec.generate();
+        print!("{:<16} n={:<7}", spec.name, data.len());
+        for eps in spec.eps_ladder() {
+            let (row, _, _) = run_rp(&data, spec.name, eps, spec.min_pts, WORKERS);
+            print!("  eps={eps:<8.3} clusters={:<5} noise={:<6}", row.clusters, row.noise);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 11 / Table 6: total elapsed time of the six parallel DBSCAN
+//! algorithms on the four data sets across the ε ladder.
+//!
+//! The paper stops any algorithm at 20,000 s; scaled down, this harness
+//! stops at `RP_TIMEOUT` simulated seconds (default 600) and reports N/A,
+//! mirroring the paper's N/A entries for SPARK-DBSCAN and NG-DBSCAN on
+//! the larger sets. NG-DBSCAN is run only on the first (GeoLife-like)
+//! data set, as in the paper.
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin fig11_elapsed
+//! ```
+
+use rpdbscan_bench::*;
+
+fn main() {
+    let mut rows: Vec<RunRow> = Vec::new();
+    for (di, spec) in datasets().iter().enumerate() {
+        let data = spec.generate();
+        println!("\n=== {} (n={}, d={}) ===", spec.name, data.len(), data.dim());
+        println!(
+            "{:<14} {:>9} {:>12} {:>10}",
+            "algorithm", "eps", "elapsed(s)", "clusters"
+        );
+        for eps in spec.eps_ladder() {
+            let (row, _, _) = run_rp(&data, spec.name, eps, spec.min_pts, WORKERS);
+            println!(
+                "{:<14} {:>9.3} {:>12.3} {:>10}",
+                row.algo, eps, row.elapsed, row.clusters
+            );
+            rows.push(row);
+            for (algo, params) in region_baselines(eps, spec.min_pts, WORKERS) {
+                let (row, _) = run_region(&data, spec.name, algo, params, WORKERS);
+                println!(
+                    "{:<14} {:>9.3} {:>12.3} {:>10}",
+                    row.algo, eps, row.elapsed, row.clusters
+                );
+                rows.push(row);
+            }
+            // NG-DBSCAN: GeoLife only (the paper's other cells are N/A).
+            if di == 0 {
+                let row = run_ng(&data, spec.name, eps, spec.min_pts, WORKERS);
+                println!(
+                    "{:<14} {:>9.3} {:>12.3} {:>10}",
+                    row.algo, eps, row.elapsed, row.clusters
+                );
+                rows.push(row);
+            } else {
+                println!("{:<14} {:>9.3} {:>12} {:>10}", "NG-DBSCAN", eps, "N/A", "-");
+            }
+        }
+    }
+    write_csv("fig11_table6_elapsed", &rows);
+    for spec in datasets() {
+        let series = rows_to_series(&rows, spec.name, |r| r.elapsed);
+        save_line_chart(
+            &format!("fig11_{}", spec.name.to_lowercase().replace('-', "_")),
+            &format!("Fig 11: elapsed time — {}", spec.name),
+            "eps",
+            "elapsed (s, log)",
+            true,
+            &series,
+        );
+    }
+
+    // Headline ratios (the paper's §7.2.1 summary).
+    println!("\nSpeed-up of RP-DBSCAN over each baseline (geometric mean across cells):");
+    for algo in ["ESP-DBSCAN", "RBP-DBSCAN", "CBP-DBSCAN", "SPARK-DBSCAN", "NG-DBSCAN"] {
+        let mut ratios = Vec::new();
+        for r in rows.iter().filter(|r| r.algo == algo) {
+            if let Some(rp) = rows
+                .iter()
+                .find(|x| x.algo == "RP-DBSCAN" && x.dataset == r.dataset && x.eps == r.eps)
+            {
+                if rp.elapsed > 0.0 {
+                    ratios.push(r.elapsed / rp.elapsed);
+                }
+            }
+        }
+        if !ratios.is_empty() {
+            let gm = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            let max = ratios.iter().fold(0.0f64, |a, &b| a.max(b));
+            println!("  vs {algo:<13} geo-mean {gm:6.2}x   max {max:6.2}x");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Appendix B.2 (Figures 18–19, Table 8): impact of data skewness.
+//!
+//! Gaussian-mixture data (Appendix B.1) with skewness coefficient
+//! α ∈ {1/8, 1/4, 1/2, 1} and dimensionality d ∈ {3, 4, 5}:
+//!
+//! * Table 8 — two-level dictionary size vs α and d;
+//! * Figure 19a — RP-DBSCAN's load imbalance vs α;
+//! * Figure 19b — RP-DBSCAN's total elapsed time vs α.
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin fig19_skewness
+//! ```
+
+use rpdbscan_bench::*;
+use rpdbscan_data::{synth, SynthConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SkewRow {
+    dim: usize,
+    alpha: f64,
+    dict_bytes: u64,
+    load_imbalance: f64,
+    elapsed: f64,
+    clusters: usize,
+}
+
+fn main() {
+    // Appendix B.1: range [0,100]^d, eps = 5, minPts = 100, rho = 0.01 —
+    // minPts scaled with the harness point count.
+    let n = (60_000.0 * scale()) as usize;
+    let eps = 5.0;
+    let min_pts = 40;
+    let alphas = [0.125, 0.25, 0.5, 1.0];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>3} {:>8} {:>14} {:>16} {:>12} {:>9}",
+        "d", "alpha", "dict bytes", "load imbalance", "elapsed(s)", "clusters"
+    );
+    for dim in [3usize, 4, 5] {
+        for alpha in alphas {
+            let data = synth::gaussian_mixture(SynthConfig::new(n).with_seed(7), dim, alpha);
+            let (row, out, _) = run_rp(&data, "mixture", eps, min_pts, WORKERS);
+            println!(
+                "{dim:>3} {alpha:>8.3} {:>14} {:>16.2} {:>12.3} {:>9}",
+                out.stats.dict_size_bits / 8,
+                row.load_imbalance,
+                row.elapsed,
+                row.clusters
+            );
+            rows.push(SkewRow {
+                dim,
+                alpha,
+                dict_bytes: out.stats.dict_size_bits / 8,
+                load_imbalance: row.load_imbalance,
+                elapsed: row.elapsed,
+                clusters: row.clusters,
+            });
+        }
+    }
+    write_csv("fig19_table8_skewness", &rows);
+
+    // Figure 18: the 2-d mixtures at each skewness coefficient, rendered
+    // as cluster scatter plots.
+    for alpha in alphas {
+        let data = synth::gaussian_mixture(SynthConfig::new(20_000).with_seed(7), 2, alpha);
+        let (_, out, _) = run_rp(&data, "mixture-2d", eps, min_pts, WORKERS);
+        let path = experiments_dir().join(format!("fig18_alpha_{alpha}.svg"));
+        rpdbscan_plot::ScatterPlot::new(
+            &data,
+            &out.clustering,
+            &format!("Fig 18: 2-d synthetic, alpha = {alpha}"),
+        )
+        .save(&path, 420.0, 380.0)
+        .expect("write svg");
+        println!("wrote {}", path.display());
+    }
+
+    // Figure 19 line charts: per-dimension imbalance and elapsed vs alpha.
+    for (metric, field, log) in [
+        ("fig19a_load_imbalance", 0usize, false),
+        ("fig19b_elapsed", 1usize, false),
+    ] {
+        let series: Vec<(String, Vec<(f64, f64)>)> = [3usize, 4, 5]
+            .iter()
+            .map(|&d| {
+                let pts = rows
+                    .iter()
+                    .filter(|r| r.dim == d)
+                    .map(|r| {
+                        let y = if field == 0 { r.load_imbalance } else { r.elapsed };
+                        (r.alpha, y)
+                    })
+                    .collect();
+                (format!("{d}D"), pts)
+            })
+            .collect();
+        save_line_chart(
+            metric,
+            &format!("Fig 19: {} vs skewness", if field == 0 { "load imbalance" } else { "elapsed" }),
+            "alpha",
+            if field == 0 { "slowest/fastest" } else { "seconds" },
+            log,
+            &series,
+        );
+    }
+    println!("\nPaper: dictionary shrinks as alpha grows (fewer non-empty cells) and as");
+    println!("d falls; load imbalance rises mildly with alpha (1.14 -> 2.17 in 5-d);");
+    println!("elapsed time generally rises with alpha except where the smaller");
+    println!("dictionary offsets it (3-d).");
+}

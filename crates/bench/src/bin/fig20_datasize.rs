@@ -1,0 +1,80 @@
+//! Appendix B.3 (Figures 20–21): scalability to data size.
+//!
+//! 5-d Gaussian mixture with α = 8 (Appendix B.1), sizes doubling over a
+//! 16× span (the paper uses 5–80 GB). Reports total elapsed time (Figure
+//! 20, expected near-linear) and the phase breakdown (Figure 21, Phase II
+//! share growing with size).
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin fig20_datasize
+//! ```
+
+use rpdbscan_bench::*;
+use rpdbscan_data::{synth, SynthConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SizeRow {
+    n: usize,
+    elapsed: f64,
+    phase1: f64,
+    phase2: f64,
+    phase3: f64,
+}
+
+fn main() {
+    let eps = 5.0;
+    let min_pts = 40;
+    let base = (20_000.0 * scale()) as usize;
+    let mut rows = Vec::new();
+    println!(
+        "{:>9} {:>12} {:>9} {:>9} {:>9}",
+        "n", "elapsed(s)", "I %", "II %", "III %"
+    );
+    let mut first: Option<(usize, f64)> = None;
+    for mult in [1usize, 2, 4, 8, 16] {
+        let n = base * mult;
+        let data = synth::gaussian_mixture(SynthConfig::new(n).with_seed(11), 5, 8.0);
+        let (row, _, report) = run_rp(&data, "mixture-5d", eps, min_pts, WORKERS);
+        let p1 = report.elapsed_with_prefix("phase1");
+        let p2 = report.elapsed_with_prefix("phase2");
+        let p3 = report.elapsed_with_prefix("phase3");
+        let total = (p1 + p2 + p3).max(1e-12);
+        println!(
+            "{n:>9} {:>12.3} {:>8.1}% {:>8.1}% {:>8.1}%",
+            row.elapsed,
+            100.0 * p1 / total,
+            100.0 * p2 / total,
+            100.0 * p3 / total
+        );
+        first.get_or_insert((n, row.elapsed));
+        rows.push(SizeRow {
+            n,
+            elapsed: row.elapsed,
+            phase1: p1 / total,
+            phase2: p2 / total,
+            phase3: p3 / total,
+        });
+    }
+    write_csv("fig20_21_datasize", &rows);
+    let series = vec![(
+        "RP-DBSCAN".to_string(),
+        rows.iter().map(|r| (r.n as f64, r.elapsed)).collect::<Vec<_>>(),
+    )];
+    save_line_chart(
+        "fig20_datasize",
+        "Fig 20: elapsed vs data size (5-d mixture, alpha=8)",
+        "points",
+        "elapsed (s)",
+        false,
+        &series,
+    );
+    if let (Some((n0, t0)), Some(last)) = (first, rows.last()) {
+        let growth = last.elapsed / t0;
+        let size_growth = last.n as f64 / n0 as f64;
+        println!(
+            "\nElapsed grew {growth:.1}x over a {size_growth:.0}x size increase \
+             (paper: 15.2x over 16x — near-linear)."
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Phase III-1: progressive graph merging (Algorithm 4, first part).
+//!
+//! Cell subgraphs merge pairwise in a tournament (Figure 9a). Each match
+//! (1) unions the two graphs (Definition 6.2, promoting undetermined
+//! vertices), (2) re-derives edge types from the enlarged type knowledge
+//! (§6.1.3), and (3) removes redundant full edges by keeping only a
+//! spanning forest over core cells (§6.1.4) — full-edge direction is
+//! irrelevant, and one path between core cells preserves the graph's
+//! expressive power while shrinking shuffle volume round over round
+//! (Figure 17).
+
+use crate::graph::{CellSubgraph, CellType, UnionFind};
+use rpdbscan_grid::FxHashMap;
+
+/// Merges two cell subgraphs and reduces redundant full edges.
+pub fn merge_pair(g1: CellSubgraph, g2: CellSubgraph) -> CellSubgraph {
+    let (mut types, mut edges) = g1.into_parts();
+    let (t2, e2) = g2.into_parts();
+    // Definition 6.2: vertex union with promotion of undetermined cells.
+    for (cell, t) in t2 {
+        let entry = types.entry(cell).or_insert(CellType::Undetermined);
+        *entry = (*entry).max(t);
+    }
+    // Edge union (E1 ∩ E2 = ∅ holds under pseudo random partitioning, but
+    // the set union is also correct when it does not).
+    edges.extend(e2);
+    reduce_redundant_full_edges(CellSubgraph::from_parts(types, edges))
+}
+
+/// Removes full edges that close cycles among core cells, keeping one
+/// spanning forest (found in linear time with union-find, equivalent to
+/// the DFS/BFS-with-hashing formulation the paper cites). Partial and
+/// undetermined edges always survive.
+pub fn reduce_redundant_full_edges(g: CellSubgraph) -> CellSubgraph {
+    let (types, edges) = g.into_parts();
+    // Dense renaming of core cells for the union-find.
+    let mut core_ids: Vec<u32> = types
+        .iter()
+        .filter(|(_, &t)| t == CellType::Core)
+        .map(|(&c, _)| c)
+        .collect();
+    core_ids.sort_unstable();
+    let dense: FxHashMap<u32, u32> = core_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i as u32))
+        .collect();
+    let mut uf = UnionFind::new(core_ids.len());
+
+    // Deterministic edge order so merges are reproducible run-to-run.
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable();
+
+    let is_core = |c: u32| types.get(&c) == Some(&CellType::Core);
+    let mut kept: Vec<(u32, u32)> = Vec::with_capacity(sorted.len());
+    for (a, b) in sorted {
+        if is_core(a) && is_core(b) {
+            // Full edge: normalise direction, keep only forest edges.
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            if uf.union(dense[&x], dense[&y]) {
+                kept.push((x, y));
+            }
+        } else {
+            kept.push((a, b));
+        }
+    }
+    CellSubgraph::from_parts(types, kept.into_iter().collect())
+}
+
+/// Sequential tournament over any number of subgraphs; `on_round(round,
+/// edges_remaining)` fires after every parallel round (round numbering
+/// matches Figure 17: the caller reports round 0 itself as the pre-merge
+/// total). The driver runs the same schedule through the engine; this
+/// helper serves tests and single-threaded use.
+pub fn tournament(
+    mut graphs: Vec<CellSubgraph>,
+    mut on_round: impl FnMut(usize, usize),
+) -> CellSubgraph {
+    if graphs.is_empty() {
+        return CellSubgraph::new();
+    }
+    let mut round = 0;
+    while graphs.len() > 1 {
+        round += 1;
+        let mut next = Vec::with_capacity(graphs.len() / 2 + 1);
+        let mut it = graphs.into_iter();
+        while let Some(g1) = it.next() {
+            match it.next() {
+                Some(g2) => next.push(merge_pair(g1, g2)),
+                None => next.push(g1),
+            }
+        }
+        graphs = next;
+        let edges: usize = graphs.iter().map(|g| g.num_edges()).sum();
+        on_round(round, edges);
+    }
+    graphs.pop().expect("non-empty tournament")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeType;
+
+    fn core_chain(ids: &[u32]) -> CellSubgraph {
+        let mut g = CellSubgraph::new();
+        for &c in ids {
+            g.set_type(c, CellType::Core);
+        }
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn merge_promotes_undetermined_vertices() {
+        let mut g1 = CellSubgraph::new();
+        g1.set_type(0, CellType::Core);
+        g1.add_edge(0, 1); // 1 unknown to g1
+        let mut g2 = CellSubgraph::new();
+        g2.set_type(1, CellType::NonCore);
+        let m = merge_pair(g1, g2);
+        assert_eq!(m.cell_type(1), CellType::NonCore);
+        assert_eq!(m.edge_type(0, 1), EdgeType::Partial);
+        assert!(m.is_global());
+    }
+
+    #[test]
+    fn cycle_of_full_edges_is_reduced_to_spanning_tree() {
+        let mut g = CellSubgraph::new();
+        for c in 0..4 {
+            g.set_type(c, CellType::Core);
+        }
+        // 4-cycle plus a chord: 5 full edges, spanning tree needs 3.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        g.add_edge(0, 2);
+        let r = reduce_redundant_full_edges(g);
+        assert_eq!(r.num_edges(), 3);
+        // Connectivity preserved: all four cells in one component.
+        let mut uf = UnionFind::new(4);
+        for &(a, b) in r.edges() {
+            uf.union(a, b);
+        }
+        let root = uf.find(0);
+        for c in 1..4 {
+            assert_eq!(uf.find(c), root);
+        }
+    }
+
+    #[test]
+    fn reverse_duplicate_full_edges_collapse() {
+        let mut g = CellSubgraph::new();
+        g.set_type(0, CellType::Core);
+        g.set_type(1, CellType::Core);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let r = reduce_redundant_full_edges(g);
+        assert_eq!(r.num_edges(), 1, "anti-parallel full edges are one path");
+    }
+
+    #[test]
+    fn partial_and_undetermined_edges_survive_reduction() {
+        let mut g = CellSubgraph::new();
+        g.set_type(0, CellType::Core);
+        g.set_type(1, CellType::NonCore);
+        g.add_edge(0, 1); // partial
+        g.add_edge(0, 7); // undetermined (7 unknown)
+        let r = reduce_redundant_full_edges(g);
+        assert_eq!(r.num_edges(), 2);
+    }
+
+    #[test]
+    fn tournament_merges_everything() {
+        // Five chains over disjoint-but-overlapping id ranges.
+        let graphs = vec![
+            core_chain(&[0, 1, 2]),
+            core_chain(&[2, 3]),
+            core_chain(&[3, 4]),
+            core_chain(&[4, 5]),
+            core_chain(&[5, 0]),
+        ];
+        let mut rounds = Vec::new();
+        let g = tournament(graphs, |r, e| rounds.push((r, e)));
+        // ceil(log2(5)) = 3 rounds
+        assert_eq!(rounds.len(), 3);
+        assert!(g.is_global());
+        // 6 distinct core cells in one component: spanning tree has 5 edges.
+        assert_eq!(g.num_edges(), 5);
+        // Edge counts must be non-increasing across rounds.
+        for w in rounds.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn tournament_single_graph_is_identity() {
+        let g = core_chain(&[0, 1]);
+        let edges_before = g.num_edges();
+        let out = tournament(vec![g], |_, _| panic!("no rounds expected"));
+        assert_eq!(out.num_edges(), edges_before);
+    }
+
+    #[test]
+    fn tournament_empty_input() {
+        let g = tournament(vec![], |_, _| {});
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let make = || {
+            let mut g1 = CellSubgraph::new();
+            for c in 0..6 {
+                g1.set_type(c, CellType::Core);
+            }
+            for a in 0..6 {
+                for b in 0..6 {
+                    if a != b {
+                        g1.add_edge(a, b);
+                    }
+                }
+            }
+            let g2 = core_chain(&[6, 0]);
+            merge_pair(g1, g2)
+        };
+        let a = make();
+        let b = make();
+        let mut ea: Vec<_> = a.edges().iter().collect();
+        let mut eb: Vec<_> = b.edges().iter().collect();
+        ea.sort_unstable();
+        eb.sort_unstable();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_connectivity() {
+        // Associativity at the clustering level: any merge order yields
+        // the same core-cell components.
+        let parts = vec![
+            core_chain(&[0, 1]),
+            core_chain(&[1, 2]),
+            core_chain(&[3, 4]),
+            core_chain(&[2, 3]),
+        ];
+        let components = |g: &CellSubgraph| {
+            let mut uf = UnionFind::new(5);
+            for &(a, b) in g.edges() {
+                if g.cell_type(a) == CellType::Core && g.cell_type(b) == CellType::Core {
+                    uf.union(a, b);
+                }
+            }
+            (0..5u32).map(|c| uf.find(c)).collect::<Vec<_>>()
+        };
+        let fwd = tournament(parts.clone(), |_, _| {});
+        let rev = tournament(parts.into_iter().rev().collect(), |_, _| {});
+        // All five cells end up connected either way.
+        let cf = components(&fwd);
+        let cr = components(&rev);
+        assert!(cf.iter().all(|&r| r == cf[0]));
+        assert!(cr.iter().all(|&r| r == cr[0]));
+    }
+}

@@ -1,0 +1,91 @@
+//! Algorithm parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an RP-DBSCAN run (Algorithm 1's inputs plus the
+/// dictionary-memory knob of §4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RpDbscanParams {
+    /// DBSCAN neighbourhood radius ε.
+    pub eps: f64,
+    /// DBSCAN density threshold `minPts` (the paper fixes 100 for the
+    /// large data sets; small examples use smaller values).
+    pub min_pts: usize,
+    /// Approximation rate ρ of Definition 4.1. The paper's default is
+    /// 0.01, which produced clustering identical to exact DBSCAN on every
+    /// accuracy data set (Table 4).
+    pub rho: f64,
+    /// Number of pseudo random partitions `k` (one per task/split).
+    pub num_partitions: usize,
+    /// Maximum root+leaf entries per sub-dictionary — the per-worker
+    /// memory budget driving dictionary defragmentation. `u64::MAX`
+    /// disables fragmentation.
+    pub subdict_capacity: u64,
+    /// RNG seed for the random cell-to-partition assignment; fixed so runs
+    /// are reproducible.
+    pub seed: u64,
+}
+
+impl RpDbscanParams {
+    /// Parameters with the paper's defaults: ρ = 0.01, one partition per
+    /// worker decided later, unfragmented dictionary, seed 0.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        Self {
+            eps,
+            min_pts,
+            rho: 0.01,
+            num_partitions: 8,
+            subdict_capacity: 1 << 20,
+            seed: 0,
+        }
+    }
+
+    /// Sets the approximation rate ρ.
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Sets the number of partitions `k`.
+    pub fn with_partitions(mut self, k: usize) -> Self {
+        self.num_partitions = k;
+        self
+    }
+
+    /// Sets the sub-dictionary capacity.
+    pub fn with_subdict_capacity(mut self, cap: u64) -> Self {
+        self.subdict_capacity = cap;
+        self
+    }
+
+    /// Sets the partitioning RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let p = RpDbscanParams::new(0.5, 10)
+            .with_rho(0.05)
+            .with_partitions(16)
+            .with_subdict_capacity(128)
+            .with_seed(9);
+        assert_eq!(p.eps, 0.5);
+        assert_eq!(p.min_pts, 10);
+        assert_eq!(p.rho, 0.05);
+        assert_eq!(p.num_partitions, 16);
+        assert_eq!(p.subdict_capacity, 128);
+        assert_eq!(p.seed, 9);
+    }
+
+    #[test]
+    fn default_rho_is_papers() {
+        assert_eq!(RpDbscanParams::new(1.0, 100).rho, 0.01);
+    }
+}

@@ -1,0 +1,221 @@
+//! Phase II: core marking and cell subgraph building (Algorithm 3).
+//!
+//! Each partition independently runs an `(ε,ρ)`-region query for every one
+//! of its points against the broadcast dictionary, marks core points and
+//! core cells, and emits a cell subgraph whose edges point from its core
+//! cells to every cell holding a qualifying neighbour sub-cell. Successor
+//! cells living in other partitions stay type-undetermined until Phase
+//! III merges the knowledge in.
+
+use crate::graph::{CellSubgraph, CellType};
+use crate::partition::Partition;
+use rpdbscan_geom::{Dataset, PointId};
+use rpdbscan_grid::{DictionaryIndex, FxHashMap, QueryStats};
+
+/// Output of Phase II for one partition.
+#[derive(Debug, Clone)]
+pub struct LocalClustering {
+    /// The partition's cell subgraph.
+    pub subgraph: CellSubgraph,
+    /// Core points per owned core cell (needed by Phase III-2's exact
+    /// distance checks on partial edges, Algorithm 4 Lines 18–23).
+    pub core_points: FxHashMap<u32, Vec<PointId>>,
+    /// Aggregated region-query instrumentation.
+    pub stats: QueryStats,
+    /// Number of region queries executed (= points in the partition).
+    pub queries: u64,
+}
+
+/// Runs Algorithm 3 on one partition.
+///
+/// `index` is the broadcast dictionary; `data` provides point coordinates
+/// (in the real system the partition physically holds them — ids suffice
+/// here because the dataset is shared read-only memory).
+pub fn build_local_clustering(
+    partition: &Partition,
+    data: &Dataset,
+    index: &DictionaryIndex,
+    min_pts: usize,
+) -> LocalClustering {
+    let dict = index.dict();
+    let mut subgraph = CellSubgraph::new();
+    let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
+    let mut stats = QueryStats::default();
+    let mut queries = 0u64;
+    // Scratch buffers reused across all points of the partition.
+    let mut neighbors: Vec<u32> = Vec::new();
+    let mut r = rpdbscan_grid::RegionQueryResult::default();
+
+    for cell in &partition.cells {
+        let cell_idx = dict
+            .index_of(&cell.coord)
+            .expect("partition cell missing from broadcast dictionary");
+        neighbors.clear();
+        let mut is_core_cell = false;
+        for &pid in &cell.points {
+            index.region_query_cells_into(data.point(pid), &mut r);
+            stats.merge(&r.stats);
+            queries += 1;
+            if r.density >= min_pts as u64 {
+                // p is a core point (Line 9–10); its cell is core (11–12)
+                // and all cells holding one of its (ε,ρ)-neighbour
+                // sub-cells are reachable successors (13–16).
+                is_core_cell = true;
+                core_points.entry(cell_idx).or_default().push(pid);
+                for &nc in &r.neighbor_cells {
+                    if nc != cell_idx {
+                        neighbors.push(nc);
+                    }
+                }
+            }
+        }
+        subgraph.set_type(
+            cell_idx,
+            if is_core_cell {
+                CellType::Core
+            } else {
+                CellType::NonCore
+            },
+        );
+        if is_core_cell {
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            for &nc in &neighbors {
+                subgraph.add_edge(cell_idx, nc);
+            }
+        }
+    }
+    LocalClustering {
+        subgraph,
+        core_points,
+        stats,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeType;
+    use crate::partition::{group_by_cell, pseudo_random_partition};
+    use rpdbscan_grid::{CellDictionary, GridSpec};
+
+    /// A line of 10 points spaced 0.1 apart plus one far outlier.
+    fn line_world() -> (GridSpec, Dataset) {
+        let spec = GridSpec::new(2, 0.5, 0.01).unwrap();
+        let mut rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1, 0.0]).collect();
+        rows.push(vec![50.0, 50.0]);
+        (spec, Dataset::from_rows(2, &rows).unwrap())
+    }
+
+    fn setup(
+        spec: &GridSpec,
+        data: &Dataset,
+        k: usize,
+    ) -> (Vec<Partition>, DictionaryIndex) {
+        let cells = group_by_cell(spec, data);
+        let parts = pseudo_random_partition(cells, k, 0);
+        let dict = CellDictionary::build_from_points(
+            spec.clone(),
+            data.iter().map(|(_, p)| p),
+        );
+        (parts, DictionaryIndex::new(dict, 1 << 16))
+    }
+
+    #[test]
+    fn dense_line_marks_core_outlier_does_not() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        // Some interior cell must be core; the outlier's cell must not be.
+        let outlier_cell = index.dict().index_of(&spec.cell_of(&[50.0, 50.0])).unwrap();
+        assert_eq!(local.subgraph.cell_type(outlier_cell), CellType::NonCore);
+        let n_core = local
+            .subgraph
+            .types()
+            .values()
+            .filter(|&&t| t == CellType::Core)
+            .count();
+        assert!(n_core >= 1);
+        // With minPts=4 and 0.1 spacing, eps=0.5 covers >= 4 neighbours
+        // for interior points, so core points exist.
+        assert!(!local.core_points.is_empty());
+    }
+
+    #[test]
+    fn single_partition_edges_are_all_determined() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        assert!(local.subgraph.is_global());
+        let (_, _, undet) = local.subgraph.edge_type_counts();
+        assert_eq!(undet, 0);
+    }
+
+    #[test]
+    fn multi_partition_leaves_cross_edges_undetermined() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 3);
+        let mut any_undetermined = false;
+        for part in &parts {
+            let local = build_local_clustering(part, &data, &index, 4);
+            let (_, _, undet) = local.subgraph.edge_type_counts();
+            if undet > 0 {
+                any_undetermined = true;
+            }
+        }
+        assert!(
+            any_undetermined,
+            "a 10-point chain split 3 ways must produce cross-partition edges"
+        );
+    }
+
+    #[test]
+    fn min_pts_one_everything_with_a_point_is_core() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 1);
+        for (&cell, &t) in local.subgraph.types().iter() {
+            assert_eq!(t, CellType::Core, "cell {cell} not core at minPts=1");
+        }
+    }
+
+    #[test]
+    fn huge_min_pts_nothing_is_core() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 1000);
+        assert!(local.core_points.is_empty());
+        assert_eq!(local.subgraph.num_edges(), 0);
+        for &t in local.subgraph.types().values() {
+            assert_eq!(t, CellType::NonCore);
+        }
+    }
+
+    #[test]
+    fn edges_originate_from_core_cells_only() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        for &(from, _) in local.subgraph.edges() {
+            assert_eq!(local.subgraph.cell_type(from), CellType::Core);
+        }
+        // Derived edge types must never be Undetermined here (one
+        // partition) and never panic.
+        for &(from, to) in local.subgraph.edges() {
+            let t = local.subgraph.edge_type(from, to);
+            assert_ne!(t, EdgeType::Undetermined);
+        }
+    }
+
+    #[test]
+    fn query_counts_match_point_count() {
+        let (spec, data) = line_world();
+        let (parts, index) = setup(&spec, &data, 2);
+        let total: u64 = parts
+            .iter()
+            .map(|p| build_local_clustering(p, &data, &index, 4).queries)
+            .sum();
+        assert_eq!(total, data.len() as u64);
+    }
+}

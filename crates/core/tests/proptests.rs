@@ -1,0 +1,161 @@
+//! Property-based tests over the RP-DBSCAN pipeline.
+
+use proptest::prelude::*;
+use rpdbscan_core::merge::{merge_pair, tournament};
+use rpdbscan_core::graph::{CellSubgraph, CellType, UnionFind};
+use rpdbscan_core::partition::{group_by_cell, pseudo_random_partition};
+use rpdbscan_core::{RpDbscan, RpDbscanParams};
+use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_geom::Dataset;
+use rpdbscan_grid::GridSpec;
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 1..150)
+}
+
+/// Random subgraphs over a small cell universe with arbitrary types and
+/// core-originated edges.
+fn subgraph_strategy() -> impl Strategy<Value = CellSubgraph> {
+    (
+        prop::collection::vec(prop::sample::select(vec![CellType::Core, CellType::NonCore]), 8),
+        prop::collection::vec((0u32..8, 0u32..8), 0..24),
+    )
+        .prop_map(|(types, raw_edges)| {
+            let mut g = CellSubgraph::new();
+            for (i, t) in types.iter().enumerate() {
+                g.set_type(i as u32, *t);
+            }
+            for (a, b) in raw_edges {
+                if a != b && g.cell_type(a) == CellType::Core {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+}
+
+fn core_components(g: &CellSubgraph, n: u32) -> Vec<u32> {
+    let mut uf = UnionFind::new(n as usize);
+    for &(a, b) in g.edges() {
+        if g.cell_type(a) == CellType::Core && g.cell_type(b) == CellType::Core {
+            uf.union(a, b);
+        }
+    }
+    // Canonicalise representatives to first-appearance order so two
+    // union-finds with different internal roots compare equal.
+    let mut canon = std::collections::HashMap::new();
+    (0..n)
+        .map(|c| {
+            let r = uf.find(c);
+            let next = canon.len() as u32;
+            *canon.entry(r).or_insert(next)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pseudo random partitioning is a disjoint cover with near-equal
+    /// cell counts for any data and partition count.
+    #[test]
+    fn partitioning_disjoint_cover(
+        pts in dataset_strategy(),
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let spec = GridSpec::new(2, 1.0, 0.25).unwrap();
+        let cells = group_by_cell(&spec, &data);
+        let n_cells = cells.len();
+        let parts = pseudo_random_partition(cells, k, seed);
+        let total_cells: usize = parts.iter().map(|p| p.cells.len()).sum();
+        prop_assert_eq!(total_cells, n_cells);
+        let total_points: usize = parts.iter().map(|p| p.num_points()).sum();
+        prop_assert_eq!(total_points, pts.len());
+        let counts: Vec<usize> = parts.iter().map(|p| p.cells.len()).collect();
+        let (mn, mx) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    /// Merging preserves core-cell connectivity (edge reduction removes
+    /// only redundant edges) and never loses determined vertex types.
+    #[test]
+    fn merge_preserves_connectivity_and_types(
+        g1 in subgraph_strategy(),
+        g2 in subgraph_strategy(),
+    ) {
+        // Reference: plain union without reduction.
+        let mut union = CellSubgraph::new();
+        for g in [&g1, &g2] {
+            for (&c, &t) in g.types() {
+                union.set_type(c, t);
+            }
+            for &(a, b) in g.edges() {
+                union.add_edge(a, b);
+            }
+        }
+        let merged = merge_pair(g1.clone(), g2.clone());
+        // Types agree.
+        for c in 0..8u32 {
+            prop_assert_eq!(merged.cell_type(c), union.cell_type(c));
+        }
+        // Core components agree.
+        prop_assert_eq!(core_components(&merged, 8), core_components(&union, 8));
+        // Reduction never grows the edge set.
+        prop_assert!(merged.num_edges() <= union.num_edges());
+    }
+
+    /// Tournament order never changes core-cell connectivity.
+    #[test]
+    fn tournament_order_invariant(graphs in prop::collection::vec(subgraph_strategy(), 1..6)) {
+        let fwd = tournament(graphs.clone(), |_, _| {});
+        let rev = tournament(graphs.into_iter().rev().collect(), |_, _| {});
+        prop_assert_eq!(core_components(&fwd, 8), core_components(&rev, 8));
+    }
+
+    /// The full pipeline is invariant to partition count and seed: the
+    /// clustering depends only on (eps, minPts, rho).
+    #[test]
+    fn clustering_invariant_to_partitioning(
+        pts in dataset_strategy(),
+        k in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let engine = Engine::with_cost_model(2, CostModel::free());
+        let run = |k: usize, seed: u64| {
+            RpDbscan::new(
+                RpDbscanParams::new(1.0, 3).with_partitions(k).with_seed(seed),
+            )
+            .unwrap()
+            .run(&data, &engine)
+            .unwrap()
+            .clustering
+        };
+        let base = run(1, 0);
+        let other = run(k, seed);
+        let ri = rpdbscan_metrics::rand_index(
+            &base,
+            &other,
+            rpdbscan_metrics::NoisePolicy::SingleCluster,
+        );
+        prop_assert_eq!(ri, 1.0);
+    }
+
+    /// Labels partition the points: every label is either None or a valid
+    /// dense cluster id, and cluster count matches the stats.
+    #[test]
+    fn output_labels_are_consistent(pts in dataset_strategy()) {
+        let data = Dataset::from_rows(2, &pts).unwrap();
+        let engine = Engine::with_cost_model(2, CostModel::free());
+        let out = RpDbscan::new(RpDbscanParams::new(1.5, 2).with_partitions(4))
+            .unwrap()
+            .run(&data, &engine)
+            .unwrap();
+        prop_assert_eq!(out.clustering.len(), pts.len());
+        prop_assert_eq!(out.stats.num_clusters, out.clustering.num_clusters());
+        prop_assert_eq!(out.stats.noise_points, out.clustering.noise_count());
+        prop_assert_eq!(out.stats.points_processed, pts.len() as u64);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dataset CSV IO.
+//!
+//! The four real data sets arrive as delimited text in the paper's
+//! pipeline; this module reads/writes the same shape (one point per line,
+//! coordinates separated by a delimiter, optional trailing cluster label)
+//! without pulling a CSV dependency.
+
+use rpdbscan_geom::{Dataset, DatasetBuilder};
+use rpdbscan_metrics::Clustering;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// IO errors with line context.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a dataset from delimited text. The dimensionality is inferred
+/// from the first non-empty line; `delimiter` is typically `','` or `' '`.
+pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut builder: Option<DatasetBuilder> = None;
+    let mut row: Vec<f64> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        row.clear();
+        for field in trimmed.split(delimiter) {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            row.push(field.parse::<f64>().map_err(|e| IoError::Parse {
+                line: lineno,
+                message: format!("bad number {field:?}: {e}"),
+            })?);
+        }
+        if row.is_empty() {
+            continue;
+        }
+        let b = match &mut builder {
+            Some(b) => b,
+            None => builder.get_or_insert(
+                DatasetBuilder::with_capacity(row.len(), 1024).expect("dim >= 1"),
+            ),
+        };
+        b.push(&row).map_err(|e| IoError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(builder
+        .map(DatasetBuilder::build)
+        .unwrap_or_else(|| Dataset::from_flat(1, vec![]).expect("valid empty dataset")))
+}
+
+/// Writes a dataset as delimited text.
+pub fn write_csv(path: &Path, data: &Dataset, delimiter: char) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for (_, p) in data.iter() {
+        let mut first = true;
+        for v in p {
+            if !first {
+                write!(w, "{delimiter}")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a dataset with a trailing cluster-label column (`-1` = noise) —
+/// the D′ labeled output of Algorithm 1.
+pub fn write_labeled_csv(
+    path: &Path,
+    data: &Dataset,
+    clustering: &Clustering,
+    delimiter: char,
+) -> Result<(), IoError> {
+    assert_eq!(data.len(), clustering.len(), "labels must cover the data");
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for (id, p) in data.iter() {
+        for v in p {
+            write!(w, "{v}{delimiter}")?;
+        }
+        match clustering.labels()[id.index()] {
+            Some(c) => writeln!(w, "{c}")?,
+            None => writeln!(w, "-1")?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rpdbscan-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = Dataset::from_rows(3, &[vec![1.0, 2.0, 3.0], vec![-4.5, 0.25, 1e6]]).unwrap();
+        let p = tmpfile("round_trip.csv");
+        write_csv(&p, &d, ',').unwrap();
+        let back = read_csv(&p, ',').unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let p = tmpfile("comments.csv");
+        std::fs::write(&p, "# header\n\n1.0,2.0\n# mid\n3.0,4.0\n").unwrap();
+        let d = read_csv(&p, ',').unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let p = tmpfile("bad.csv");
+        std::fs::write(&p, "1.0,2.0\n3.0,oops\n").unwrap();
+        match read_csv(&p, ',') {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let p = tmpfile("ragged.csv");
+        std::fs::write(&p, "1.0,2.0\n3.0\n").unwrap();
+        assert!(matches!(read_csv(&p, ','), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn labeled_output_format() {
+        let d = Dataset::from_rows(2, &[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let c = Clustering::new(vec![Some(7), None]);
+        let p = tmpfile("labeled.csv");
+        write_labeled_csv(&p, &d, &c, ',').unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text, "1,2,7\n3,4,-1\n");
+    }
+
+    #[test]
+    fn empty_file_reads_empty() {
+        let p = tmpfile("empty.csv");
+        std::fs::write(&p, "").unwrap();
+        let d = read_csv(&p, ',').unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn whitespace_delimiter() {
+        let p = tmpfile("space.csv");
+        std::fs::write(&p, "1.5 2.5\n3.5 4.5\n").unwrap();
+        let d = read_csv(&p, ' ').unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.point_at(1), &[3.5, 4.5]);
+    }
+}

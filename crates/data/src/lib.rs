@@ -1,0 +1,21 @@
+//! Synthetic workloads, dataset IO, and sampling.
+//!
+//! The paper evaluates on four real-world data sets (GeoLife, Cosmo50,
+//! OpenStreetMap, TeraClickLog — §7.1.3) plus three small accuracy sets
+//! (Moons, Blobs, Chameleon — §7.5) and a family of Gaussian-mixture
+//! synthetic sets with a tunable skewness coefficient (Appendix B.1).
+//! The real data sets are not redistributable here, so [`synth`] provides
+//! generators that reproduce each one's *relevant structure* (skew,
+//! dimensionality, cluster shape) at configurable scale; DESIGN.md
+//! documents each substitution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod normal;
+pub mod sampling;
+pub mod synth;
+
+pub use sampling::reservoir_sample;
+pub use synth::SynthConfig;

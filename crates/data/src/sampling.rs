@@ -1,0 +1,86 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! §1.1 of the paper motivates the random split strategy partly by the
+//! `O(N)` cost of reservoir sampling [Vitter 1985]; the utility is kept
+//! here both for fidelity and for sub-sampling large generated workloads
+//! in the experiment harness.
+
+use rand::Rng;
+
+/// Draws a uniform sample of up to `k` items from a stream in one pass.
+///
+/// Returns fewer than `k` items only when the stream is shorter than `k`.
+/// The relative order of sampled items is unspecified.
+pub fn reservoir_sample<T, R: Rng + ?Sized>(
+    stream: impl IntoIterator<Item = T>,
+    k: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in stream.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_stream_returns_everything() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = reservoir_sample(0..5, 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(reservoir_sample(0..100, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_size_is_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(reservoir_sample(0..1000, 32, &mut rng).len(), 32);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Sample 1 from {0..10} many times: each element should appear
+        // about 10% of the time.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let s = reservoir_sample(0..10usize, 1, &mut rng);
+            counts[s[0]] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let f = c as f64 / 20_000.0;
+            assert!((f - 0.1).abs() < 0.02, "element {i} frequency {f}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_from_distinct_stream() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = reservoir_sample(0..100, 50, &mut rng);
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 50);
+    }
+}

@@ -1,0 +1,410 @@
+//! Synthetic data generators.
+//!
+//! Each generator states which of the paper's data sets it stands in for
+//! and which structural property it reproduces. All generators are
+//! seed-deterministic.
+
+use crate::normal::normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpdbscan_geom::{Dataset, DatasetBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by generator presets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of points to generate.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A config with `n` points and seed 0.
+    pub fn new(n: usize) -> Self {
+        Self { n, seed: 0 }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn builder(dim: usize, n: usize) -> DatasetBuilder {
+    DatasetBuilder::with_capacity(dim, n).expect("dim >= 1")
+}
+
+/// Two interleaving half-moons with Gaussian jitter — the `Moons`
+/// accuracy set (§7.5). Arbitrary-shape clusters that centroid methods
+/// cannot separate but DBSCAN can.
+pub fn moons(cfg: SynthConfig, noise_std: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = builder(2, cfg.n);
+    for i in 0..cfg.n {
+        let t = rng.gen_range(0.0..std::f64::consts::PI);
+        let (x, y) = if i % 2 == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        b.push(&[
+            normal(&mut rng, x, noise_std),
+            normal(&mut rng, y, noise_std),
+        ])
+        .expect("dim matches");
+    }
+    b.build()
+}
+
+/// Isotropic Gaussian blobs — the `Blobs` accuracy set (§7.5).
+pub fn blobs(cfg: SynthConfig, centers: usize, std_dev: f64, range: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cs: Vec<[f64; 2]> = (0..centers.max(1))
+        .map(|_| [rng.gen_range(0.0..range), rng.gen_range(0.0..range)])
+        .collect();
+    let mut b = builder(2, cfg.n);
+    for _ in 0..cfg.n {
+        let c = cs[rng.gen_range(0..cs.len())];
+        b.push(&[
+            normal(&mut rng, c[0], std_dev),
+            normal(&mut rng, c[1], std_dev),
+        ])
+        .expect("dim matches");
+    }
+    b.build()
+}
+
+/// Mixed-shape, mixed-density clusters with background noise — in the
+/// spirit of the Chameleon DS data sets (§7.5): two dense blobs, a ring,
+/// a sine-wave band, and ~5% uniform noise.
+pub fn chameleon_like(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = builder(2, cfg.n);
+    for _ in 0..cfg.n {
+        let kind = rng.gen_range(0..100u32);
+        let p: [f64; 2] = if kind < 25 {
+            // dense blob
+            [normal(&mut rng, 20.0, 2.0), normal(&mut rng, 20.0, 2.0)]
+        } else if kind < 50 {
+            // looser blob
+            [normal(&mut rng, 70.0, 4.0), normal(&mut rng, 25.0, 4.0)]
+        } else if kind < 72 {
+            // ring
+            let a = rng.gen_range(0.0..std::f64::consts::TAU);
+            let r = normal(&mut rng, 15.0, 0.8);
+            [45.0 + r * a.cos(), 70.0 + r * a.sin()]
+        } else if kind < 95 {
+            // sine band
+            let x = rng.gen_range(0.0..100.0);
+            [x, 95.0 + 4.0 * (x * 0.2).sin() + normal(&mut rng, 0.0, 0.6)]
+        } else {
+            // background noise
+            [rng.gen_range(0.0..110.0), rng.gen_range(0.0..120.0)]
+        };
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+/// Appendix B.1's Gaussian mixture: ten multivariate Gaussians with mean
+/// vectors uniform in `[0,100]^d` and inverse covariance `αI` (so each
+/// component's std is `1/√α`); `alpha` is the skewness coefficient — the
+/// higher, the tighter the clusters.
+pub fn gaussian_mixture(cfg: SynthConfig, dim: usize, alpha: f64) -> Dataset {
+    gaussian_mixture_with(cfg, dim, alpha, 10, 100.0)
+}
+
+/// [`gaussian_mixture`] with explicit component count and range.
+pub fn gaussian_mixture_with(
+    cfg: SynthConfig,
+    dim: usize,
+    alpha: f64,
+    components: usize,
+    range: f64,
+) -> Dataset {
+    assert!(alpha > 0.0, "skewness coefficient must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let means: Vec<Vec<f64>> = (0..components.max(1))
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..range)).collect())
+        .collect();
+    let std_dev = 1.0 / alpha.sqrt();
+    let mut b = builder(dim, cfg.n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..cfg.n {
+        let m = &means[rng.gen_range(0..means.len())];
+        for (pi, &mi) in p.iter_mut().zip(m.iter()) {
+            *pi = normal(&mut rng, mi, std_dev);
+        }
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+/// GeoLife stand-in (3-d, heavily skewed): ~70% of points in one dense
+/// metro blob, ~28% spread over 30 distant city blobs, ~2% noise — the
+/// "large proportion of users stayed in Beijing" skew that drives Figures
+/// 13a/14a.
+pub fn geolife_like(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cities: Vec<[f64; 3]> = (0..30)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..10.0),
+            ]
+        })
+        .collect();
+    let metro = [55.0, 40.0, 5.0];
+    let mut b = builder(3, cfg.n);
+    for _ in 0..cfg.n {
+        let kind = rng.gen_range(0..100u32);
+        // The metro blob is wide enough (sigma = 2.0) to span many grid
+        // cells at every ε in the ladder — the regime the paper's
+        // 24.9M-point GeoLife satisfies by sheer scale, and the premise
+        // pseudo random partitioning's balance rests on (§1.2.1).
+        let p: [f64; 3] = if kind < 70 {
+            [
+                normal(&mut rng, metro[0], 2.0),
+                normal(&mut rng, metro[1], 2.0),
+                normal(&mut rng, metro[2], 1.0),
+            ]
+        } else if kind < 98 {
+            let c = cities[rng.gen_range(0..cities.len())];
+            [
+                normal(&mut rng, c[0], 0.8),
+                normal(&mut rng, c[1], 0.8),
+                normal(&mut rng, c[2], 0.4),
+            ]
+        } else {
+            [
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..10.0),
+            ]
+        };
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+/// Cosmo50 stand-in (3-d N-body simulation): many medium halos strung
+/// along filaments plus diffuse background.
+pub fn cosmo_like(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Filaments: random segments; halos chained closely along each one so
+    // a filament reads as a single elongated cluster at the working ε
+    // (~10 filaments ≈ the paper's ε₁₀ "around ten clusters" calibration).
+    let mut halos: Vec<[f64; 3]> = Vec::new();
+    for _ in 0..10 {
+        let a: Vec<f64> = (0..3).map(|_| rng.gen_range(10.0..90.0)).collect();
+        let d: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = (d.iter().map(|x| x * x).sum::<f64>()).sqrt().max(1e-9);
+        for s in 0..8 {
+            let t = s as f64 * 2.5;
+            halos.push([
+                a[0] + d[0] / norm * t,
+                a[1] + d[1] / norm * t,
+                a[2] + d[2] / norm * t,
+            ]);
+        }
+    }
+    let mut b = builder(3, cfg.n);
+    for _ in 0..cfg.n {
+        if rng.gen_range(0..100u32) < 90 {
+            let h = halos[rng.gen_range(0..halos.len())];
+            b.push(&[
+                normal(&mut rng, h[0], 0.7),
+                normal(&mut rng, h[1], 0.7),
+                normal(&mut rng, h[2], 0.7),
+            ])
+            .expect("dim matches");
+        } else {
+            b.push(&[
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+                rng.gen_range(0.0..100.0),
+            ])
+            .expect("dim matches");
+        }
+    }
+    b.build()
+}
+
+/// OpenStreetMap stand-in (2-d GPS traces): points densified along random
+/// polyline "roads" plus town clusters — string-of-points contiguity.
+pub fn osm_like(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Roads: random polylines of 4 segments each.
+    let mut roads: Vec<([f64; 2], [f64; 2])> = Vec::new();
+    for _ in 0..25 {
+        let mut prev: [f64; 2] = [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)];
+        for _ in 0..4 {
+            let next: [f64; 2] = [
+                (prev[0] + rng.gen_range(-25.0..25.0)).clamp(0.0, 100.0),
+                (prev[1] + rng.gen_range(-25.0..25.0)).clamp(0.0, 100.0),
+            ];
+            roads.push((prev, next));
+            prev = next;
+        }
+    }
+    let towns: Vec<[f64; 2]> = (0..15)
+        .map(|_| [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+        .collect();
+    let mut b = builder(2, cfg.n);
+    for _ in 0..cfg.n {
+        let kind = rng.gen_range(0..100u32);
+        let p: [f64; 2] = if kind < 70 {
+            let (a, z) = roads[rng.gen_range(0..roads.len())];
+            let t: f64 = rng.gen();
+            [
+                a[0] + t * (z[0] - a[0]) + normal(&mut rng, 0.0, 0.08),
+                a[1] + t * (z[1] - a[1]) + normal(&mut rng, 0.0, 0.08),
+            ]
+        } else if kind < 97 {
+            let c = towns[rng.gen_range(0..towns.len())];
+            [normal(&mut rng, c[0], 0.5), normal(&mut rng, c[1], 0.5)]
+        } else {
+            [rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]
+        };
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+/// TeraClickLog stand-in (13-d click features): a few dozen clusters of
+/// varying tightness in a mostly-empty 13-d space, plus sparse noise.
+pub fn teraclick_like(cfg: SynthConfig) -> Dataset {
+    const D: usize = 13;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centers: Vec<Vec<f64>> = (0..12)
+        .map(|_| (0..D).map(|_| rng.gen_range(0.0..10_000.0)).collect())
+        .collect();
+    let stds: Vec<f64> = (0..12).map(|_| rng.gen_range(40.0..220.0)).collect();
+    let mut b = builder(D, cfg.n);
+    let mut p = vec![0.0; D];
+    for _ in 0..cfg.n {
+        if rng.gen_range(0..100u32) < 95 {
+            let ci = rng.gen_range(0..centers.len());
+            for (pi, &mi) in p.iter_mut().zip(centers[ci].iter()) {
+                *pi = normal(&mut rng, mi, stds[ci]);
+            }
+        } else {
+            for pi in p.iter_mut() {
+                *pi = rng.gen_range(0.0..10_000.0);
+            }
+        }
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+/// Uniform noise in `[0, range]^dim` — a degenerate workload for edge
+/// cases and worst-case dictionaries.
+pub fn uniform(cfg: SynthConfig, dim: usize, range: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = builder(dim, cfg.n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..cfg.n {
+        for pi in p.iter_mut() {
+            *pi = rng.gen_range(0.0..range);
+        }
+        b.push(&p).expect("dim matches");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_dims() {
+        let cfg = SynthConfig::new(500);
+        assert_eq!(moons(cfg, 0.05).len(), 500);
+        assert_eq!(moons(cfg, 0.05).dim(), 2);
+        assert_eq!(blobs(cfg, 5, 1.0, 100.0).dim(), 2);
+        assert_eq!(chameleon_like(cfg).dim(), 2);
+        assert_eq!(gaussian_mixture(cfg, 4, 1.0).dim(), 4);
+        assert_eq!(geolife_like(cfg).dim(), 3);
+        assert_eq!(cosmo_like(cfg).dim(), 3);
+        assert_eq!(osm_like(cfg).dim(), 2);
+        assert_eq!(teraclick_like(cfg).dim(), 13);
+        assert_eq!(uniform(cfg, 7, 10.0).dim(), 7);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = geolife_like(SynthConfig::new(200).with_seed(5));
+        let b = geolife_like(SynthConfig::new(200).with_seed(5));
+        let c = geolife_like(SynthConfig::new(200).with_seed(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn geolife_skew_dominant_blob() {
+        // ~70% of mass must fall within a few units of the metro centre.
+        let d = geolife_like(SynthConfig::new(5000));
+        let near = d
+            .iter()
+            .filter(|(_, p)| (p[0] - 55.0).abs() < 8.0 && (p[1] - 40.0).abs() < 8.0)
+            .count() as f64
+            / d.len() as f64;
+        assert!(near > 0.6 && near < 0.8, "metro mass {near}");
+    }
+
+    #[test]
+    fn mixture_alpha_controls_tightness() {
+        // Higher alpha -> tighter clusters -> smaller average distance to
+        // the nearest mixture mean. Proxy: variance of coordinates around
+        // cluster structure shrinks; compare mean nearest-neighbour
+        // spacing instead of full clustering.
+        let loose = gaussian_mixture(SynthConfig::new(3000), 3, 1.0 / 8.0);
+        let tight = gaussian_mixture(SynthConfig::new(3000), 3, 8.0);
+        // Use the bounding-box-normalised average |coord - mean over that
+        // component|: cheaper proxy — total variance of the data is
+        // dominated by means either way, so instead measure local spread
+        // via distance between consecutive generated points of the same
+        // run (not meaningful) — use a direct statistic: fraction of
+        // points within 1.0 of some other point's coordinates is higher
+        // when tight.
+        let frac_close = |d: &Dataset| {
+            let mut count = 0;
+            for i in (0..d.len()).step_by(10) {
+                let p = d.point_at(i);
+                let close = d
+                    .iter()
+                    .filter(|(_, q)| rpdbscan_geom::dist(p, q) < 1.0)
+                    .count();
+                count += close;
+            }
+            count
+        };
+        assert!(frac_close(&tight) > frac_close(&loose) * 2);
+    }
+
+    #[test]
+    fn moons_occupy_expected_region() {
+        let d = moons(SynthConfig::new(2000), 0.05);
+        let bb = d.bounding_box().unwrap();
+        assert!(bb.min()[0] > -2.0 && bb.max()[0] < 4.0);
+        assert!(bb.min()[1] > -2.0 && bb.max()[1] < 3.0);
+    }
+
+    #[test]
+    fn uniform_fills_range() {
+        let d = uniform(SynthConfig::new(5000), 2, 10.0);
+        let bb = d.bounding_box().unwrap();
+        assert!(bb.min()[0] >= 0.0 && bb.max()[0] <= 10.0);
+        assert!(bb.extent(0) > 9.0, "should nearly fill the range");
+    }
+
+    #[test]
+    fn zero_points_ok() {
+        let d = blobs(SynthConfig::new(0), 3, 1.0, 10.0);
+        assert!(d.is_empty());
+    }
+}

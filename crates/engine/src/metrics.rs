@@ -1,0 +1,148 @@
+//! Stage and engine metrics — the reproduction's stand-in for the Spark
+//! counters the paper reads its elapsed times from (§7.1.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one executed stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage name (e.g. `"phase2:subgraph"`).
+    pub name: String,
+    /// Number of tasks (splits).
+    pub num_tasks: usize,
+    /// Virtual workers the stage was scheduled onto.
+    pub workers: usize,
+    /// Measured wall-clock duration of each task, seconds.
+    pub task_durations: Vec<f64>,
+    /// Simulated stage makespan on the virtual cluster, seconds
+    /// (list-scheduled task durations + per-task overhead).
+    pub makespan: f64,
+    /// Extra simulated network time charged to this stage, seconds.
+    pub network_time: f64,
+}
+
+impl StageMetrics {
+    /// Total CPU seconds across tasks.
+    pub fn total_cpu(&self) -> f64 {
+        self.task_durations.iter().sum()
+    }
+
+    /// The paper's load-imbalance measure: slowest task time divided by
+    /// fastest task time (value 1 = perfect balance, Figure 13).
+    pub fn load_imbalance(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for &d in &self.task_durations {
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if !min.is_finite() || min <= 0.0 {
+            // Degenerate (no tasks, or sub-resolution timings): report the
+            // neutral value rather than infinity.
+            return 1.0;
+        }
+        max / min
+    }
+
+    /// Stage elapsed time as reported by experiments: simulated makespan
+    /// plus charged network time.
+    pub fn elapsed(&self) -> f64 {
+        self.makespan + self.network_time
+    }
+}
+
+/// Accumulated log of every stage an [`crate::Engine`] ran.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Per-stage metrics in execution order.
+    pub stages: Vec<StageMetrics>,
+}
+
+impl EngineReport {
+    /// Total elapsed time across all stages (stages are sequential in
+    /// every algorithm reproduced here, as they are in the paper's
+    /// MapReduce formulation).
+    pub fn total_elapsed(&self) -> f64 {
+        self.stages.iter().map(|s| s.elapsed()).sum()
+    }
+
+    /// Sum of elapsed times of stages whose name starts with `prefix` —
+    /// how Figure 12's phase breakdown is assembled.
+    pub fn elapsed_with_prefix(&self, prefix: &str) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.elapsed())
+            .sum()
+    }
+
+    /// Worst per-stage load imbalance across stages matching `prefix`
+    /// (Figure 13 reads the local-clustering stage).
+    pub fn load_imbalance_with_prefix(&self, prefix: &str) -> f64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name.starts_with(prefix) && s.num_tasks > 1)
+            .map(|s| s.load_imbalance())
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, durs: Vec<f64>, net: f64) -> StageMetrics {
+        StageMetrics {
+            name: name.to_string(),
+            num_tasks: durs.len(),
+            workers: 4,
+            makespan: durs.iter().fold(0.0f64, |a, &b| a.max(b)),
+            task_durations: durs,
+            network_time: net,
+        }
+    }
+
+    #[test]
+    fn load_imbalance_ratio() {
+        let s = stage("x", vec![1.0, 2.0, 4.0], 0.0);
+        assert_eq!(s.load_imbalance(), 4.0);
+    }
+
+    #[test]
+    fn load_imbalance_degenerate_is_one() {
+        assert_eq!(stage("x", vec![], 0.0).load_imbalance(), 1.0);
+        assert_eq!(stage("x", vec![0.0, 5.0], 0.0).load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn elapsed_includes_network() {
+        let s = stage("x", vec![1.0], 0.25);
+        assert_eq!(s.elapsed(), 1.25);
+    }
+
+    #[test]
+    fn report_prefix_sums() {
+        let r = EngineReport {
+            stages: vec![
+                stage("phase1:partition", vec![1.0], 0.0),
+                stage("phase1:dict", vec![0.5], 0.5),
+                stage("phase2:subgraph", vec![2.0], 0.0),
+            ],
+        };
+        assert_eq!(r.elapsed_with_prefix("phase1"), 2.0);
+        assert_eq!(r.elapsed_with_prefix("phase2"), 2.0);
+        assert_eq!(r.total_elapsed(), 4.0);
+    }
+
+    #[test]
+    fn report_prefix_imbalance_takes_max() {
+        let r = EngineReport {
+            stages: vec![
+                stage("phase2:a", vec![1.0, 3.0], 0.0),
+                stage("phase2:b", vec![1.0, 1.5], 0.0),
+                stage("phase3:c", vec![1.0, 100.0], 0.0),
+            ],
+        };
+        assert_eq!(r.load_imbalance_with_prefix("phase2"), 3.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Physical task execution: a scoped worker pool over crossbeam channels.
+//!
+//! The pool's only job is to run a batch of closures on real OS threads
+//! and measure each closure's wall-clock duration. Cluster semantics
+//! (virtual workers, scheduling, network) live in [`crate::stage`]; this
+//! module is deliberately dumb and allocation-light.
+
+use crossbeam::channel;
+use std::time::Instant;
+
+/// Runs `f(i, input_i)` for every input on up to `threads` OS threads and
+/// returns `(outputs, durations_sec)` in input order.
+///
+/// Panics in task closures propagate (the scope re-raises them) — a
+/// clustering task that panics is a bug, not a recoverable condition.
+pub fn run_batch<I, T, F>(threads: usize, inputs: Vec<I>, f: F) -> (Vec<T>, Vec<f64>)
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let threads = threads.max(1).min(n);
+    let (in_tx, in_rx) = channel::unbounded::<(usize, I)>();
+    let (out_tx, out_rx) = channel::unbounded::<(usize, T, f64)>();
+    for pair in inputs.into_iter().enumerate() {
+        in_tx.send(pair).expect("queue send");
+    }
+    drop(in_tx);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let in_rx = in_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                while let Ok((i, input)) = in_rx.recv() {
+                    let start = Instant::now();
+                    let out = f(i, input);
+                    let dt = start.elapsed().as_secs_f64();
+                    out_tx.send((i, out, dt)).expect("result send");
+                }
+            });
+        }
+        drop(out_tx);
+    })
+    .expect("worker panicked");
+
+    let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut durations = vec![0.0f64; n];
+    for (i, out, dt) in out_rx.iter() {
+        outputs[i] = Some(out);
+        durations[i] = dt;
+    }
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("missing task output"))
+        .collect();
+    (outputs, durations)
+}
+
+/// Physical parallelism available on this host.
+pub fn physical_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let (out, durs) = run_batch(4, inputs, |_, x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(durs.len(), 100);
+        assert!(durs.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (out, durs) = run_batch(4, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+        assert!(durs.is_empty());
+    }
+
+    #[test]
+    fn single_thread_is_sequential_but_complete() {
+        let counter = AtomicUsize::new(0);
+        let (out, _) = run_batch(1, vec![(); 50], |i, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let (out, _) = run_batch(3, vec![10u64, 20, 30], |i, x| (i as u64, x));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn many_threads_few_tasks() {
+        let (out, _) = run_batch(64, vec![1, 2], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

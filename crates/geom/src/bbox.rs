@@ -1,0 +1,286 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used in three places in the reproduction:
+//!
+//! * the minimum bounding rectangle (MBR, Definition 5.9) of a
+//!   sub-dictionary, consulted by the skipping rule of Lemma 5.10;
+//! * the binary-space-partitioning defragmentation of the dictionary
+//!   (§4.2.2), which recursively splits boxes;
+//! * the region-split baselines, whose partitions are boxes grown by ε.
+
+use serde::{Deserialize, Serialize};
+
+/// A `d`-dimensional axis-aligned bounding box (closed on all sides).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl Aabb {
+    /// A degenerate box containing exactly `p`.
+    pub fn point(p: &[f64]) -> Self {
+        Self {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
+    }
+
+    /// A box from explicit corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners disagree in length or `min > max` in any
+    /// dimension.
+    pub fn new(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "corner dimensionality mismatch");
+        assert!(
+            min.iter().zip(&max).all(|(a, b)| a <= b),
+            "min corner must not exceed max corner"
+        );
+        Self { min, max }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Minimum corner.
+    #[inline]
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Maximum corner.
+    #[inline]
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn expand(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for i in 0..self.min.len() {
+            if p[i] < self.min[i] {
+                self.min[i] = p[i];
+            }
+            if p[i] > self.max[i] {
+                self.max[i] = p[i];
+            }
+        }
+    }
+
+    /// Grows the box to contain another box.
+    pub fn union(&mut self, other: &Aabb) {
+        self.expand(&other.min);
+        self.expand(&other.max);
+    }
+
+    /// Grows the box by `delta` on every side (Minkowski sum with a cube).
+    pub fn inflate(&self, delta: f64) -> Aabb {
+        Aabb {
+            min: self.min.iter().map(|v| v - delta).collect(),
+            max: self.max.iter().map(|v| v + delta).collect(),
+        }
+    }
+
+    /// `true` if `p` lies inside (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.min.iter().zip(&self.max))
+            .all(|(v, (lo, hi))| *v >= *lo && *v <= *hi)
+    }
+
+    /// Squared distance from `p` to the nearest point of the box (0 when
+    /// inside). This is the quantity compared against ε² by both the MBR
+    /// skipping rule and kd-tree pruning.
+    pub fn min_dist2(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0;
+        for i in 0..p.len() {
+            let d = if p[i] < self.min[i] {
+                self.min[i] - p[i]
+            } else if p[i] > self.max[i] {
+                p[i] - self.max[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the box.
+    ///
+    /// Used by the region query to decide that a cell is *fully* contained
+    /// in the query ball, in which case all of its sub-cells qualify
+    /// without individual centre checks (§5, "Processing of (ε,ρ)-Region
+    /// Query", first case).
+    pub fn max_dist2(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0;
+        for i in 0..p.len() {
+            let d = (p[i] - self.min[i]).abs().max((p[i] - self.max[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// The paper's Lemma 5.10 skipping test: `true` when no point of the
+    /// box can be within `eps` of `p` judged *per dimension* — i.e. there
+    /// exists a dimension `i` with `max[i] < p[i] - eps` or
+    /// `min[i] > p[i] + eps`.
+    pub fn lemma_5_10_skippable(&self, p: &[f64], eps: f64) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.min.iter().zip(&self.max))
+            .any(|(v, (lo, hi))| *hi < *v - eps || *lo > *v + eps)
+    }
+
+    /// Side length along dimension `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        self.max[i] - self.min[i]
+    }
+
+    /// The dimension with the largest extent.
+    pub fn widest_dim(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.dim() {
+            if self.extent(i) > self.extent(best) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Centre point of the box.
+    pub fn center(&self) -> Vec<f64> {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(a, b)| 0.5 * (a + b))
+            .collect()
+    }
+
+    /// Splits the box into two halves at `value` along `dim`. The plane
+    /// belongs to both halves (closed boxes), mirroring the region-split
+    /// border sharing of Figure 1a.
+    pub fn split_at(&self, dim: usize, value: f64) -> (Aabb, Aabb) {
+        debug_assert!(value >= self.min[dim] && value <= self.max[dim]);
+        let mut lo = self.clone();
+        let mut hi = self.clone();
+        lo.max[dim] = value;
+        hi.min[dim] = value;
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit2() -> Aabb {
+        Aabb::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let b = unit2();
+        assert!(b.contains(&[0.0, 0.0]));
+        assert!(b.contains(&[1.0, 1.0]));
+        assert!(b.contains(&[0.5, 0.5]));
+        assert!(!b.contains(&[1.0 + 1e-12, 0.5]));
+    }
+
+    #[test]
+    fn expand_grows_box() {
+        let mut b = Aabb::point(&[1.0, 2.0]);
+        b.expand(&[-1.0, 5.0]);
+        assert_eq!(b.min(), &[-1.0, 2.0]);
+        assert_eq!(b.max(), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn min_dist2_zero_inside() {
+        assert_eq!(unit2().min_dist2(&[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_outside_corner() {
+        // nearest point is corner (1,1); offset is (3,4) scaled by 1.
+        assert_eq!(unit2().min_dist2(&[4.0, 5.0]), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn max_dist2_farthest_corner() {
+        // farthest from (0,0) is (1,1)
+        assert_eq!(unit2().max_dist2(&[0.0, 0.0]), 2.0);
+        // from outside: farthest from (2,0.5) is (0, 1) -> dx=2, dy=0.5
+        assert_eq!(unit2().max_dist2(&[2.0, 0.5]), 4.0 + 0.25);
+    }
+
+    #[test]
+    fn lemma_skip_rule() {
+        let b = unit2();
+        // p at (3, 0.5): max.x = 1 < 3 - 1.5 = 1.5 -> skippable with eps=1.5
+        assert!(b.lemma_5_10_skippable(&[3.0, 0.5], 1.5));
+        // eps = 2.5 -> 1 >= 0.5, not skippable
+        assert!(!b.lemma_5_10_skippable(&[3.0, 0.5], 2.5));
+        // inside the box: never skippable
+        assert!(!b.lemma_5_10_skippable(&[0.5, 0.5], 0.1));
+    }
+
+    #[test]
+    fn skip_rule_is_conservative_vs_min_dist() {
+        // Whenever the per-dimension rule fires, the true min distance must
+        // exceed eps (the converse need not hold).
+        let b = Aabb::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let eps = 0.5;
+        for p in [[2.0, 3.0], [-1.0, 1.0], [0.5, 4.0], [0.6, 0.6]] {
+            if b.lemma_5_10_skippable(&p, eps) {
+                assert!(b.min_dist2(&p) > eps * eps);
+            }
+        }
+    }
+
+    #[test]
+    fn widest_dim_and_split() {
+        let b = Aabb::new(vec![0.0, 0.0], vec![4.0, 1.0]);
+        assert_eq!(b.widest_dim(), 0);
+        let (lo, hi) = b.split_at(0, 1.5);
+        assert_eq!(lo.max()[0], 1.5);
+        assert_eq!(hi.min()[0], 1.5);
+        assert_eq!(lo.min()[0], 0.0);
+        assert_eq!(hi.max()[0], 4.0);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = unit2().inflate(0.5);
+        assert_eq!(b.min(), &[-0.5, -0.5]);
+        assert_eq!(b.max(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let mut a = Aabb::new(vec![0.0], vec![1.0]);
+        let b = Aabb::new(vec![5.0], vec![6.0]);
+        a.union(&b);
+        assert_eq!(a.min(), &[0.0]);
+        assert_eq!(a.max(), &[6.0]);
+    }
+
+    #[test]
+    fn center_midpoint() {
+        assert_eq!(unit2().center(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_inverted_corners() {
+        let _ = Aabb::new(vec![1.0], vec![0.0]);
+    }
+}

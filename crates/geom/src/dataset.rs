@@ -1,0 +1,300 @@
+//! Flat, structure-of-arrays point storage.
+//!
+//! A [`Dataset`] keeps all coordinates in one contiguous `Vec<f64>`
+//! (row-major: point `i` occupies `coords[i*dim .. (i+1)*dim]`). This keeps
+//! the per-point overhead at zero words — important because the experiments
+//! stream millions of points — and makes sequential scans cache-friendly.
+
+use crate::{Aabb, GeomError};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a point inside a [`Dataset`].
+///
+/// Stored as `u32` rather than `usize` to halve the footprint of the large
+/// id-keyed side tables built by the clustering phases (cluster labels,
+/// core flags, partition assignments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An immutable collection of `d`-dimensional points in flat storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat coordinate buffer.
+    ///
+    /// `coords.len()` must be a multiple of `dim`.
+    pub fn from_flat(dim: usize, coords: Vec<f64>) -> Result<Self, GeomError> {
+        if dim == 0 {
+            return Err(GeomError::ZeroDimension);
+        }
+        if !coords.len().is_multiple_of(dim) {
+            return Err(GeomError::DimensionMismatch {
+                expected: dim,
+                got: coords.len() % dim,
+            });
+        }
+        if coords.len() / dim > u32::MAX as usize {
+            return Err(GeomError::TooManyPoints);
+        }
+        Ok(Self { dim, coords })
+    }
+
+    /// Creates a dataset from row slices.
+    pub fn from_rows(dim: usize, rows: &[Vec<f64>]) -> Result<Self, GeomError> {
+        let mut b = DatasetBuilder::new(dim)?;
+        for r in rows {
+            b.push(r)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Dimensionality of each point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// `true` when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinates of point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let i = id.index() * self.dim;
+        &self.coords[i..i + self.dim]
+    }
+
+    /// Coordinates of the point at positional index `i`.
+    #[inline]
+    pub fn point_at(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw flat coordinate buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterates `(PointId, &[f64])` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> + '_ {
+        (0..self.len()).map(move |i| (PointId(i as u32), self.point_at(i)))
+    }
+
+    /// All point ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> {
+        (0..self.len() as u32).map(PointId)
+    }
+
+    /// The tight axis-aligned bounding box of all points, or `None` when
+    /// empty.
+    pub fn bounding_box(&self) -> Option<Aabb> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut bb = Aabb::point(self.point_at(0));
+        for i in 1..self.len() {
+            bb.expand(self.point_at(i));
+        }
+        Some(bb)
+    }
+
+    /// Builds a sub-dataset containing the given points, in the given
+    /// order. Useful for extracting a data partition.
+    pub fn gather(&self, ids: &[PointId]) -> Dataset {
+        let mut coords = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            coords.extend_from_slice(self.point(id));
+        }
+        Dataset {
+            dim: self.dim,
+            coords,
+        }
+    }
+
+    /// Approximate in-memory size of the raw coordinates in bytes, counting
+    /// each coordinate as a 32-bit float exactly as the paper's storage
+    /// model (Lemma 4.3) does. Used as the denominator of Table 5's
+    /// "dictionary size as a fraction of the data" metric.
+    pub fn paper_size_bytes(&self) -> usize {
+        self.coords.len() * 4
+    }
+}
+
+/// Incremental [`Dataset`] constructor.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for `dim`-dimensional points.
+    pub fn new(dim: usize) -> Result<Self, GeomError> {
+        if dim == 0 {
+            return Err(GeomError::ZeroDimension);
+        }
+        Ok(Self {
+            dim,
+            coords: Vec::new(),
+        })
+    }
+
+    /// Creates a builder with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Result<Self, GeomError> {
+        let mut b = Self::new(dim)?;
+        b.coords.reserve(n * dim);
+        Ok(b)
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, p: &[f64]) -> Result<PointId, GeomError> {
+        if p.len() != self.dim {
+            return Err(GeomError::DimensionMismatch {
+                expected: self.dim,
+                got: p.len(),
+            });
+        }
+        let id = self.coords.len() / self.dim;
+        if id > u32::MAX as usize {
+            return Err(GeomError::TooManyPoints);
+        }
+        self.coords.extend_from_slice(p);
+        Ok(PointId(id as u32))
+    }
+
+    /// Number of points pushed so far.
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Finalises the dataset.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            dim: self.dim,
+            coords: self.coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, -2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn from_flat_validates_multiple_of_dim() {
+        assert!(matches!(
+            Dataset::from_flat(3, vec![1.0, 2.0]),
+            Err(GeomError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert_eq!(Dataset::from_flat(0, vec![]), Err(GeomError::ZeroDimension));
+        assert!(DatasetBuilder::new(0).is_err());
+    }
+
+    #[test]
+    fn point_access_and_len() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.point(PointId(1)), &[1.0, 1.0]);
+        assert_eq!(d.point_at(2), &[-2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let d = sample();
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let d = sample();
+        let bb = d.bounding_box().unwrap();
+        assert_eq!(bb.min(), &[-2.0, 0.0]);
+        assert_eq!(bb.max(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn bounding_box_empty_is_none() {
+        let d = Dataset::from_flat(2, vec![]).unwrap();
+        assert!(d.bounding_box().is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let mut b = DatasetBuilder::with_capacity(3, 2).unwrap();
+        b.push(&[1.0, 2.0, 3.0]).unwrap();
+        let id = b.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(id, PointId(1));
+        assert_eq!(b.len(), 2);
+        let d = b.build();
+        assert_eq!(d.point(id), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_dim() {
+        let mut b = DatasetBuilder::new(2).unwrap();
+        assert!(b.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gather_extracts_partition() {
+        let d = sample();
+        let sub = d.gather(&[PointId(2), PointId(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point_at(0), &[-2.0, 3.0]);
+        assert_eq!(sub.point_at(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn paper_size_counts_f32_bytes() {
+        let d = sample();
+        assert_eq!(d.paper_size_bytes(), 3 * 2 * 4);
+    }
+}

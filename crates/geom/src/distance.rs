@@ -1,0 +1,79 @@
+//! Euclidean distance helpers over coordinate slices.
+//!
+//! The paper (Scope, §1.3) fixes the distance measure to Euclidean, so the
+//! whole workspace funnels through these two functions. They are written to
+//! auto-vectorise: a straight sum over `zip`ped slices with no bounds-check
+//! surprises.
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// Prefer this over [`dist`] whenever the caller only compares against a
+/// threshold — squaring the threshold once avoids a `sqrt` per candidate,
+/// which dominates region-query inner loops.
+///
+/// # Panics
+///
+/// Debug-asserts that both slices have equal length; in release builds the
+/// shorter length wins (standard `zip` semantics), which is never exercised
+/// by this workspace because all points flow through [`crate::Dataset`].
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch in dist2");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// Returns `true` if `a` and `b` lie within `eps` of each other.
+///
+/// Uses the squared form internally; `eps` must be non-negative.
+#[inline]
+pub fn within(a: &[f64], b: &[f64], eps: f64) -> bool {
+    debug_assert!(eps >= 0.0);
+    dist2(a, b) <= eps * eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_matches_hand_computation() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dist_zero_for_identical_points() {
+        let p = [1.5, -2.5, 3.25];
+        assert_eq!(dist2(&p, &p), 0.0);
+        assert_eq!(dist(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        assert!(within(&[0.0], &[2.0], 2.0));
+        assert!(!within(&[0.0], &[2.0 + 1e-9], 2.0));
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [-4.0, 0.5, 9.0, 2.0];
+        assert_eq!(dist2(&a, &b), dist2(&b, &a));
+    }
+
+    #[test]
+    fn one_dimensional_distance() {
+        assert_eq!(dist(&[-3.0], &[4.0]), 7.0);
+    }
+}

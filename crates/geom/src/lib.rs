@@ -1,0 +1,63 @@
+//! Geometric primitives shared across the RP-DBSCAN workspace.
+//!
+//! This crate provides the low-level building blocks that every other crate
+//! in the reproduction relies on:
+//!
+//! * [`Dataset`] — a cache-friendly, flat (structure-of-arrays) store of
+//!   `d`-dimensional points addressed by [`PointId`];
+//! * [`Aabb`] — axis-aligned bounding boxes with the min/max distance
+//!   queries needed by the sub-dictionary MBR skipping rule (Lemma 5.10 of
+//!   the paper);
+//! * [`KdTree`] — a static kd-tree supporting radius (range) queries, used
+//!   both for neighbour-cell search inside sub-dictionaries and by the
+//!   exact DBSCAN baseline;
+//! * distance helpers over coordinate slices.
+//!
+//! Everything here is deterministic and allocation-conscious: points are
+//! never boxed individually, and queries write into caller-provided buffers
+//! where it matters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod dataset;
+pub mod distance;
+pub mod kdtree;
+
+pub use bbox::Aabb;
+pub use dataset::{Dataset, DatasetBuilder, PointId};
+pub use distance::{dist, dist2};
+pub use kdtree::KdTree;
+
+/// Errors produced by geometric primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A point with the wrong number of coordinates was supplied.
+    DimensionMismatch {
+        /// Dimensionality the container was created with.
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+    },
+    /// A dataset with zero dimensions was requested.
+    ZeroDimension,
+    /// Too many points for the 32-bit point-id space.
+    TooManyPoints,
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            GeomError::ZeroDimension => write!(f, "datasets must have at least one dimension"),
+            GeomError::TooManyPoints => {
+                write!(f, "datasets are limited to u32::MAX points")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -1,0 +1,94 @@
+//! Property-based tests for the geometric primitives.
+
+use proptest::prelude::*;
+use rpdbscan_geom::{dist, dist2, Aabb, Dataset, KdTree};
+
+fn point_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, dim)
+}
+
+proptest! {
+    #[test]
+    fn dist_triangle_inequality(
+        a in point_strategy(3),
+        b in point_strategy(3),
+        c in point_strategy(3),
+    ) {
+        let ab = dist(&a, &b);
+        let bc = dist(&b, &c);
+        let ac = dist(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn dist2_non_negative_and_symmetric(a in point_strategy(4), b in point_strategy(4)) {
+        prop_assert!(dist2(&a, &b) >= 0.0);
+        prop_assert_eq!(dist2(&a, &b), dist2(&b, &a));
+    }
+
+    #[test]
+    fn bbox_contains_all_expanded_points(pts in prop::collection::vec(point_strategy(2), 1..50)) {
+        let mut bb = Aabb::point(&pts[0]);
+        for p in &pts[1..] {
+            bb.expand(p);
+        }
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+            prop_assert_eq!(bb.min_dist2(p), 0.0);
+        }
+    }
+
+    #[test]
+    fn bbox_min_le_max_dist(p in point_strategy(3), q in point_strategy(3), r in point_strategy(3)) {
+        let mut bb = Aabb::point(&q);
+        bb.expand(&r);
+        prop_assert!(bb.min_dist2(&p) <= bb.max_dist2(&p) + 1e-9);
+    }
+
+    #[test]
+    fn lemma_5_10_skip_implies_empty_query(
+        pts in prop::collection::vec(point_strategy(2), 1..40),
+        q in point_strategy(2),
+        eps in 0.1f64..50.0,
+    ) {
+        let mut bb = Aabb::point(&pts[0]);
+        for p in &pts[1..] {
+            bb.expand(p);
+        }
+        if bb.lemma_5_10_skippable(&q, eps) {
+            // No point in the box may be within eps of q.
+            for p in &pts {
+                prop_assert!(dist(&q, p) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force(
+        pts in prop::collection::vec(point_strategy(3), 0..120),
+        q in point_strategy(3),
+        radius in 0.0f64..80.0,
+    ) {
+        let n = pts.len();
+        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let tree = KdTree::build(3, flat, (0..n as u32).collect());
+        let mut got = tree.within(&q, radius);
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..n)
+            .filter(|&i| dist(&q, &pts[i]) <= radius)
+            .map(|i| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dataset_gather_preserves_coordinates(
+        pts in prop::collection::vec(point_strategy(2), 1..30),
+    ) {
+        let ds = Dataset::from_rows(2, &pts).unwrap();
+        let ids: Vec<_> = ds.ids().collect();
+        let sub = ds.gather(&ids);
+        prop_assert_eq!(sub, ds);
+    }
+}

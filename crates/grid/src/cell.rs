@@ -1,0 +1,86 @@
+//! Cell addressing types.
+
+use serde::{Deserialize, Serialize};
+
+/// Integer lattice coordinate of a cell (one `i64` per dimension).
+///
+/// Boxed slice rather than `Vec` to keep the in-memory footprint at two
+/// words; coordinates are immutable once computed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellCoord(Box<[i64]>);
+
+impl CellCoord {
+    /// Builds a coordinate from per-dimension lattice indices.
+    pub fn new(coords: impl IntoIterator<Item = i64>) -> Self {
+        Self(coords.into_iter().collect())
+    }
+
+    /// The lattice indices.
+    #[inline]
+    pub fn coords(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl std::fmt::Display for CellCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Packed local index of a sub-cell within its cell: `(h−1)` bits per
+/// dimension (Lemma 4.3's `d(h−1)`-bit position), dimension 0 in the least
+/// significant bits. 128 bits accommodates the paper's largest
+/// configuration (d = 13, ρ = 0.01 → 91 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubCellIdx(pub u128);
+
+impl std::fmt::Display for SubCellIdx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sc{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = CellCoord::new([1, 2, 3]);
+        let b = CellCoord::new([1, 2, 3]);
+        let c = CellCoord::new([3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut s = HashSet::new();
+        s.insert(a.clone());
+        assert!(s.contains(&b));
+        assert!(!s.contains(&c));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CellCoord::new([1, -2]).to_string(), "(1,-2)");
+        assert_eq!(SubCellIdx(255).to_string(), "scff");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(CellCoord::new([0, 5]) < CellCoord::new([1, 0]));
+        assert!(CellCoord::new([1, 0]) < CellCoord::new([1, 1]));
+    }
+}

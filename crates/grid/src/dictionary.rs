@@ -1,0 +1,453 @@
+//! The two-level cell dictionary (Definition 4.2).
+//!
+//! The dictionary is the compact summary of the *entire* data set that
+//! Phase I broadcasts to every worker: a root level of cells and a leaf
+//! level of sub-cells, each entry recording `⟨position, density⟩`. Its two
+//! compression tricks (Lemma 4.3) are (a) storing only densities, never
+//! point positions, and (b) addressing a sub-cell by its `d(h−1)`-bit
+//! local ordering inside its cell instead of by floats.
+//!
+//! Two size figures are exposed:
+//!
+//! * [`CellDictionary::size_bits`] — the bit-exact analytical model of
+//!   Lemma 4.3, used to regenerate Table 5;
+//! * [`CellDictionary::encode`] — an actual wire encoding (length-prefixed,
+//!   little-endian, sub-cell positions bit-packed), whose byte length the
+//!   execution engine charges as broadcast cost.
+
+use crate::cell::{CellCoord, SubCellIdx};
+use crate::fxhash::FxHashMap;
+use crate::spec::GridSpec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One leaf entry: a sub-cell's packed local position and its density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubCellEntry {
+    /// Packed `d(h−1)`-bit local position within the parent cell.
+    pub idx: SubCellIdx,
+    /// Number of points inside the sub-cell.
+    pub count: u32,
+}
+
+/// One root entry: a cell, its density, and its non-empty sub-cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellEntry {
+    /// Lattice coordinate of the cell.
+    pub coord: CellCoord,
+    /// Number of points inside the cell (= sum of sub-cell counts).
+    pub count: u32,
+    /// Non-empty sub-cells, sorted by packed index.
+    pub subs: Vec<SubCellEntry>,
+}
+
+impl CellEntry {
+    /// Summarises the points of one cell into a root+leaf entry.
+    ///
+    /// Callers guarantee every point actually falls in `coord`'s cell;
+    /// boundary points are clamped into it by the sub-index computation.
+    pub fn from_points<'a>(
+        spec: &GridSpec,
+        coord: CellCoord,
+        points: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Self {
+        let mut counts: FxHashMap<SubCellIdx, u32> = FxHashMap::default();
+        let mut total = 0u32;
+        for p in points {
+            debug_assert_eq!(spec.cell_of(p), coord, "point outside its cell");
+            *counts.entry(spec.sub_index_of(&coord, p)).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut subs: Vec<SubCellEntry> = counts
+            .into_iter()
+            .map(|(idx, count)| SubCellEntry { idx, count })
+            .collect();
+        subs.sort_unstable_by_key(|s| s.idx);
+        Self {
+            coord,
+            count: total,
+            subs,
+        }
+    }
+
+    /// Merges another entry for the same cell (used when the same cell is
+    /// summarised by several point batches).
+    pub fn merge(&mut self, other: CellEntry) {
+        debug_assert_eq!(self.coord, other.coord);
+        self.count += other.count;
+        let mut map: FxHashMap<SubCellIdx, u32> = self
+            .subs
+            .drain(..)
+            .map(|s| (s.idx, s.count))
+            .collect();
+        for s in other.subs {
+            *map.entry(s.idx).or_insert(0) += s.count;
+        }
+        let mut subs: Vec<SubCellEntry> = map
+            .into_iter()
+            .map(|(idx, count)| SubCellEntry { idx, count })
+            .collect();
+        subs.sort_unstable_by_key(|s| s.idx);
+        self.subs = subs;
+    }
+}
+
+/// The two-level cell dictionary over the whole data set.
+///
+/// ```
+/// use rpdbscan_grid::{CellDictionary, GridSpec};
+///
+/// let spec = GridSpec::new(2, 1.0, 0.1).unwrap();
+/// let points: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.01, 0.0]).collect();
+/// let dict = CellDictionary::build_from_points(
+///     spec,
+///     points.iter().map(|p| p.as_slice()),
+/// );
+/// assert_eq!(dict.total_points(), 100);
+/// // Broadcast wire format round-trips.
+/// let back = CellDictionary::decode(dict.encode()).unwrap();
+/// assert_eq!(back.num_cells(), dict.num_cells());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellDictionary {
+    spec: GridSpec,
+    cells: Vec<CellEntry>,
+    lookup: FxHashMap<CellCoord, u32>,
+}
+
+impl CellDictionary {
+    /// Assembles a dictionary from per-partition cell entries, merging any
+    /// duplicate cells (Algorithm 2, Lines 18–20: `M ← M₁ ∪ … ∪ M_k`).
+    pub fn from_entries(spec: GridSpec, entries: impl IntoIterator<Item = CellEntry>) -> Self {
+        let mut cells: Vec<CellEntry> = Vec::new();
+        let mut lookup: FxHashMap<CellCoord, u32> = FxHashMap::default();
+        for e in entries {
+            match lookup.get(&e.coord) {
+                Some(&i) => cells[i as usize].merge(e),
+                None => {
+                    lookup.insert(e.coord.clone(), cells.len() as u32);
+                    cells.push(e);
+                }
+            }
+        }
+        Self {
+            spec,
+            cells,
+            lookup,
+        }
+    }
+
+    /// Builds a dictionary directly from a point stream (convenience for
+    /// tests and the single-machine baselines).
+    pub fn build_from_points<'a>(
+        spec: GridSpec,
+        points: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Self {
+        let mut by_cell: FxHashMap<CellCoord, Vec<&'a [f64]>> = FxHashMap::default();
+        for p in points {
+            by_cell.entry(spec.cell_of(p)).or_default().push(p);
+        }
+        let entries: Vec<CellEntry> = by_cell
+            .into_iter()
+            .map(|(coord, pts)| CellEntry::from_points(&spec, coord, pts))
+            .collect();
+        Self::from_entries(spec, entries)
+    }
+
+    /// The grid the dictionary was built over.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of (non-empty) cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of (non-empty) sub-cells across all cells.
+    pub fn num_sub_cells(&self) -> usize {
+        self.cells.iter().map(|c| c.subs.len()).sum()
+    }
+
+    /// Total number of summarised points.
+    pub fn total_points(&self) -> u64 {
+        self.cells.iter().map(|c| c.count as u64).sum()
+    }
+
+    /// All cell entries (index order is stable and used as the cell id
+    /// space by the cell graph).
+    #[inline]
+    pub fn cells(&self) -> &[CellEntry] {
+        &self.cells
+    }
+
+    /// The entry at dictionary index `i`.
+    #[inline]
+    pub fn entry(&self, i: u32) -> &CellEntry {
+        &self.cells[i as usize]
+    }
+
+    /// Dictionary index of a cell coordinate, if the cell is non-empty.
+    #[inline]
+    pub fn index_of(&self, coord: &CellCoord) -> Option<u32> {
+        self.lookup.get(coord).copied()
+    }
+
+    /// Looks a cell up by coordinate.
+    pub fn get(&self, coord: &CellCoord) -> Option<&CellEntry> {
+        self.index_of(coord).map(|i| self.entry(i))
+    }
+
+    /// Analytical size in bits per Lemma 4.3:
+    /// `32(|cell| + |sub|) + 32·d·|cell| + d(h−1)·|sub|`.
+    pub fn size_bits(&self) -> u64 {
+        let cells = self.num_cells() as u64;
+        let subs = self.num_sub_cells() as u64;
+        let d = self.spec.dim() as u64;
+        let pos_bits_per_sub = d * (self.spec.h() as u64 - 1);
+        32 * (cells + subs) + 32 * d * cells + pos_bits_per_sub * subs
+    }
+
+    /// Analytical size in bytes (Lemma 4.3, rounded up).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+
+    /// Serialises the dictionary to its broadcast wire format.
+    ///
+    /// Layout (little-endian): magic `RPD1`, `dim: u32`, `h: u32`,
+    /// `eps: f64`, `rho: f64`, `n_cells: u64`, then per cell: `d × i64`
+    /// coordinates, `count: u32`, `n_subs: u32`, and per sub-cell its
+    /// position packed into `⌈d(h−1)/8⌉` bytes followed by `count: u32`.
+    pub fn encode(&self) -> Bytes {
+        let sub_pos_bytes = (self.spec.sub_bits() as usize).div_ceil(8);
+        let mut buf = BytesMut::with_capacity(64 + self.num_cells() * 32);
+        buf.put_slice(b"RPD1");
+        buf.put_u32_le(self.spec.dim() as u32);
+        buf.put_u32_le(self.spec.h());
+        buf.put_f64_le(self.spec.eps());
+        buf.put_f64_le(self.spec.rho());
+        buf.put_u64_le(self.cells.len() as u64);
+        for cell in &self.cells {
+            for &c in cell.coord.coords() {
+                buf.put_i64_le(c);
+            }
+            buf.put_u32_le(cell.count);
+            buf.put_u32_le(cell.subs.len() as u32);
+            for s in &cell.subs {
+                let bytes = s.idx.0.to_le_bytes();
+                buf.put_slice(&bytes[..sub_pos_bytes]);
+                buf.put_u32_le(s.count);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a dictionary previously produced by [`Self::encode`].
+    pub fn decode(mut data: Bytes) -> Result<Self, DecodeError> {
+        let need = |data: &Bytes, n: usize| -> Result<(), DecodeError> {
+            if data.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(&data, 4)?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != b"RPD1" {
+            return Err(DecodeError::BadMagic);
+        }
+        need(&data, 4 + 4 + 8 + 8 + 8)?;
+        let dim = data.get_u32_le() as usize;
+        let _h = data.get_u32_le();
+        let eps = data.get_f64_le();
+        let rho = data.get_f64_le();
+        let n_cells = data.get_u64_le() as usize;
+        let spec = GridSpec::new(dim, eps, rho).map_err(|_| DecodeError::BadHeader)?;
+        let sub_pos_bytes = (spec.sub_bits() as usize).div_ceil(8);
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            need(&data, dim * 8 + 8)?;
+            let coord = CellCoord::new((0..dim).map(|_| data.get_i64_le()));
+            let count = data.get_u32_le();
+            let n_subs = data.get_u32_le() as usize;
+            let mut subs = Vec::with_capacity(n_subs);
+            for _ in 0..n_subs {
+                need(&data, sub_pos_bytes + 4)?;
+                let mut raw = [0u8; 16];
+                data.copy_to_slice(&mut raw[..sub_pos_bytes]);
+                let idx = SubCellIdx(u128::from_le_bytes(raw));
+                let c = data.get_u32_le();
+                subs.push(SubCellEntry { idx, count: c });
+            }
+            cells.push(CellEntry {
+                coord,
+                count,
+                subs,
+            });
+        }
+        Ok(Self::from_entries(spec, cells))
+    }
+}
+
+/// Errors from [`CellDictionary::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended mid-structure.
+    Truncated,
+    /// The magic prefix was not `RPD1`.
+    BadMagic,
+    /// Header fields describe an invalid grid.
+    BadHeader,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "dictionary buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad dictionary magic"),
+            DecodeError::BadHeader => write!(f, "invalid dictionary header"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2d() -> GridSpec {
+        GridSpec::new(2, 2.0f64.sqrt(), 0.5).unwrap() // side 1, splits 2
+    }
+
+    fn flat(points: &[[f64; 2]]) -> Vec<&[f64]> {
+        points.iter().map(|p| p.as_slice()).collect()
+    }
+
+    #[test]
+    fn build_counts_points_per_cell_and_subcell() {
+        let pts = [[0.1, 0.1], [0.2, 0.2], [0.9, 0.9], [1.5, 0.5]];
+        let d = CellDictionary::build_from_points(spec2d(), flat(&pts));
+        assert_eq!(d.num_cells(), 2);
+        assert_eq!(d.total_points(), 4);
+        let c00 = d.get(&CellCoord::new([0, 0])).unwrap();
+        assert_eq!(c00.count, 3);
+        // (0.1,0.1) and (0.2,0.2) share the lower-left sub-cell; (0.9,0.9)
+        // sits in the upper-right one.
+        assert_eq!(c00.subs.len(), 2);
+        assert_eq!(c00.subs.iter().map(|s| s.count).sum::<u32>(), 3);
+        let c10 = d.get(&CellCoord::new([1, 0])).unwrap();
+        assert_eq!(c10.count, 1);
+    }
+
+    #[test]
+    fn from_entries_merges_duplicate_cells() {
+        let spec = spec2d();
+        let coord = CellCoord::new([0, 0]);
+        let a = CellEntry::from_points(&spec, coord.clone(), flat(&[[0.1, 0.1]]));
+        let b = CellEntry::from_points(&spec, coord.clone(), flat(&[[0.15, 0.15], [0.9, 0.9]]));
+        let d = CellDictionary::from_entries(spec, [a, b]);
+        assert_eq!(d.num_cells(), 1);
+        let e = d.get(&coord).unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.subs.iter().map(|s| s.count).sum::<u32>(), 3);
+        // subs stay sorted after merge
+        assert!(e.subs.windows(2).all(|w| w[0].idx < w[1].idx));
+    }
+
+    #[test]
+    fn lemma_4_3_size_model() {
+        let pts = [[0.1, 0.1], [0.9, 0.9], [1.5, 0.5]];
+        let d = CellDictionary::build_from_points(spec2d(), flat(&pts));
+        let cells = d.num_cells() as u64; // 2
+        let subs = d.num_sub_cells() as u64; // 3
+        // h = 2, d = 2 -> position bits per sub = 2
+        let expect = 32 * (cells + subs) + 32 * 2 * cells + 2 * subs;
+        assert_eq!(d.size_bits(), expect);
+        assert_eq!(d.size_bytes(), expect.div_ceil(8));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let pts = [
+            [0.1, 0.1],
+            [0.2, 0.7],
+            [0.9, 0.9],
+            [1.5, 0.5],
+            [-3.3, 4.4],
+            [100.0, -250.0],
+        ];
+        let d = CellDictionary::build_from_points(spec2d(), flat(&pts));
+        let wire = d.encode();
+        let back = CellDictionary::decode(wire).unwrap();
+        assert_eq!(back.num_cells(), d.num_cells());
+        assert_eq!(back.total_points(), d.total_points());
+        for cell in d.cells() {
+            let b = back.get(&cell.coord).expect("cell survives round trip");
+            assert_eq!(b, cell);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            CellDictionary::decode(Bytes::from_static(b"nope")).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        assert_eq!(
+            CellDictionary::decode(Bytes::from_static(b"RP")).unwrap_err(),
+            DecodeError::Truncated
+        );
+        // valid magic, truncated header
+        assert_eq!(
+            CellDictionary::decode(Bytes::from_static(b"RPD1\x02\x00")).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn wire_size_tracks_analytical_size() {
+        // The wire format carries an O(1) header and i64 coords instead of
+        // f32 positions, so it is within a small constant factor of the
+        // Lemma 4.3 figure — broadcast-cost accounting relies on this.
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            for j in 0..50 {
+                pts.push([i as f64 * 0.11, j as f64 * 0.13]);
+            }
+        }
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let d = CellDictionary::build_from_points(spec2d(), refs);
+        let wire_bits = d.encode().len() as u64 * 8;
+        let model_bits = d.size_bits();
+        assert!(wire_bits >= model_bits / 2);
+        assert!(wire_bits <= model_bits * 4);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = CellDictionary::build_from_points(spec2d(), std::iter::empty());
+        assert_eq!(d.num_cells(), 0);
+        assert_eq!(d.total_points(), 0);
+        let back = CellDictionary::decode(d.encode()).unwrap();
+        assert_eq!(back.num_cells(), 0);
+    }
+
+    #[test]
+    fn high_dimensional_subcell_positions_survive_encoding() {
+        // d = 13, rho = 0.01 -> 91-bit packed positions exercise the
+        // bit-packing path beyond 64 bits.
+        let spec = GridSpec::new(13, 1000.0, 0.01).unwrap();
+        let p1: Vec<f64> = (0..13).map(|i| i as f64 * 3.0).collect();
+        let p2: Vec<f64> = (0..13).map(|i| i as f64 * 3.0 + 250.0).collect();
+        let d = CellDictionary::build_from_points(spec, [p1.as_slice(), p2.as_slice()]);
+        let back = CellDictionary::decode(d.encode()).unwrap();
+        for cell in d.cells() {
+            assert_eq!(back.get(&cell.coord).unwrap(), cell);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A local FxHash-style hasher.
+//!
+//! The workspace hashes small integer keys (cell lattice coordinates,
+//! point ids) on hot paths; SipHash is needlessly expensive there and
+//! HashDoS is not a concern for an analytics library operating on trusted
+//! inputs. The algorithm below is the well-known Fx multiply-rotate mix
+//! used by rustc — implemented locally (~40 lines) instead of pulling in
+//! the `rustc-hash` crate, which is outside the approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small integer-ish keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"cell"), hash_one(&"cell"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&[0i64, 1]), hash_one(&[1i64, 0]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Vec<i64>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        m.insert(vec![3, 2, 1], 8);
+        assert_eq!(m[&vec![1, 2, 3]], 7);
+        assert_eq!(m.len(), 2);
+
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(5);
+        assert!(s.contains(&5));
+    }
+
+    #[test]
+    fn partial_byte_writes_differ_from_full() {
+        // Tail handling must incorporate all remainder bytes.
+        assert_ne!(hash_one(&[1u8, 2, 3]), hash_one(&[1u8, 2, 4]));
+        assert_ne!(hash_one(&[1u8, 2, 3]), hash_one(&[1u8, 2]));
+    }
+}

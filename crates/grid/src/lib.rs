@@ -1,0 +1,69 @@
+//! The cell grid and two-level cell dictionary of RP-DBSCAN.
+//!
+//! This crate implements the paper's Sections 3–5 data structures:
+//!
+//! * [`GridSpec`] — the grid of `d`-dimensional hypercube cells with
+//!   diagonal length ε (Definition 3.1) and their sub-cells with diagonal
+//!   `ε/2^(h−1)` (Definition 4.1);
+//! * [`CellDictionary`] — the two-level cell dictionary (Definition 4.2)
+//!   with the bit-exact size model of Lemma 4.3 and a compact wire encoding
+//!   used to measure broadcast cost;
+//! * [`DictionaryIndex`] — sub-dictionaries produced by BSP
+//!   defragmentation (§4.2.2), each carrying an MBR (Definition 5.9) for
+//!   the skipping rule of Lemma 5.10 and a kd-tree over cell centres so an
+//!   `(ε,ρ)`-region query costs `O(log |cell|)` (Lemma 5.6);
+//! * [`DictionaryIndex::region_query`] — the `(ε,ρ)`-region query itself
+//!   (Definition 5.1).
+//!
+//! The hash tables used throughout are keyed by integer lattice coordinates
+//! and use a local FxHash-style hasher ([`fxhash`]) because the default
+//! SipHash dominates cell-lookup profiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod dictionary;
+pub mod fxhash;
+pub mod query;
+pub mod spec;
+pub mod subdict;
+
+pub use cell::{CellCoord, SubCellIdx};
+pub use dictionary::{CellDictionary, CellEntry, SubCellEntry};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use query::{QueryStats, RegionQueryResult};
+pub use spec::GridSpec;
+pub use subdict::DictionaryIndex;
+
+/// Errors produced by grid construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// ε must be strictly positive.
+    NonPositiveEps(f64),
+    /// ρ must lie in `(0, 1]`.
+    InvalidRho(f64),
+    /// Dimensionality must be at least 1.
+    ZeroDimension,
+    /// `d·(h−1)` sub-cell position bits exceed the 128-bit budget.
+    SubCellBitsOverflow {
+        /// Required bits.
+        required: u32,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::NonPositiveEps(e) => write!(f, "eps must be > 0, got {e}"),
+            GridError::InvalidRho(r) => write!(f, "rho must be in (0, 1], got {r}"),
+            GridError::ZeroDimension => write!(f, "dimension must be >= 1"),
+            GridError::SubCellBitsOverflow { required } => write!(
+                f,
+                "sub-cell index needs {required} bits (> 128); increase rho or reduce dimension"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}

@@ -1,0 +1,118 @@
+//! The shared clustering result type.
+
+use serde::{Deserialize, Serialize};
+
+/// A clustering of `n` points: `labels[i]` is the cluster of point `i`,
+/// or `None` for noise/outliers (DBSCAN's third category).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    labels: Vec<Option<u32>>,
+}
+
+impl Clustering {
+    /// Wraps a label vector.
+    pub fn new(labels: Vec<Option<u32>>) -> Self {
+        Self { labels }
+    }
+
+    /// An all-noise clustering of `n` points.
+    pub fn all_noise(n: usize) -> Self {
+        Self {
+            labels: vec![None; n],
+        }
+    }
+
+    /// The label vector.
+    #[inline]
+    pub fn labels(&self) -> &[Option<u32>] {
+        &self.labels
+    }
+
+    /// Mutable access for assembly by clustering algorithms.
+    #[inline]
+    pub fn labels_mut(&mut self) -> &mut [Option<u32>] {
+        &mut self.labels
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct clusters (noise not counted).
+    pub fn num_clusters(&self) -> usize {
+        let mut ids: Vec<u32> = self.labels.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Sizes of each cluster, indexed by a dense re-numbering in order of
+    /// first appearance. Returns `(sizes, renumbered_labels)`.
+    pub fn dense_sizes(&self) -> (Vec<usize>, Vec<Option<u32>>) {
+        let mut map = std::collections::HashMap::new();
+        let mut sizes = Vec::new();
+        let dense: Vec<Option<u32>> = self
+            .labels
+            .iter()
+            .map(|l| {
+                l.map(|id| {
+                    let next = map.len() as u32;
+                    let d = *map.entry(id).or_insert(next);
+                    if d as usize == sizes.len() {
+                        sizes.push(0);
+                    }
+                    sizes[d as usize] += 1;
+                    d
+                })
+            })
+            .collect();
+        (sizes, dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let c = Clustering::new(vec![Some(3), Some(3), None, Some(7), None]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.noise_count(), 2);
+    }
+
+    #[test]
+    fn all_noise() {
+        let c = Clustering::all_noise(4);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_count(), 4);
+    }
+
+    #[test]
+    fn dense_sizes_renumbers_in_order() {
+        let c = Clustering::new(vec![Some(9), Some(2), Some(9), None]);
+        let (sizes, dense) = c.dense_sizes();
+        assert_eq!(sizes, vec![2, 1]);
+        assert_eq!(dense, vec![Some(0), Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+    }
+}

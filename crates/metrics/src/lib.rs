@@ -1,0 +1,18 @@
+//! Clustering representations and quality metrics.
+//!
+//! The paper measures clustering accuracy with the Rand index (§7.1.5,
+//! [Rand 1971]) between RP-DBSCAN's output and exact DBSCAN's. This crate
+//! provides the shared [`Clustering`] label vector plus pair-counting
+//! metrics (Rand index, adjusted Rand index) and normalized mutual
+//! information, all computed from a contingency table in time linear in
+//! the number of points — the naive O(n²) pair enumeration would be
+//! hopeless at the 100k-point accuracy data sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod pair_counting;
+
+pub use clustering::Clustering;
+pub use pair_counting::{adjusted_rand_index, normalized_mutual_info, rand_index, NoisePolicy};

@@ -1,0 +1,282 @@
+//! Pair-counting clustering agreement: Rand index, adjusted Rand index,
+//! and normalized mutual information, via a sparse contingency table.
+
+use crate::clustering::Clustering;
+use std::collections::HashMap;
+
+/// How noise points enter a pairwise comparison.
+///
+/// DBSCAN outputs three categories; the Rand index is defined over hard
+/// partitions, so noise must be mapped to clusters somehow. The paper does
+/// not spell its convention out; both common choices are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoisePolicy {
+    /// All noise points of one clustering form one extra cluster.
+    /// This punishes disagreement about *which* points are noise while not
+    /// splitting hairs among noise points themselves.
+    SingleCluster,
+    /// Every noise point is its own singleton cluster — the strictest
+    /// interpretation; two clusterings only agree on a noise point when
+    /// both isolate it.
+    Singletons,
+}
+
+fn n_choose_2(n: u64) -> u128 {
+    (n as u128) * (n as u128).saturating_sub(1) / 2
+}
+
+/// Densifies labels under a noise policy. Noise labels are mapped to ids
+/// above the real clusters.
+fn resolve(c: &Clustering, policy: NoisePolicy) -> Vec<u32> {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(c.len());
+    // Reserve a stream of fresh ids for noise after the pass when needed.
+    let mut noise_marker: Option<u32> = None;
+    let mut fresh = u32::MAX;
+    for l in c.labels() {
+        match l {
+            Some(id) => {
+                let e = map.entry(*id).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                });
+                out.push(*e);
+            }
+            None => match policy {
+                NoisePolicy::SingleCluster => {
+                    let m = *noise_marker.get_or_insert(u32::MAX);
+                    out.push(m);
+                }
+                NoisePolicy::Singletons => {
+                    out.push(fresh);
+                    fresh -= 1;
+                }
+            },
+        }
+    }
+    out
+}
+
+/// Builds the sparse contingency table between two label vectors.
+fn contingency(a: &[u32], b: &[u32]) -> (HashMap<(u32, u32), u64>, HashMap<u32, u64>, HashMap<u32, u64>) {
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut ma: HashMap<u32, u64> = HashMap::new();
+    let mut mb: HashMap<u32, u64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *joint.entry((x, y)).or_insert(0) += 1;
+        *ma.entry(x).or_insert(0) += 1;
+        *mb.entry(y).or_insert(0) += 1;
+    }
+    (joint, ma, mb)
+}
+
+/// The Rand index between two clusterings of the same points (§7.1.5):
+/// the fraction of point pairs on which the clusterings agree, in `[0,1]`.
+///
+/// # Panics
+///
+/// Panics if the clusterings have different lengths.
+pub fn rand_index(a: &Clustering, b: &Clustering, policy: NoisePolicy) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let la = resolve(a, policy);
+    let lb = resolve(b, policy);
+    let (joint, ma, mb) = contingency(&la, &lb);
+    let tp: u128 = joint.values().map(|&v| n_choose_2(v)).sum();
+    let pa: u128 = ma.values().map(|&v| n_choose_2(v)).sum();
+    let pb: u128 = mb.values().map(|&v| n_choose_2(v)).sum();
+    let total = n_choose_2(n);
+    // agreements = pairs together in both + pairs apart in both
+    //            = total + 2·TP − (TP+FP) − (TP+FN)
+    let agreements = total + 2 * tp - pa - pb;
+    agreements as f64 / total as f64
+}
+
+/// The adjusted Rand index (chance-corrected; 1 = identical, ~0 = random).
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering, policy: NoisePolicy) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let la = resolve(a, policy);
+    let lb = resolve(b, policy);
+    let (joint, ma, mb) = contingency(&la, &lb);
+    let tp: f64 = joint.values().map(|&v| n_choose_2(v) as f64).sum();
+    let pa: f64 = ma.values().map(|&v| n_choose_2(v) as f64).sum();
+    let pb: f64 = mb.values().map(|&v| n_choose_2(v) as f64).sum();
+    let total = n_choose_2(n) as f64;
+    let expected = pa * pb / total;
+    let max = 0.5 * (pa + pb);
+    if (max - expected).abs() < f64::EPSILON {
+        return 1.0; // both trivial partitions
+    }
+    (tp - expected) / (max - expected)
+}
+
+/// Normalized mutual information (arithmetic normalization), in `[0,1]`.
+pub fn normalized_mutual_info(a: &Clustering, b: &Clustering, policy: NoisePolicy) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let la = resolve(a, policy);
+    let lb = resolve(b, policy);
+    let (joint, ma, mb) = contingency(&la, &lb);
+    let entropy = |m: &HashMap<u32, u64>| -> f64 {
+        m.values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&ma);
+    let hb = entropy(&mb);
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &joint {
+        let pxy = c as f64 / n;
+        let px = ma[&x] as f64 / n;
+        let py = mb[&y] as f64 / n;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    if ha + hb == 0.0 {
+        return 1.0; // both single-cluster partitions: identical
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[i64]) -> Clustering {
+        Clustering::new(
+            labels
+                .iter()
+                .map(|&l| if l < 0 { None } else { Some(l as u32) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let a = c(&[0, 0, 1, 1, 2, -1]);
+        for policy in [NoisePolicy::SingleCluster, NoisePolicy::Singletons] {
+            assert_eq!(rand_index(&a, &a, policy), 1.0);
+            assert_eq!(adjusted_rand_index(&a, &a, policy), 1.0);
+            assert!((normalized_mutual_info(&a, &a, policy) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let a = c(&[0, 0, 1, 1]);
+        let b = c(&[5, 5, 9, 9]);
+        assert_eq!(rand_index(&a, &b, NoisePolicy::SingleCluster), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b, NoisePolicy::SingleCluster), 1.0);
+    }
+
+    #[test]
+    fn known_rand_index_value() {
+        // Classic example: a = {1,1,2,2,3,3}, b = {1,1,1,2,2,2}
+        // n = 6, pairs = 15.
+        let a = c(&[1, 1, 2, 2, 3, 3]);
+        let b = c(&[1, 1, 1, 2, 2, 2]);
+        // TP: joint cells (1,1):2, (2,1):1, (2,2):1, (3,2):2 -> C(2,2)*2 = 2
+        // pa = 3*C(2,2) = 3 ; pb = 2*C(3,2) = 6
+        // agreements = 15 + 4 - 3 - 6 = 10 -> RI = 10/15
+        let ri = rand_index(&a, &b, NoisePolicy::SingleCluster);
+        assert!((ri - 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_split_scores_below_one() {
+        let a = c(&[0, 0, 0, 0]);
+        let b = c(&[0, 0, 1, 1]);
+        let ri = rand_index(&a, &b, NoisePolicy::SingleCluster);
+        assert!(ri < 1.0);
+        // agreements: pairs together in both = C(2,2)*2 = 2; apart in both = 0
+        // total = 6 -> RI = (6 + 4 - 6 - 2)/6 = 2/6
+        assert!((ri - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_policies_differ() {
+        // Both all-noise: SingleCluster sees two identical one-cluster
+        // partitions (RI 1); Singletons also agrees (all pairs apart).
+        let a = c(&[-1, -1, -1]);
+        let b = c(&[-1, -1, -1]);
+        assert_eq!(rand_index(&a, &b, NoisePolicy::SingleCluster), 1.0);
+        assert_eq!(rand_index(&a, &b, NoisePolicy::Singletons), 1.0);
+        // One clustering groups noise points that the other labels noise:
+        let x = c(&[0, 0, 5]);
+        let y = c(&[-1, -1, 5]);
+        let single = rand_index(&x, &y, NoisePolicy::SingleCluster);
+        let singles = rand_index(&x, &y, NoisePolicy::Singletons);
+        // Under SingleCluster, y's two noise points stay together, agreeing
+        // with x on that pair; under Singletons they are split apart.
+        assert!(single > singles);
+    }
+
+    #[test]
+    fn ari_random_labels_near_zero() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Clustering::new((0..5000).map(|_| Some(rng.gen_range(0..5u32))).collect());
+        let b = Clustering::new((0..5000).map(|_| Some(rng.gen_range(0..5u32))).collect());
+        let ari = adjusted_rand_index(&a, &b, NoisePolicy::SingleCluster);
+        assert!(ari.abs() < 0.02, "ari = {ari}");
+        // unadjusted RI of random 5-cluster labels is near 1 - 2/5 + 2/25
+        let ri = rand_index(&a, &b, NoisePolicy::SingleCluster);
+        assert!(ri > 0.6);
+    }
+
+    #[test]
+    fn nmi_independent_labels_near_zero() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Clustering::new((0..5000).map(|_| Some(rng.gen_range(0..4u32))).collect());
+        let b = Clustering::new((0..5000).map(|_| Some(rng.gen_range(0..4u32))).collect());
+        let nmi = normalized_mutual_info(&a, &b, NoisePolicy::SingleCluster);
+        assert!(nmi < 0.01, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let a = c(&[0]);
+        let b = c(&[1]);
+        assert_eq!(rand_index(&a, &b, NoisePolicy::SingleCluster), 1.0);
+        let e = Clustering::new(vec![]);
+        assert_eq!(rand_index(&e, &e, NoisePolicy::SingleCluster), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let a = c(&[0, 1]);
+        let b = c(&[0]);
+        let _ = rand_index(&a, &b, NoisePolicy::SingleCluster);
+    }
+
+    #[test]
+    fn ri_symmetry() {
+        let a = c(&[0, 0, 1, 2, 2, -1, 1]);
+        let b = c(&[1, 1, 1, 0, -1, -1, 2]);
+        for policy in [NoisePolicy::SingleCluster, NoisePolicy::Singletons] {
+            assert_eq!(rand_index(&a, &b, policy), rand_index(&b, &a, policy));
+            assert!(
+                (adjusted_rand_index(&a, &b, policy) - adjusted_rand_index(&b, &a, policy)).abs()
+                    < 1e-12
+            );
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Scatter and line charts over [`crate::SvgCanvas`].
+
+use crate::svg::SvgCanvas;
+use crate::{cluster_color, NOISE_COLOR};
+use rpdbscan_geom::Dataset;
+use rpdbscan_metrics::Clustering;
+use std::path::Path;
+
+const MARGIN: f64 = 46.0;
+
+/// Maps a data interval to a pixel interval.
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    d0: f64,
+    d1: f64,
+    p0: f64,
+    p1: f64,
+    log: bool,
+}
+
+impl Scale {
+    fn new(d0: f64, d1: f64, p0: f64, p1: f64, log: bool) -> Self {
+        let (d0, d1) = if log {
+            (d0.max(1e-12).log10(), d1.max(1e-12).log10())
+        } else {
+            (d0, d1)
+        };
+        let (d0, d1) = if (d1 - d0).abs() < 1e-12 {
+            (d0 - 0.5, d1 + 0.5)
+        } else {
+            (d0, d1)
+        };
+        Self { d0, d1, p0, p1, log }
+    }
+
+    fn map(&self, v: f64) -> f64 {
+        let v = if self.log { v.max(1e-12).log10() } else { v };
+        self.p0 + (v - self.d0) / (self.d1 - self.d0) * (self.p1 - self.p0)
+    }
+}
+
+/// A 2-d cluster scatter plot (Figures 16 and 18): points coloured by
+/// cluster id, noise in grey.
+#[derive(Debug)]
+pub struct ScatterPlot<'a> {
+    data: &'a Dataset,
+    clustering: &'a Clustering,
+    title: String,
+    /// Point radius in pixels.
+    pub point_radius: f64,
+    /// Maximum points drawn (uniformly strided) to bound file size.
+    pub max_points: usize,
+}
+
+impl<'a> ScatterPlot<'a> {
+    /// A scatter plot of `data` (first two dimensions) coloured by
+    /// `clustering`.
+    pub fn new(data: &'a Dataset, clustering: &'a Clustering, title: &str) -> Self {
+        assert_eq!(data.len(), clustering.len(), "labels must cover the data");
+        Self {
+            data,
+            clustering,
+            title: title.to_string(),
+            point_radius: 1.2,
+            max_points: 30_000,
+        }
+    }
+
+    /// Renders to an SVG canvas.
+    pub fn render(&self, width: f64, height: f64) -> SvgCanvas {
+        let mut c = SvgCanvas::new(width, height);
+        c.text(width / 2.0, 18.0, 13.0, &self.title, true);
+        let Some(bb) = self.data.bounding_box() else {
+            return c;
+        };
+        let sx = Scale::new(bb.min()[0], bb.max()[0], MARGIN, width - 12.0, false);
+        let sy = Scale::new(bb.min()[1], bb.max()[1], height - MARGIN, 26.0, false);
+        let stride = (self.data.len() / self.max_points.max(1)).max(1);
+        for i in (0..self.data.len()).step_by(stride) {
+            let p = self.data.point_at(i);
+            let color = match self.clustering.labels()[i] {
+                Some(id) => cluster_color(id),
+                None => NOISE_COLOR,
+            };
+            c.circle(sx.map(p[0]), sy.map(p[1]), self.point_radius, color);
+        }
+        c
+    }
+
+    /// Renders and saves in one call.
+    pub fn save(&self, path: &Path, width: f64, height: f64) -> std::io::Result<()> {
+        self.render(width, height).save(path)
+    }
+}
+
+/// One line-chart series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart with optional log axes (the form of
+/// Figures 11, 13, 14, 15, 17, 19, 20).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    /// Log-scale the y axis (Figure 11 uses log elapsed time).
+    pub log_y: bool,
+    /// Log-scale the x axis.
+    pub log_x: bool,
+}
+
+impl LineChart {
+    /// An empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+            log_y: false,
+            log_x: false,
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, label: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+        self
+    }
+
+    /// Renders to an SVG canvas.
+    pub fn render(&self, width: f64, height: f64) -> SvgCanvas {
+        let mut c = SvgCanvas::new(width, height);
+        c.text(width / 2.0, 18.0, 13.0, &self.title, true);
+        let (x0, x1, y0, y1) = self.bounds();
+        let sx = Scale::new(x0, x1, MARGIN, width - 120.0, self.log_x);
+        let sy = Scale::new(y0, y1, height - MARGIN, 30.0, self.log_y);
+
+        // Axes.
+        c.line(MARGIN, height - MARGIN, width - 120.0, height - MARGIN, "#333333", 1.0);
+        c.line(MARGIN, 30.0, MARGIN, height - MARGIN, "#333333", 1.0);
+        c.text(
+            (MARGIN + width - 120.0) / 2.0,
+            height - 8.0,
+            11.0,
+            &self.x_label,
+            true,
+        );
+        c.text(6.0, 24.0, 11.0, &self.y_label, false);
+
+        // Ticks: min / max per axis (labels only; the data spans vary by
+        // orders of magnitude across figures, so full grids add noise).
+        c.text(MARGIN, height - MARGIN + 14.0, 9.0, &fmt_tick(x0), true);
+        c.text(width - 120.0, height - MARGIN + 14.0, 9.0, &fmt_tick(x1), true);
+        c.text(MARGIN - 4.0, height - MARGIN, 9.0, &fmt_tick(y0), false);
+        c.text(MARGIN - 4.0, 36.0, 9.0, &fmt_tick(y1), false);
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = cluster_color(i as u32);
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|&(x, y)| (sx.map(x), sy.map(y)))
+                .collect();
+            c.polyline(&pts, color, 1.6);
+            for &(px, py) in &pts {
+                c.circle(px, py, 2.4, color);
+            }
+            // Legend.
+            let ly = 40.0 + i as f64 * 16.0;
+            c.line(width - 112.0, ly, width - 96.0, ly, color, 2.0);
+            c.text(width - 92.0, ly + 3.5, 10.0, &s.label, false);
+        }
+        c
+    }
+
+    /// Renders and saves in one call.
+    pub fn save(&self, path: &Path, width: f64, height: f64) -> std::io::Result<()> {
+        self.render(width, height).save(path)
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x0 = f64::INFINITY;
+        let mut x1 = f64::NEG_INFINITY;
+        let mut y0 = f64::INFINITY;
+        let mut y1 = f64::NEG_INFINITY;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+        }
+        if !x0.is_finite() {
+            (0.0, 1.0, 0.0, 1.0)
+        } else {
+            (x0, x1, y0, y1)
+        }
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_draws_points_and_noise() {
+        let data = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.5]]).unwrap();
+        let clustering = Clustering::new(vec![Some(0), Some(1), None]);
+        let svg = ScatterPlot::new(&data, &clustering, "t").render(200.0, 150.0).to_svg();
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains(NOISE_COLOR));
+        assert!(svg.contains(cluster_color(0)));
+    }
+
+    #[test]
+    fn scatter_empty_data() {
+        let data = Dataset::from_flat(2, vec![]).unwrap();
+        let clustering = Clustering::new(vec![]);
+        let svg = ScatterPlot::new(&data, &clustering, "empty").render(100.0, 100.0).to_svg();
+        assert!(svg.contains("empty"));
+    }
+
+    #[test]
+    fn line_chart_series_and_legend() {
+        let mut ch = LineChart::new("elapsed", "eps", "seconds");
+        ch.add("RP", vec![(1.0, 2.0), (2.0, 1.0)]);
+        ch.add("ESP", vec![(1.0, 4.0), (2.0, 8.0)]);
+        let svg = ch.render(400.0, 300.0).to_svg();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">RP<"));
+        assert!(svg.contains(">ESP<"));
+    }
+
+    #[test]
+    fn log_scale_orders_points() {
+        let mut ch = LineChart::new("t", "x", "y");
+        ch.log_y = true;
+        ch.add("a", vec![(1.0, 1.0), (2.0, 10.0), (3.0, 100.0)]);
+        let c = ch.render(400.0, 300.0);
+        // Log y: equal ratios map to equal pixel steps. Extract circle
+        // ys from the svg to verify monotone decreasing (SVG y is down).
+        let svg = c.to_svg();
+        let ys: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.starts_with("<circle") && l.contains("r=\"2.40\""))
+            .map(|l| {
+                let cy = l.split("cy=\"").nth(1).unwrap();
+                cy.split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert_eq!(ys.len(), 3);
+        assert!(ys[0] > ys[1] && ys[1] > ys[2]);
+        let step1 = ys[0] - ys[1];
+        let step2 = ys[1] - ys[2];
+        assert!((step1 - step2).abs() < 0.5, "log spacing uneven: {ys:?}");
+    }
+
+    #[test]
+    fn degenerate_single_point_series() {
+        let mut ch = LineChart::new("t", "x", "y");
+        ch.add("a", vec![(1.0, 1.0)]);
+        let svg = ch.render(300.0, 200.0).to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+}

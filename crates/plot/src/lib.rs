@@ -1,0 +1,42 @@
+//! Minimal, dependency-free SVG charting for the experiment harness.
+//!
+//! The paper's figures come in two visual forms: cluster scatter plots
+//! (Figures 16 and 18) and per-ε line charts (Figures 11, 13, 14, 15,
+//! 17, 19, 20). This crate renders both as standalone SVG files so the
+//! harness can regenerate the *pictures*, not just the numbers. It is
+//! deliberately tiny: shapes, two chart types, a colour-blind-safe
+//! palette — nothing configurable beyond what the figures need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod svg;
+
+pub use chart::{LineChart, ScatterPlot, Series};
+pub use svg::SvgCanvas;
+
+/// A colour-blind-friendly categorical palette (Okabe–Ito order),
+/// cycled for cluster ids beyond its length.
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00", "#F0E442", "#000000",
+];
+
+/// Colour for noise/outlier points.
+pub const NOISE_COLOR: &str = "#bbbbbb";
+
+/// Colour for cluster `id`.
+pub fn cluster_color(id: u32) -> &'static str {
+    PALETTE[id as usize % PALETTE.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(cluster_color(0), cluster_color(8));
+        assert_ne!(cluster_color(0), cluster_color(1));
+    }
+}

@@ -1,0 +1,159 @@
+//! A tiny SVG document builder.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// An in-memory SVG document with fixed pixel dimensions.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text content for inclusion in SVG.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgCanvas {
+    /// A blank canvas with a white background.
+    pub fn new(width: f64, height: f64) -> Self {
+        let mut c = Self {
+            width,
+            height,
+            body: String::new(),
+        };
+        c.rect(0.0, 0.0, width, height, "#ffffff", None);
+        c
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// A filled rectangle with optional stroke.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke = stroke
+            .map(|s| format!(" stroke=\"{s}\""))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{stroke}/>"
+        )
+        .expect("write to string");
+    }
+
+    /// A filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        writeln!(
+            self.body,
+            "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"/>"
+        )
+        .expect("write to string");
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>"
+        )
+        .expect("write to string");
+    }
+
+    /// An open polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        writeln!(
+            self.body,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>",
+            pts.join(" ")
+        )
+        .expect("write to string");
+    }
+
+    /// Text anchored at its start (or middle with `centered`).
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str, centered: bool) {
+        let anchor = if centered { "middle" } else { "start" };
+        writeln!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\">{}</text>",
+            escape(content)
+        )
+        .expect("write to string");
+    }
+
+    /// Serialises the document.
+    pub fn to_svg(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+
+    /// Writes the document to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.circle(10.0, 10.0, 2.0, "#ff0000");
+        c.line(0.0, 0.0, 100.0, 50.0, "#000000", 1.0);
+        c.text(5.0, 45.0, 10.0, "hello & <world>", false);
+        let svg = c.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("hello &amp; &lt;world&gt;"));
+    }
+
+    #[test]
+    fn polyline_renders_points() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.polyline(&[(0.0, 0.0), (5.0, 5.0)], "#00ff00", 1.5);
+        assert!(c.to_svg().contains("points=\"0.00,0.00 5.00,5.00\""));
+    }
+
+    #[test]
+    fn empty_polyline_is_noop() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        let before = c.to_svg();
+        c.polyline(&[], "#00ff00", 1.0);
+        assert_eq!(before, c.to_svg());
+    }
+
+    #[test]
+    fn save_round_trips(){
+        let dir = std::env::temp_dir().join("rpdbscan-plot-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.svg");
+        let c = SvgCanvas::new(20.0, 20.0);
+        c.save(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("viewBox=\"0 0 20 20\""));
+    }
+}

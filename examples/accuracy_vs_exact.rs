@@ -1,0 +1,59 @@
+//! Accuracy study: RP-DBSCAN vs exact DBSCAN across ρ (Table 4's view).
+//!
+//! The two-level cell dictionary approximates each point by its sub-cell
+//! centre; Theorem 5.4 bounds the resulting clustering between the exact
+//! clusterings at `(1±ρ/2)ε`. This example measures the Rand index on the
+//! three accuracy data sets for ρ ∈ {0.10, 0.05, 0.01}.
+//!
+//! ```sh
+//! cargo run --release --example accuracy_vs_exact
+//! ```
+
+use rp_dbscan::prelude::*;
+
+fn main() {
+    let n = 20_000;
+    let sets: Vec<(&str, Dataset, f64, usize)> = vec![
+        ("Moons", synth::moons(SynthConfig::new(n), 0.05), 0.15, 10),
+        (
+            "Blobs",
+            synth::blobs(SynthConfig::new(n), 6, 1.5, 100.0),
+            1.0,
+            10,
+        ),
+        (
+            "Chameleon",
+            synth::chameleon_like(SynthConfig::new(n)),
+            1.2,
+            10,
+        ),
+    ];
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}   (Rand index vs exact DBSCAN)",
+        "data set", "rho=0.10", "rho=0.05", "rho=0.01"
+    );
+    let engine = Engine::new(4);
+    for (name, data, eps, min_pts) in &sets {
+        let exact = exact_dbscan(data, *eps, *min_pts);
+        print!("{name:<12}");
+        for rho in [0.10, 0.05, 0.01] {
+            let params = RpDbscanParams::new(*eps, *min_pts)
+                .with_rho(rho)
+                .with_partitions(8);
+            let out = RpDbscan::new(params).unwrap().run(data, &engine).unwrap();
+            let ri = rand_index(
+                &exact.clustering,
+                &out.clustering,
+                NoisePolicy::SingleCluster,
+            );
+            print!(" {ri:>8.4}");
+        }
+        println!(
+            "   ({} clusters exact, {} noise)",
+            exact.clustering.num_clusters(),
+            exact.clustering.noise_count()
+        );
+    }
+    println!("\nPaper's Table 4 reports 0.98–1.00 over the same grid; ρ=0.01 is exact.");
+}

@@ -1,0 +1,89 @@
+//! Head-to-head: all six parallel DBSCAN algorithms on one workload —
+//! a miniature of the paper's Figure 11 comparison.
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms [n_points]
+//! ```
+
+use rp_dbscan::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let data = synth::cosmo_like(SynthConfig::new(n));
+    let eps = 1.0;
+    let min_pts = 20;
+    let workers = 8;
+    let rho = 0.01;
+
+    println!("Cosmo-like data: {n} points, eps={eps}, minPts={min_pts}, {workers} workers");
+    println!("{:-<78}", "");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "algorithm", "wall(s)", "simulated(s)", "processed", "clusters", "RI"
+    );
+
+    let exact = exact_dbscan(&data, eps, min_pts);
+    let ri = |c: &Clustering| rand_index(&exact.clustering, c, NoisePolicy::SingleCluster);
+
+    // RP-DBSCAN
+    let engine = Engine::new(workers);
+    let wall = Instant::now();
+    let out = RpDbscan::new(
+        RpDbscanParams::new(eps, min_pts)
+            .with_rho(rho)
+            .with_partitions(workers * 4),
+    )
+    .unwrap()
+    .run(&data, &engine)
+    .unwrap();
+    println!(
+        "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
+        "RP-DBSCAN",
+        wall.elapsed().as_secs_f64(),
+        engine.report().total_elapsed(),
+        out.stats.points_processed,
+        out.clustering.num_clusters(),
+        ri(&out.clustering)
+    );
+
+    // Region-split family + SPARK.
+    for (name, params) in [
+        ("ESP-DBSCAN", RegionParams::esp(eps, min_pts, rho, workers)),
+        ("RBP-DBSCAN", RegionParams::rbp(eps, min_pts, rho, workers)),
+        ("CBP-DBSCAN", RegionParams::cbp(eps, min_pts, rho, workers)),
+        ("SPARK-DBSCAN", RegionParams::spark(eps, min_pts, workers)),
+    ] {
+        let engine = Engine::new(workers);
+        let wall = Instant::now();
+        let out = RegionDbscan::new(params).run(&data, &engine);
+        println!(
+            "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
+            name,
+            wall.elapsed().as_secs_f64(),
+            engine.report().total_elapsed(),
+            out.points_processed,
+            out.clustering.num_clusters(),
+            ri(&out.clustering)
+        );
+    }
+
+    // NG-DBSCAN
+    let engine = Engine::new(workers);
+    let wall = Instant::now();
+    let out = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine);
+    println!(
+        "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
+        "NG-DBSCAN",
+        wall.elapsed().as_secs_f64(),
+        engine.report().total_elapsed(),
+        out.points_processed,
+        out.clustering.num_clusters(),
+        ri(&out.clustering)
+    );
+    println!("{:-<78}", "");
+    println!("RI = Rand index against exact DBSCAN (1.0 = identical clustering).");
+}

@@ -1,0 +1,73 @@
+//! Tour of the execution engine: stages, broadcast, and the virtual
+//! cluster model — the substrate standing in for Spark.
+//!
+//! ```sh
+//! cargo run --release --example engine_tour
+//! ```
+
+use rp_dbscan::engine::{CostModel, Engine};
+
+fn main() {
+    // A virtual 10-worker cluster with an explicit network model: 1 GB/s,
+    // 1 ms latency, 2 ms task-launch overhead (Azure-ish numbers).
+    let engine = Engine::with_cost_model(
+        10,
+        CostModel {
+            bandwidth_bytes_per_sec: 1.0e9,
+            latency_sec: 1.0e-3,
+            per_task_overhead_sec: 2.0e-3,
+        },
+    );
+
+    // Stage 1: forty uneven tasks. The engine measures each task's real
+    // duration and schedules them onto the 10 virtual workers.
+    let inputs: Vec<u64> = (1..=40).collect();
+    let result = engine.run_stage("demo:uneven", inputs, |_, weight| {
+        // Simulate work proportional to the weight.
+        let mut acc = 0u64;
+        for i in 0..weight * 200_000 {
+            acc = acc.wrapping_add(i).rotate_left(3);
+        }
+        acc
+    });
+    println!(
+        "stage '{}': {} tasks on {} workers",
+        result.metrics.name, result.metrics.num_tasks, result.metrics.workers
+    );
+    println!(
+        "  total CPU {:.3}s, simulated makespan {:.3}s, load imbalance {:.1}x",
+        result.metrics.total_cpu(),
+        result.metrics.makespan,
+        result.metrics.load_imbalance()
+    );
+
+    // Stage 2: broadcast 8 MB to every worker (like the cell dictionary).
+    let t = engine.broadcast_cost("demo:broadcast", 8 << 20);
+    println!("broadcast of 8 MiB to 10 workers: {t:.4}s simulated");
+
+    // Stage 3: same tasks, one virtual worker — the speed-up denominator.
+    let single = Engine::with_cost_model(1, CostModel::free());
+    let inputs: Vec<u64> = (1..=40).collect();
+    let r1 = single.run_stage("demo:single", inputs, |_, weight| {
+        let mut acc = 0u64;
+        for i in 0..weight * 200_000 {
+            acc = acc.wrapping_add(i).rotate_left(3);
+        }
+        acc
+    });
+    println!(
+        "speed-up 1 -> 10 workers: {:.2}x (ideal 10x; uneven tasks cap it)",
+        r1.metrics.makespan / result.metrics.makespan
+    );
+
+    // The report aggregates everything that ran.
+    println!("\nfull report:");
+    for s in engine.report().stages {
+        println!(
+            "  {:<16} tasks={:<3} elapsed={:.4}s",
+            s.name,
+            s.num_tasks,
+            s.elapsed()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: cluster a two-moons data set with RP-DBSCAN and compare
+//! against exact DBSCAN.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rp_dbscan::prelude::*;
+
+fn main() {
+    // 1. A data set DBSCAN is good at: two interleaving half-moons.
+    let data = synth::moons(SynthConfig::new(20_000), 0.05);
+    println!("data: {} points, {} dims", data.len(), data.dim());
+
+    // 2. Configure RP-DBSCAN. eps/minPts are the usual DBSCAN knobs;
+    //    rho controls the dictionary approximation (0.01 = paper default,
+    //    indistinguishable from exact), and partitions says how many
+    //    random splits to process in parallel.
+    let params = RpDbscanParams::new(0.15, 10)
+        .with_rho(0.01)
+        .with_partitions(8);
+
+    // 3. Run on a simulated 8-worker cluster.
+    let engine = Engine::new(8);
+    let out = RpDbscan::new(params)
+        .expect("valid parameters")
+        .run(&data, &engine)
+        .expect("clustering succeeds");
+
+    println!(
+        "RP-DBSCAN: {} clusters, {} noise points",
+        out.clustering.num_clusters(),
+        out.clustering.noise_count()
+    );
+    println!(
+        "dictionary: {} cells / {} sub-cells, {} bytes broadcast ({:.3}% of the data)",
+        out.stats.dict_cells,
+        out.stats.dict_subcells,
+        out.stats.dict_wire_bytes,
+        100.0 * out.stats.dict_size_bits as f64 / 8.0 / data.paper_size_bytes() as f64,
+    );
+
+    // 4. Sanity-check against the original DBSCAN algorithm.
+    let exact = exact_dbscan(&data, 0.15, 10);
+    let ri = rand_index(
+        &exact.clustering,
+        &out.clustering,
+        NoisePolicy::SingleCluster,
+    );
+    println!("Rand index vs exact DBSCAN: {ri:.4}");
+
+    // 5. The engine recorded a per-phase breakdown (Figure 12's view).
+    let report = engine.report();
+    for prefix in ["phase1-1", "phase1-2", "phase2", "phase3-1", "phase3-2"] {
+        println!(
+            "  {prefix:9} {:8.4}s",
+            report.elapsed_with_prefix(prefix)
+        );
+    }
+    println!("  total     {:8.4}s (simulated)", report.total_elapsed());
+}

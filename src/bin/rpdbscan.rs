@@ -1,0 +1,309 @@
+//! `rpdbscan` — command-line interface to the RP-DBSCAN reproduction.
+//!
+//! ```text
+//! rpdbscan generate <kind> <n> <out.csv> [--seed S]
+//! rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M
+//!                   [--algo rp|exact|esp|rbp|cbp|spark|ng]
+//!                   [--rho R] [--partitions K] [--workers W] [--delim C]
+//! rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
+//! rpdbscan metrics  <a.csv> <b.csv>
+//! rpdbscan plot     <labeled.csv> <out.svg>
+//! ```
+//!
+//! `generate` kinds: `moons`, `blobs`, `chameleon`, `geolife`, `cosmo`,
+//! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
+//! Labeled CSVs carry the cluster id as a trailing column (−1 = noise).
+
+use rp_dbscan::prelude::*;
+use rp_dbscan::data::io;
+use rp_dbscan::metrics::{adjusted_rand_index, normalized_mutual_info};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rpdbscan generate <kind> <n> <out.csv> [--seed S]
+  rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M [options]
+  rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
+  rpdbscan metrics  <a.csv> <b.csv>
+  rpdbscan plot     <labeled.csv> <out.svg>
+
+cluster options:
+  --algo rp|exact|esp|rbp|cbp|spark|ng   (default rp)
+  --rho R          approximation rate    (default 0.01)
+  --partitions K   RP partitions / region splits (default 32)
+  --workers W      simulated workers     (default 8)
+  --delim C        field delimiter       (default ,)
+
+generate kinds: moons blobs chameleon geolife cosmo osm teraclick
+                mixture:<dim>:<alpha> uniform:<dim>:<range>";
+
+/// Minimal flag scanner: returns the value following `--name`.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn require<T: std::str::FromStr>(args: &[String], name: &str) -> Result<T, String> {
+    flag(args, name)
+        .ok_or_else(|| format!("missing required flag {name}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for {name}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("no command given")?;
+    match cmd.as_str() {
+        "generate" => generate(&args[1..]),
+        "cluster" => cluster(&args[1..]),
+        "compare" => compare(&args[1..]),
+        "metrics" => metrics(&args[1..]),
+        "plot" => plot(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate: missing <kind>")?.clone();
+    let n: usize = args
+        .get(1)
+        .ok_or("generate: missing <n>")?
+        .parse()
+        .map_err(|_| "generate: <n> must be an integer")?;
+    let out = PathBuf::from(args.get(2).ok_or("generate: missing <out.csv>")?);
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let cfg = SynthConfig::new(n).with_seed(seed);
+    let data = match kind.as_str() {
+        "moons" => synth::moons(cfg, 0.05),
+        "blobs" => synth::blobs(cfg, 6, 1.5, 100.0),
+        "chameleon" => synth::chameleon_like(cfg),
+        "geolife" => synth::geolife_like(cfg),
+        "cosmo" => synth::cosmo_like(cfg),
+        "osm" => synth::osm_like(cfg),
+        "teraclick" => synth::teraclick_like(cfg),
+        other => {
+            let parts: Vec<&str> = other.split(':').collect();
+            match parts.as_slice() {
+                ["mixture", dim, alpha] => {
+                    let dim: usize = dim.parse().map_err(|_| "bad mixture dim")?;
+                    let alpha: f64 = alpha.parse().map_err(|_| "bad mixture alpha")?;
+                    synth::gaussian_mixture(cfg, dim, alpha)
+                }
+                ["uniform", dim, range] => {
+                    let dim: usize = dim.parse().map_err(|_| "bad uniform dim")?;
+                    let range: f64 = range.parse().map_err(|_| "bad uniform range")?;
+                    synth::uniform(cfg, dim, range)
+                }
+                _ => return Err(format!("unknown generate kind {kind:?}")),
+            }
+        }
+    };
+    io::write_csv(&out, &data, ',').map_err(|e| e.to_string())?;
+    println!("wrote {} points ({}d) to {}", data.len(), data.dim(), out.display());
+    Ok(())
+}
+
+fn load(path: &Path, delim: char) -> Result<Dataset, String> {
+    io::read_csv(path, delim).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cluster(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("cluster: missing <in.csv>")?);
+    let output = PathBuf::from(args.get(1).ok_or("cluster: missing <out.csv>")?);
+    let eps: f64 = require(args, "--eps")?;
+    let min_pts: usize = require(args, "--min-pts")?;
+    let algo = flag(args, "--algo").unwrap_or_else(|| "rp".into());
+    let rho: f64 = parse_flag(args, "--rho", 0.01)?;
+    let partitions: usize = parse_flag(args, "--partitions", 32)?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+    let delim: char = parse_flag(args, "--delim", ',')?;
+
+    let data = load(&input, delim)?;
+    println!("loaded {} points ({}d)", data.len(), data.dim());
+    let engine = Engine::new(workers);
+    let start = std::time::Instant::now();
+    let clustering = match algo.as_str() {
+        "rp" => {
+            let params = RpDbscanParams::new(eps, min_pts)
+                .with_rho(rho)
+                .with_partitions(partitions);
+            let out = RpDbscan::new(params)
+                .map_err(|e| e.to_string())?
+                .run(&data, &engine)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "dictionary: {} cells / {} sub-cells, {} bytes broadcast",
+                out.stats.dict_cells, out.stats.dict_subcells, out.stats.dict_wire_bytes
+            );
+            out.clustering
+        }
+        "exact" => exact_dbscan(&data, eps, min_pts).clustering,
+        "esp" | "rbp" | "cbp" | "spark" => {
+            let params = match algo.as_str() {
+                "esp" => RegionParams::esp(eps, min_pts, rho, partitions),
+                "rbp" => RegionParams::rbp(eps, min_pts, rho, partitions),
+                "cbp" => RegionParams::cbp(eps, min_pts, rho, partitions),
+                _ => RegionParams::spark(eps, min_pts, partitions),
+            };
+            RegionDbscan::new(params).run(&data, &engine).clustering
+        }
+        "ng" => NgDbscan::new(NgParams::new(eps, min_pts))
+            .run(&data, &engine)
+            .clustering,
+        other => return Err(format!("unknown --algo {other:?}")),
+    };
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{algo}: {} clusters, {} noise, {wall:.2}s wall, {:.3}s simulated",
+        clustering.num_clusters(),
+        clustering.noise_count(),
+        engine.report().total_elapsed()
+    );
+    io::write_labeled_csv(&output, &data, &clustering, delim).map_err(|e| e.to_string())?;
+    println!("wrote labels to {}", output.display());
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("compare: missing <in.csv>")?);
+    let eps: f64 = require(args, "--eps")?;
+    let min_pts: usize = require(args, "--min-pts")?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+    let data = load(&input, ',')?;
+    println!("loaded {} points ({}d)", data.len(), data.dim());
+    let exact = exact_dbscan(&data, eps, min_pts);
+    println!(
+        "{:<14} {:>12} {:>9} {:>9} {:>8}",
+        "algorithm", "simulated(s)", "clusters", "noise", "RI"
+    );
+    let ri = |c: &Clustering| rand_index(&exact.clustering, c, NoisePolicy::SingleCluster);
+    // RP
+    let engine = Engine::new(workers);
+    let out = RpDbscan::new(RpDbscanParams::new(eps, min_pts).with_partitions(workers * 4))
+        .map_err(|e| e.to_string())?
+        .run(&data, &engine)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:<14} {:>12.3} {:>9} {:>9} {:>8.4}",
+        "RP-DBSCAN",
+        engine.report().total_elapsed(),
+        out.clustering.num_clusters(),
+        out.clustering.noise_count(),
+        ri(&out.clustering)
+    );
+    for (name, params) in [
+        ("ESP-DBSCAN", RegionParams::esp(eps, min_pts, 0.01, workers)),
+        ("RBP-DBSCAN", RegionParams::rbp(eps, min_pts, 0.01, workers)),
+        ("CBP-DBSCAN", RegionParams::cbp(eps, min_pts, 0.01, workers)),
+        ("SPARK-DBSCAN", RegionParams::spark(eps, min_pts, workers)),
+    ] {
+        let engine = Engine::new(workers);
+        let out = RegionDbscan::new(params).run(&data, &engine);
+        println!(
+            "{:<14} {:>12.3} {:>9} {:>9} {:>8.4}",
+            name,
+            engine.report().total_elapsed(),
+            out.clustering.num_clusters(),
+            out.clustering.noise_count(),
+            ri(&out.clustering)
+        );
+    }
+    let engine = Engine::new(workers);
+    let out = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine);
+    println!(
+        "{:<14} {:>12.3} {:>9} {:>9} {:>8.4}",
+        "NG-DBSCAN",
+        engine.report().total_elapsed(),
+        out.clustering.num_clusters(),
+        out.clustering.noise_count(),
+        ri(&out.clustering)
+    );
+    Ok(())
+}
+
+/// Splits a labeled CSV (trailing label column) into data + clustering.
+fn load_labeled(path: &Path) -> Result<(Dataset, Clustering), String> {
+    let combined = load(path, ',')?;
+    if combined.dim() < 2 {
+        return Err(format!("{}: labeled files need >= 2 columns", path.display()));
+    }
+    let dim = combined.dim() - 1;
+    let mut b = DatasetBuilder::with_capacity(dim, combined.len()).expect("dim >= 1");
+    let mut labels = Vec::with_capacity(combined.len());
+    for (_, row) in combined.iter() {
+        b.push(&row[..dim]).expect("dim matches");
+        let l = row[dim];
+        labels.push(if l < 0.0 { None } else { Some(l as u32) });
+    }
+    Ok((b.build(), Clustering::new(labels)))
+}
+
+fn metrics(args: &[String]) -> Result<(), String> {
+    let a = PathBuf::from(args.first().ok_or("metrics: missing <a.csv>")?);
+    let b = PathBuf::from(args.get(1).ok_or("metrics: missing <b.csv>")?);
+    let (_, ca) = load_labeled(&a)?;
+    let (_, cb) = load_labeled(&b)?;
+    if ca.len() != cb.len() {
+        return Err(format!(
+            "label counts differ: {} vs {}",
+            ca.len(),
+            cb.len()
+        ));
+    }
+    for policy in [NoisePolicy::SingleCluster, NoisePolicy::Singletons] {
+        println!(
+            "{policy:?}: RI={:.6} ARI={:.6} NMI={:.6}",
+            rand_index(&ca, &cb, policy),
+            adjusted_rand_index(&ca, &cb, policy),
+            normalized_mutual_info(&ca, &cb, policy),
+        );
+    }
+    Ok(())
+}
+
+fn plot(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("plot: missing <labeled.csv>")?);
+    let output = PathBuf::from(args.get(1).ok_or("plot: missing <out.svg>")?);
+    let (data, clustering) = load_labeled(&input)?;
+    rp_dbscan::plot::ScatterPlot::new(
+        &data,
+        &clustering,
+        &format!(
+            "{} — {} clusters, {} noise",
+            input.file_name().map(|f| f.to_string_lossy()).unwrap_or_default(),
+            clustering.num_clusters(),
+            clustering.noise_count()
+        ),
+    )
+    .save(&output, 640.0, 560.0)
+    .map_err(|e| e.to_string())?;
+    println!("wrote {}", output.display());
+    Ok(())
+}

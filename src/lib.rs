@@ -1,0 +1,57 @@
+//! # rp-dbscan
+//!
+//! A from-scratch Rust reproduction of **RP-DBSCAN** (Song & Lee, SIGMOD
+//! 2018): a superfast parallel DBSCAN built on *pseudo random
+//! partitioning* of grid cells and a broadcast *two-level cell
+//! dictionary*, plus every baseline and substrate its evaluation needs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rp_dbscan::prelude::*;
+//!
+//! // Generate a small two-moons data set.
+//! let data = rp_dbscan::data::synth::moons(SynthConfig::new(2000), 0.05);
+//!
+//! // Cluster it with RP-DBSCAN on a simulated 8-worker cluster.
+//! let params = RpDbscanParams::new(0.15, 5).with_partitions(8);
+//! let engine = Engine::new(8);
+//! let out = RpDbscan::new(params).unwrap().run(&data, &engine).unwrap();
+//! assert_eq!(out.clustering.num_clusters(), 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`core`] — the RP-DBSCAN algorithm (phases I–III).
+//! * [`grid`] — cells, sub-cells, the two-level cell dictionary and
+//!   `(ε,ρ)`-region queries.
+//! * [`engine`] — the mini-MapReduce execution engine (the Spark
+//!   substitute).
+//! * [`baselines`] — exact DBSCAN, ESP-/RBP-/CBP-/SPARK-DBSCAN,
+//!   NG-DBSCAN.
+//! * [`data`] — synthetic workload generators and IO.
+//! * [`metrics`] — Rand index / ARI / NMI.
+//! * [`geom`] — points, boxes, kd-trees.
+
+pub use rpdbscan_baselines as baselines;
+pub use rpdbscan_core as core;
+pub use rpdbscan_data as data;
+pub use rpdbscan_engine as engine;
+pub use rpdbscan_geom as geom;
+pub use rpdbscan_grid as grid;
+pub use rpdbscan_metrics as metrics;
+pub use rpdbscan_plot as plot;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use rpdbscan_baselines::{
+        exact_dbscan, NgDbscan, NgParams, RegionDbscan, RegionParams, SplitStrategy,
+    };
+    pub use rpdbscan_core::{RpDbscan, RpDbscanParams};
+    pub use rpdbscan_data::synth;
+    pub use rpdbscan_data::SynthConfig;
+    pub use rpdbscan_engine::{CostModel, Engine};
+    pub use rpdbscan_geom::{Dataset, DatasetBuilder, PointId};
+    pub use rpdbscan_grid::GridSpec;
+    pub use rpdbscan_metrics::{rand_index, Clustering, NoisePolicy};
+}

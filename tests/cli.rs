@@ -1,0 +1,143 @@
+//! Integration tests for the `rpdbscan` command-line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rpdbscan"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rpdbscan-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_cluster_metrics_plot_pipeline() {
+    let csv = tmp("blobs.csv");
+    let labeled = tmp("blobs_rp.csv");
+    let labeled2 = tmp("blobs_exact.csv");
+    let svg = tmp("blobs.svg");
+
+    let out = bin()
+        .args(["generate", "blobs", "3000", csv.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    let out = bin()
+        .args([
+            "cluster",
+            csv.to_str().unwrap(),
+            labeled.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clusters"), "{stdout}");
+
+    let out = bin()
+        .args([
+            "cluster",
+            csv.to_str().unwrap(),
+            labeled2.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "10",
+            "--algo",
+            "exact",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["metrics", labeled.to_str().unwrap(), labeled2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RI=1.000000"), "RP vs exact should agree: {stdout}");
+
+    let out = bin()
+        .args(["plot", labeled.to_str().unwrap(), svg.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&svg).unwrap();
+    assert!(content.starts_with("<svg"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_flags_reported() {
+    let out = bin()
+        .args(["cluster", "/nonexistent.csv", "/tmp/out.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--eps"), "{stderr}");
+}
+
+#[test]
+fn all_algorithms_accepted() {
+    let csv = tmp("algo.csv");
+    bin()
+        .args(["generate", "blobs", "800", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    for algo in ["rp", "exact", "esp", "rbp", "cbp", "spark", "ng"] {
+        let out = bin()
+            .args([
+                "cluster",
+                csv.to_str().unwrap(),
+                tmp(&format!("algo_{algo}.csv")).to_str().unwrap(),
+                "--eps",
+                "1.0",
+                "--min-pts",
+                "8",
+                "--algo",
+                algo,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn mixture_and_uniform_kinds_parse() {
+    for kind in ["mixture:4:0.5", "uniform:3:50"] {
+        let csv = tmp(&format!("{}.csv", kind.replace(':', "_")));
+        let out = bin()
+            .args(["generate", kind, "500", csv.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{kind}");
+    }
+    let out = bin()
+        .args(["generate", "mixture:bad", "10", "/tmp/x.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

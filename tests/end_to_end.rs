@@ -1,0 +1,208 @@
+//! End-to-end integration tests across the whole workspace: RP-DBSCAN
+//! against exact DBSCAN on realistic generated workloads, invariants over
+//! the engine metrics, and cross-algorithm agreement.
+
+use rp_dbscan::prelude::*;
+use rp_dbscan::metrics::adjusted_rand_index;
+
+fn engine() -> Engine {
+    Engine::with_cost_model(4, CostModel::free())
+}
+
+fn rp(data: &Dataset, eps: f64, min_pts: usize) -> rp_dbscan::core::RpDbscanOutput {
+    RpDbscan::new(
+        RpDbscanParams::new(eps, min_pts)
+            .with_rho(0.01)
+            .with_partitions(12),
+    )
+    .unwrap()
+    .run(data, &engine())
+    .unwrap()
+}
+
+#[test]
+fn moons_equivalent_to_exact_dbscan() {
+    let data = synth::moons(SynthConfig::new(8_000), 0.05);
+    let exact = exact_dbscan(&data, 0.15, 10);
+    let out = rp(&data, 0.15, 10);
+    let ri = rand_index(
+        &exact.clustering,
+        &out.clustering,
+        NoisePolicy::SingleCluster,
+    );
+    assert_eq!(ri, 1.0, "rho=0.01 must be DBSCAN-equivalent on moons");
+    assert_eq!(out.clustering.num_clusters(), 2);
+}
+
+#[test]
+fn blobs_equivalent_to_exact_dbscan() {
+    let data = synth::blobs(SynthConfig::new(8_000), 5, 1.5, 100.0);
+    let exact = exact_dbscan(&data, 1.0, 10);
+    let out = rp(&data, 1.0, 10);
+    let ri = rand_index(
+        &exact.clustering,
+        &out.clustering,
+        NoisePolicy::SingleCluster,
+    );
+    assert!(ri >= 0.9999, "Rand index {ri}");
+}
+
+#[test]
+fn chameleon_high_agreement_across_rho() {
+    let data = synth::chameleon_like(SynthConfig::new(8_000));
+    let exact = exact_dbscan(&data, 1.2, 10);
+    for rho in [0.10, 0.05, 0.01] {
+        let out = RpDbscan::new(
+            RpDbscanParams::new(1.2, 10).with_rho(rho).with_partitions(8),
+        )
+        .unwrap()
+        .run(&data, &engine())
+        .unwrap();
+        let ri = rand_index(
+            &exact.clustering,
+            &out.clustering,
+            NoisePolicy::SingleCluster,
+        );
+        assert!(ri > 0.97, "rho={rho}: Rand index {ri}");
+    }
+}
+
+#[test]
+fn all_parallel_algorithms_agree_on_well_separated_data() {
+    let data = synth::blobs(SynthConfig::new(6_000), 4, 1.0, 200.0);
+    let eps = 0.8;
+    let min_pts = 8;
+    let exact = exact_dbscan(&data, eps, min_pts);
+    let reference = &exact.clustering;
+
+    let out = rp(&data, eps, min_pts);
+    assert_eq!(
+        rand_index(reference, &out.clustering, NoisePolicy::SingleCluster),
+        1.0,
+        "RP-DBSCAN"
+    );
+    for (name, params) in [
+        ("ESP", RegionParams::esp(eps, min_pts, 0.01, 4)),
+        ("RBP", RegionParams::rbp(eps, min_pts, 0.01, 4)),
+        ("CBP", RegionParams::cbp(eps, min_pts, 0.01, 4)),
+        ("SPARK", RegionParams::spark(eps, min_pts, 4)),
+    ] {
+        let out = RegionDbscan::new(params).run(&data, &engine());
+        let ri = rand_index(reference, &out.clustering, NoisePolicy::SingleCluster);
+        assert_eq!(ri, 1.0, "{name}");
+    }
+    let ng = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine());
+    let ri = rand_index(reference, &ng.clustering, NoisePolicy::SingleCluster);
+    assert!(ri > 0.95, "NG-DBSCAN Rand index {ri}");
+}
+
+#[test]
+fn rp_dbscan_never_duplicates_points() {
+    let data = synth::geolife_like(SynthConfig::new(10_000));
+    for eps in [0.2, 0.4, 0.8] {
+        let out = rp(&data, eps, 10);
+        assert_eq!(out.stats.points_processed, data.len() as u64, "eps={eps}");
+    }
+}
+
+#[test]
+fn region_split_duplicates_grow_with_eps() {
+    let data = synth::osm_like(SynthConfig::new(15_000));
+    let mut processed = Vec::new();
+    for eps in [0.3, 0.6, 1.2] {
+        let out = RegionDbscan::new(RegionParams::esp(eps, 10, 0.01, 8)).run(&data, &engine());
+        processed.push(out.points_processed);
+    }
+    assert!(
+        processed[2] > processed[0],
+        "duplication should grow with eps: {processed:?}"
+    );
+    assert!(processed[0] > data.len() as u64);
+}
+
+#[test]
+fn engine_breakdown_covers_all_phases_and_is_positive() {
+    let data = synth::cosmo_like(SynthConfig::new(10_000));
+    let e = Engine::new(4);
+    RpDbscan::new(RpDbscanParams::new(1.0, 10).with_partitions(8))
+        .unwrap()
+        .run(&data, &e)
+        .unwrap();
+    let report = e.report();
+    let phases = ["phase1-1", "phase1-2", "phase2", "phase3-1", "phase3-2"];
+    let mut total = 0.0;
+    for p in phases {
+        let t = report.elapsed_with_prefix(p);
+        assert!(t >= 0.0, "{p}");
+        total += t;
+    }
+    assert!((total - report.total_elapsed()).abs() < 1e-9);
+    assert!(report.elapsed_with_prefix("phase2") > 0.0);
+}
+
+#[test]
+fn edge_reduction_is_monotone_and_substantial() {
+    let data = synth::cosmo_like(SynthConfig::new(20_000));
+    let out = RpDbscan::new(RpDbscanParams::new(1.6, 25).with_partitions(16))
+        .unwrap()
+        .run(&data, &engine())
+        .unwrap();
+    let e = &out.stats.edges_per_round;
+    assert!(e.len() >= 3, "16 partitions need >= 4 rounds: {e:?}");
+    for w in e.windows(2) {
+        assert!(w[1] <= w[0], "{e:?}");
+    }
+    assert!(
+        (*e.last().unwrap() as f64) < 0.8 * e[0] as f64,
+        "reduction too weak: {e:?}"
+    );
+}
+
+#[test]
+fn labeled_csv_round_trip_through_io() {
+    let data = synth::moons(SynthConfig::new(2_000), 0.05);
+    let out = rp(&data, 0.15, 8);
+    let dir = std::env::temp_dir().join("rpdbscan-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("labeled.csv");
+    rp_dbscan::data::io::write_labeled_csv(&path, &data, &out.clustering, ',').unwrap();
+    // The labeled file has one extra column; reading it back yields dim+1.
+    let back = rp_dbscan::data::io::read_csv(&path, ',').unwrap();
+    assert_eq!(back.len(), data.len());
+    assert_eq!(back.dim(), data.dim() + 1);
+}
+
+#[test]
+fn nmi_and_ari_track_rand_index() {
+    let data = synth::blobs(SynthConfig::new(5_000), 5, 1.0, 100.0);
+    let exact = exact_dbscan(&data, 0.8, 8);
+    let out = rp(&data, 0.8, 8);
+    let ri = rand_index(
+        &exact.clustering,
+        &out.clustering,
+        NoisePolicy::SingleCluster,
+    );
+    let ari = adjusted_rand_index(
+        &exact.clustering,
+        &out.clustering,
+        NoisePolicy::SingleCluster,
+    );
+    assert!(ri > 0.999);
+    assert!(ari > 0.999);
+}
+
+#[test]
+fn virtual_workers_do_not_change_results_only_timing() {
+    let data = synth::osm_like(SynthConfig::new(8_000));
+    let mut clusterings = Vec::new();
+    for workers in [1usize, 4, 16] {
+        let e = Engine::with_cost_model(workers, CostModel::free());
+        let out = RpDbscan::new(RpDbscanParams::new(0.6, 10).with_partitions(8))
+            .unwrap()
+            .run(&data, &e)
+            .unwrap();
+        clusterings.push(out.clustering);
+    }
+    assert_eq!(clusterings[0], clusterings[1]);
+    assert_eq!(clusterings[1], clusterings[2]);
+}
