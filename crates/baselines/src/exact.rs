@@ -44,18 +44,14 @@ pub fn dbscan(data: &Dataset, eps: f64, min_pts: usize) -> ExactOutput {
             core,
         };
     }
-    let tree = KdTree::build(
-        data.dim(),
-        data.flat().to_vec(),
-        (0..n as u32).collect(),
-    );
+    let tree = KdTree::build(data.dim(), data.flat().to_vec(), (0..n as u32).collect());
 
     // Pass 1: core flags.
     let mut neighbors: Vec<u32> = Vec::new();
-    for i in 0..n {
+    for (i, is_core) in core.iter_mut().enumerate() {
         neighbors.clear();
         tree.for_each_within(data.point_at(i), eps, |id, _| neighbors.push(id));
-        core[i] = neighbors.len() >= min_pts;
+        *is_core = neighbors.len() >= min_pts;
     }
 
     // Pass 2: expansion from unvisited core points.

@@ -29,8 +29,6 @@ pub use region::{RegionDbscan, RegionParams, SplitStrategy};
 pub use rho_approx::rho_approx_dbscan;
 
 use rpdbscan_metrics::Clustering;
-use serde::{Deserialize, Serialize};
-
 /// Output common to the parallel baselines.
 #[derive(Debug, Clone)]
 pub struct BaselineOutput {
@@ -46,7 +44,7 @@ pub struct BaselineOutput {
 
 /// Statistics shared by baseline implementations, serialisable for the
 /// experiment harness.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SplitStats {
     /// Points per split (after halo duplication where applicable).
     pub split_sizes: Vec<usize>,

@@ -12,13 +12,13 @@
 
 use crate::exact;
 use crate::BaselineOutput;
-use rpdbscan_core::graph::UnionFind;
-use rpdbscan_engine::Engine;
-use rpdbscan_geom::{dist2, Dataset, PointId};
-use rpdbscan_metrics::Clustering;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rpdbscan_core::graph::UnionFind;
+use rpdbscan_engine::{Engine, StageError};
+use rpdbscan_geom::{dist2, Dataset, PointId};
+use rpdbscan_metrics::Clustering;
 
 /// Parameters of the naive random-split baseline.
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +63,7 @@ impl NaiveRandomDbscan {
     }
 
     /// Runs split → independent local DBSCAN → representative merge.
-    pub fn run(&self, data: &Dataset, engine: &Engine) -> BaselineOutput {
+    pub fn run(&self, data: &Dataset, engine: &Engine) -> Result<BaselineOutput, StageError> {
         let p = self.params;
         let n = data.len();
         let k = p.num_splits.min(n.max(1)).max(1);
@@ -77,23 +77,29 @@ impl NaiveRandomDbscan {
 
         // Local clustering on each sample with rescaled minPts.
         let local_min_pts = (p.min_pts / k).max(2);
-        let locals = engine.run_stage("naive:local", splits, |_, ids| {
+        let locals = engine.run_stage("naive:local", splits, |_ctx, ids| {
             let sub = data.gather(&ids);
             let out = exact::dbscan(&sub, p.eps, local_min_pts);
-            (ids, out)
-        });
+            Ok((ids, out))
+        })?;
 
         // Merge: local clusters whose sampled representatives come within
         // eps of each other are unified.
-        let merged = engine.run_stage("naive:merge", vec![locals.outputs], |_, locals| {
-            merge_by_representatives(data, &locals, p.eps, p.reps_per_cluster, p.seed)
-        });
+        let merged = engine.run_stage("naive:merge", vec![locals.outputs], |_ctx, locals| {
+            Ok(merge_by_representatives(
+                data,
+                &locals,
+                p.eps,
+                p.reps_per_cluster,
+                p.seed,
+            ))
+        })?;
         let clustering = merged.outputs.into_iter().next().expect("one task");
-        BaselineOutput {
+        Ok(BaselineOutput {
             clustering,
             points_processed: n as u64,
             num_splits: k,
-        }
+        })
     }
 }
 
@@ -131,9 +137,7 @@ fn merge_by_representatives(
                 // Reservoir-style cap on representatives, biased to core
                 // points which carry the density information.
                 let r = &mut reps[key as usize];
-                if out.core[pos] && r.len() < reps_per_cluster {
-                    r.push(pid);
-                } else if r.len() < reps_per_cluster && rng.gen_ratio(1, 4) {
+                if r.len() < reps_per_cluster && (out.core[pos] || rng.gen_ratio(1, 4)) {
                     r.push(pid);
                 }
             }
@@ -197,7 +201,9 @@ mod tests {
         let mut rows = blob(0.0, 0.0, 120, 0.4);
         rows.extend(blob(50.0, 50.0, 120, 0.4));
         let data = Dataset::from_rows(2, &rows).unwrap();
-        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 8, 4)).run(&data, &engine());
+        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 8, 4))
+            .run(&data, &engine())
+            .unwrap();
         assert_eq!(out.clustering.num_clusters(), 2);
         assert_eq!(out.points_processed, 240);
     }
@@ -208,7 +214,9 @@ mod tests {
         rows.push(vec![80.0, 80.0]);
         let data = Dataset::from_rows(2, &rows).unwrap();
         let exact = exact::dbscan(&data, 1.0, 8);
-        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 8, 1)).run(&data, &engine());
+        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 8, 1))
+            .run(&data, &engine())
+            .unwrap();
         // k = 1 keeps local minPts = max(2, 8) = 8, same as exact.
         let ri = rand_index(
             &exact.clustering,
@@ -231,7 +239,9 @@ mod tests {
         rows.extend((0..300).map(|i| vec![i as f64 * 0.05, 2.2 + (i as f64 * 0.05).sin()]));
         let data = Dataset::from_rows(2, &rows).unwrap();
         let exact = exact::dbscan(&data, 0.4, 6);
-        let out = NaiveRandomDbscan::new(NaiveParams::new(0.4, 6, 6)).run(&data, &engine());
+        let out = NaiveRandomDbscan::new(NaiveParams::new(0.4, 6, 6))
+            .run(&data, &engine())
+            .unwrap();
         let ri = rand_index(
             &exact.clustering,
             &out.clustering,
@@ -245,10 +255,14 @@ mod tests {
     fn empty_and_tiny() {
         let e = engine();
         let empty = Dataset::from_flat(2, vec![]).unwrap();
-        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 4, 4)).run(&empty, &e);
+        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 4, 4))
+            .run(&empty, &e)
+            .unwrap();
         assert!(out.clustering.is_empty());
         let two = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![0.1, 0.0]]).unwrap();
-        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 2, 4)).run(&two, &e);
+        let out = NaiveRandomDbscan::new(NaiveParams::new(1.0, 2, 4))
+            .run(&two, &e)
+            .unwrap();
         assert_eq!(out.clustering.len(), 2);
     }
 }

@@ -13,13 +13,13 @@
 //! graph construction dominating its runtime on large inputs.
 
 use crate::BaselineOutput;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rpdbscan_core::graph::UnionFind;
-use rpdbscan_engine::Engine;
+use rpdbscan_engine::{Engine, StageError};
 use rpdbscan_geom::{dist2, Dataset};
 use rpdbscan_grid::FxHashSet;
 use rpdbscan_metrics::Clustering;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// NG-DBSCAN parameters (defaults follow the open-source configuration's
 /// spirit: a modest k refined over a handful of rounds).
@@ -66,23 +66,24 @@ impl NgDbscan {
     }
 
     /// Runs both phases on the engine with stage names `ng:*`.
-    pub fn run(&self, data: &Dataset, engine: &Engine) -> BaselineOutput {
+    pub fn run(&self, data: &Dataset, engine: &Engine) -> Result<BaselineOutput, StageError> {
         let p = self.params;
         let n = data.len();
         if n == 0 {
-            return BaselineOutput {
+            return Ok(BaselineOutput {
                 clustering: Clustering::new(vec![]),
                 points_processed: 0,
                 num_splits: engine.workers(),
-            };
+            });
         }
         let k = p.k_neighbors.min(n.saturating_sub(1)).max(1);
         let chunks = vertex_chunks(n, engine.workers().max(1) * 2);
 
         // ---- Phase 1: approximate k-NN graph ---------------------------
         // Random starting configuration.
-        let init = engine.run_stage("ng:init", chunks.clone(), |ci, (lo, hi)| {
-            let mut rng = StdRng::seed_from_u64(p.seed ^ (ci as u64).wrapping_mul(0x9e37_79b9));
+        let init = engine.run_stage("ng:init", chunks.clone(), |ctx, (lo, hi)| {
+            let mut rng =
+                StdRng::seed_from_u64(p.seed ^ (ctx.index() as u64).wrapping_mul(0x9e37_79b9));
             let mut lists = Vec::with_capacity(hi - lo);
             for u in lo..hi {
                 let mut nbrs: Vec<(f64, u32)> = Vec::with_capacity(k);
@@ -99,8 +100,8 @@ impl NgDbscan {
                 nbrs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
                 lists.push(nbrs);
             }
-            lists
-        });
+            Ok(lists)
+        })?;
         let mut knn: Vec<Vec<(f64, u32)>> = init.outputs.into_iter().flatten().collect();
 
         // NN-descent rounds: candidates are neighbours of neighbours.
@@ -113,13 +114,12 @@ impl NgDbscan {
             let refined = engine.run_stage(
                 &format!("ng:descend-{round}"),
                 chunks.clone(),
-                |_, (lo, hi)| {
+                |_ctx, (lo, hi)| {
                     let mut lists = Vec::with_capacity(hi - lo);
                     for u in lo..hi {
                         let pu = data.point_at(u);
                         let mut best = snapshot[u].clone();
-                        let mut seen: FxHashSet<u32> =
-                            best.iter().map(|&(_, v)| v).collect();
+                        let mut seen: FxHashSet<u32> = best.iter().map(|&(_, v)| v).collect();
                         seen.insert(u as u32);
                         for &(_, v) in snapshot[u].iter().take(p.sample) {
                             for &(_, w) in snapshot[v as usize].iter().take(p.sample) {
@@ -134,26 +134,26 @@ impl NgDbscan {
                         best.truncate(k);
                         lists.push(best);
                     }
-                    lists
+                    Ok(lists)
                 },
-            );
+            )?;
             knn = refined.outputs.into_iter().flatten().collect();
         }
 
         // ---- Phase 2: ε-graph, cores, propagation ----------------------
         let eps2 = p.eps * p.eps;
         // Symmetrised ε-adjacency from the k-NN lists.
-        let eps_stage = engine.run_stage("ng:eps-graph", chunks.clone(), |_, (lo, hi)| {
+        let eps_stage = engine.run_stage("ng:eps-graph", chunks.clone(), |_ctx, (lo, hi)| {
             let mut edges = Vec::new();
-            for u in lo..hi {
-                for &(d2, v) in &knn[u] {
+            for (u, neigh) in knn.iter().enumerate().take(hi).skip(lo) {
+                for &(d2, v) in neigh {
                     if d2 <= eps2 {
                         edges.push((u as u32, v));
                     }
                 }
             }
-            edges
-        });
+            Ok(edges)
+        })?;
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (u, v) in eps_stage.outputs.into_iter().flatten() {
             adj[u as usize].push(v);
@@ -197,17 +197,20 @@ impl NgDbscan {
                 }
             }
         }
-        BaselineOutput {
+        Ok(BaselineOutput {
             clustering: Clustering::new(labels),
             points_processed: n as u64,
             num_splits: chunks_len(n, engine.workers().max(1) * 2),
-        }
+        })
     }
 }
 
 fn vertex_chunks(n: usize, parts: usize) -> Vec<(usize, usize)> {
     let step = n.div_ceil(parts.max(1)).max(1);
-    (0..n).step_by(step).map(|lo| (lo, (lo + step).min(n))).collect()
+    (0..n)
+        .step_by(step)
+        .map(|lo| (lo, (lo + step).min(n)))
+        .collect()
 }
 
 fn chunks_len(n: usize, parts: usize) -> usize {
@@ -240,7 +243,9 @@ mod tests {
         let mut rows = blob(0.0, 0.0, 100, 0.4);
         rows.extend(blob(30.0, 30.0, 100, 0.4));
         let data = Dataset::from_rows(2, &rows).unwrap();
-        let out = NgDbscan::new(NgParams::new(1.0, 5)).run(&data, &engine());
+        let out = NgDbscan::new(NgParams::new(1.0, 5))
+            .run(&data, &engine())
+            .unwrap();
         let exact = exact::dbscan(&data, 1.0, 5);
         let ri = rand_index(
             &exact.clustering,
@@ -256,7 +261,9 @@ mod tests {
         let mut rows = blob(0.0, 0.0, 100, 0.4);
         rows.push(vec![500.0, 500.0]);
         let data = Dataset::from_rows(2, &rows).unwrap();
-        let out = NgDbscan::new(NgParams::new(1.0, 5)).run(&data, &engine());
+        let out = NgDbscan::new(NgParams::new(1.0, 5))
+            .run(&data, &engine())
+            .unwrap();
         assert_eq!(out.clustering.labels()[100], None);
     }
 
@@ -264,8 +271,12 @@ mod tests {
     fn deterministic_given_seed() {
         let rows = blob(0.0, 0.0, 120, 0.6);
         let data = Dataset::from_rows(2, &rows).unwrap();
-        let a = NgDbscan::new(NgParams::new(0.5, 4)).run(&data, &engine());
-        let b = NgDbscan::new(NgParams::new(0.5, 4)).run(&data, &engine());
+        let a = NgDbscan::new(NgParams::new(0.5, 4))
+            .run(&data, &engine())
+            .unwrap();
+        let b = NgDbscan::new(NgParams::new(0.5, 4))
+            .run(&data, &engine())
+            .unwrap();
         assert_eq!(a.clustering, b.clustering);
     }
 
@@ -273,11 +284,13 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let e = engine();
         let empty = Dataset::from_flat(2, vec![]).unwrap();
-        let out = NgDbscan::new(NgParams::new(1.0, 3)).run(&empty, &e);
+        let out = NgDbscan::new(NgParams::new(1.0, 3))
+            .run(&empty, &e)
+            .unwrap();
         assert!(out.clustering.is_empty());
 
         let one = Dataset::from_rows(2, &[vec![0.0, 0.0]]).unwrap();
-        let out = NgDbscan::new(NgParams::new(1.0, 3)).run(&one, &e);
+        let out = NgDbscan::new(NgParams::new(1.0, 3)).run(&one, &e).unwrap();
         assert_eq!(out.clustering.noise_count(), 1);
     }
 
@@ -286,7 +299,7 @@ mod tests {
         let rows = blob(0.0, 0.0, 60, 0.4);
         let data = Dataset::from_rows(2, &rows).unwrap();
         let e = engine();
-        NgDbscan::new(NgParams::new(1.0, 4)).run(&data, &e);
+        NgDbscan::new(NgParams::new(1.0, 4)).run(&data, &e).unwrap();
         let rep = e.report();
         assert!(rep.stages.iter().any(|s| s.name == "ng:init"));
         assert!(rep.stages.iter().any(|s| s.name.starts_with("ng:descend-")));
@@ -297,7 +310,9 @@ mod tests {
     fn no_duplication() {
         let rows = blob(0.0, 0.0, 80, 0.4);
         let data = Dataset::from_rows(2, &rows).unwrap();
-        let out = NgDbscan::new(NgParams::new(1.0, 4)).run(&data, &engine());
+        let out = NgDbscan::new(NgParams::new(1.0, 4))
+            .run(&data, &engine())
+            .unwrap();
         assert_eq!(out.points_processed, 80);
     }
 }

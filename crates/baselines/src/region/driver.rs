@@ -4,7 +4,7 @@ use crate::region::split::{split_regions, Region, SplitStrategy};
 use crate::rho_approx::rho_approx_dbscan;
 use crate::{exact, BaselineOutput};
 use rpdbscan_core::graph::UnionFind;
-use rpdbscan_engine::Engine;
+use rpdbscan_engine::{Engine, StageError};
 use rpdbscan_geom::{Dataset, PointId};
 use rpdbscan_grid::FxHashMap;
 use rpdbscan_metrics::Clustering;
@@ -78,6 +78,7 @@ pub struct RegionDbscan {
 }
 
 /// Per-split local clustering result.
+#[derive(Clone)]
 struct LocalResult {
     /// The split's processing set (owners + halo), global ids.
     ids: Vec<PointId>,
@@ -95,14 +96,14 @@ impl RegionDbscan {
 
     /// Runs split → local clustering → merge on the engine, with stage
     /// names `split:*`, `local:*`, `merge:*` for the breakdown metrics.
-    pub fn run(&self, data: &Dataset, engine: &Engine) -> BaselineOutput {
+    pub fn run(&self, data: &Dataset, engine: &Engine) -> Result<BaselineOutput, StageError> {
         let p = self.params;
 
         // ---- Split phase (the paper's "expensive data split") ----------
-        let split = engine.run_stage("split:partition", vec![()], |_, ()| {
+        let split = engine.run_stage("split:partition", vec![()], |_ctx, ()| {
             let regions = split_regions(data, p.num_splits, p.eps, p.strategy);
-            build_processing_sets(data, &regions, p.eps)
-        });
+            Ok(build_processing_sets(data, &regions, p.eps))
+        })?;
         let processing: Vec<Vec<PointId>> = split.outputs.into_iter().next().expect("one task");
         let points_processed: u64 = processing.iter().map(|s| s.len() as u64).sum();
         let num_splits = processing.len();
@@ -112,7 +113,7 @@ impl RegionDbscan {
         engine.shuffle_cost("split:shuffle", points_processed * point_bytes);
 
         // ---- Local clustering ------------------------------------------
-        let locals = engine.run_stage("local:clustering", processing, |_, ids| {
+        let locals = engine.run_stage("local:clustering", processing, |_ctx, ids| {
             let sub = data.gather(&ids);
             let (labels, core) = match p.rho {
                 Some(rho) => {
@@ -124,19 +125,19 @@ impl RegionDbscan {
                     (out.clustering.labels().to_vec(), out.core)
                 }
             };
-            LocalResult { ids, labels, core }
-        });
+            Ok(LocalResult { ids, labels, core })
+        })?;
 
         // ---- Merge phase ------------------------------------------------
-        let merged = engine.run_stage("merge:clusters", vec![locals.outputs], |_, locals| {
-            merge_local_clusters(data.len(), &locals)
-        });
+        let merged = engine.run_stage("merge:clusters", vec![locals.outputs], |_ctx, locals| {
+            Ok(merge_local_clusters(data.len(), &locals))
+        })?;
         let clustering = merged.outputs.into_iter().next().expect("one task");
-        BaselineOutput {
+        Ok(BaselineOutput {
             clustering,
             points_processed,
             num_splits,
-        }
+        })
     }
 }
 
@@ -167,7 +168,13 @@ fn merge_local_clusters(n: usize, locals: &[LocalResult]) -> Clustering {
     let mut total = 0u32;
     for l in locals {
         offsets.push(total);
-        let max_label = l.labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+        let max_label = l
+            .labels
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
         total += max_label;
     }
     let mut uf = UnionFind::new(total as usize);
@@ -254,7 +261,7 @@ mod tests {
             RegionParams::cbp(1.0, 5, 0.01, 4),
             RegionParams::spark(1.0, 5, 4),
         ] {
-            let out = RegionDbscan::new(params).run(&data, &engine());
+            let out = RegionDbscan::new(params).run(&data, &engine()).unwrap();
             let ri = rand_index(
                 &exact.clustering,
                 &out.clustering,
@@ -269,7 +276,9 @@ mod tests {
     #[test]
     fn duplication_exceeds_n_with_multiple_splits() {
         let data = world();
-        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 6)).run(&data, &engine());
+        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 6))
+            .run(&data, &engine())
+            .unwrap();
         assert!(
             out.points_processed >= data.len() as u64,
             "halo must not lose points"
@@ -280,7 +289,9 @@ mod tests {
     #[test]
     fn single_split_no_duplication() {
         let data = world();
-        let out = RegionDbscan::new(RegionParams::cbp(1.0, 5, 0.01, 1)).run(&data, &engine());
+        let out = RegionDbscan::new(RegionParams::cbp(1.0, 5, 0.01, 1))
+            .run(&data, &engine())
+            .unwrap();
         assert_eq!(out.points_processed, data.len() as u64);
         assert_eq!(out.num_splits, 1);
     }
@@ -303,7 +314,7 @@ mod tests {
                 num_splits: 5,
                 strategy,
             };
-            let out = RegionDbscan::new(params).run(&data, &engine());
+            let out = RegionDbscan::new(params).run(&data, &engine()).unwrap();
             assert_eq!(out.clustering.num_clusters(), 1, "{strategy:?}");
             assert_eq!(out.clustering.noise_count(), 0, "{strategy:?}");
         }
@@ -313,7 +324,9 @@ mod tests {
     fn stage_names_logged() {
         let data = world();
         let e = engine();
-        RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4)).run(&data, &e);
+        RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4))
+            .run(&data, &e)
+            .unwrap();
         let rep = e.report();
         for prefix in ["split:", "local:", "merge:"] {
             assert!(rep.stages.iter().any(|s| s.name.starts_with(prefix)));
@@ -323,7 +336,9 @@ mod tests {
     #[test]
     fn empty_dataset() {
         let data = Dataset::from_flat(2, vec![]).unwrap();
-        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4)).run(&data, &engine());
+        let out = RegionDbscan::new(RegionParams::esp(1.0, 5, 0.01, 4))
+            .run(&data, &engine())
+            .unwrap();
         assert!(out.clustering.is_empty());
         assert_eq!(out.points_processed, 0);
     }

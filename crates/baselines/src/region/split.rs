@@ -197,7 +197,11 @@ fn cost_cut(data: &Dataset, region: &Region, eps: f64) -> Option<(usize, f64)> {
         // Full d-dimensional cell histogram, then project onto `dim`.
         let mut cells: FxHashMap<Vec<i64>, u64> = FxHashMap::default();
         for &p in &region.point_ids {
-            let key: Vec<i64> = data.point(p).iter().map(|v| (v / eps).floor() as i64).collect();
+            let key: Vec<i64> = data
+                .point(p)
+                .iter()
+                .map(|v| (v / eps).floor() as i64)
+                .collect();
             *cells.entry(key).or_insert(0) += 1;
         }
         let mut coords: Vec<f64> = region
@@ -262,7 +266,10 @@ mod tests {
             for p in &r.point_ids {
                 assert!(!seen[p.index()], "point owned by two regions");
                 seen[p.index()] = true;
-                assert!(r.bbox.contains(data.point(*p)), "owner box must contain point");
+                assert!(
+                    r.bbox.contains(data.point(*p)),
+                    "owner box must contain point"
+                );
             }
         }
         assert!(seen.iter().all(|&s| s), "some point unowned");
@@ -318,7 +325,7 @@ mod tests {
 
     #[test]
     fn identical_points_are_unsplittable() {
-        let d = Dataset::from_flat(2, vec![5.0, 5.0].repeat(100)).unwrap();
+        let d = Dataset::from_flat(2, [5.0, 5.0].repeat(100)).unwrap();
         let rs = split_regions(&d, 4, 1.0, SplitStrategy::EvenSplit);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].point_ids.len(), 100);

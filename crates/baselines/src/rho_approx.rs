@@ -8,7 +8,9 @@
 //! `(ε,ρ)`-region queries, connect cells, and label — which is exactly
 //! the cell-based approximation of Gan & Tao that RP-DBSCAN generalises.
 
-use rpdbscan_core::label::{assemble_clustering, extract_clusters, label_partition, predecessor_map};
+use rpdbscan_core::label::{
+    assemble_clustering, extract_clusters, label_partition, predecessor_map,
+};
 use rpdbscan_core::partition::{group_by_cell, Partition};
 use rpdbscan_core::phase2::build_local_clustering;
 use rpdbscan_geom::Dataset;

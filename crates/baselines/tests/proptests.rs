@@ -154,7 +154,9 @@ proptest! {
         let data = Dataset::from_rows(2, &pts).unwrap();
         let exact = exact_dbscan(&data, 1.0, 3);
         let engine = Engine::with_cost_model(2, CostModel::free());
-        let out = RegionDbscan::new(RegionParams::spark(1.0, 3, k)).run(&data, &engine);
+        let out = RegionDbscan::new(RegionParams::spark(1.0, 3, k))
+            .run(&data, &engine)
+            .unwrap();
         let ri = rand_index(
             &exact.clustering,
             &out.clustering,

@@ -17,10 +17,8 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
             let spec = GridSpec::new(3, eps, 0.01).expect("valid grid");
             b.iter(|| {
-                let dict = CellDictionary::build_from_points(
-                    spec.clone(),
-                    data.iter().map(|(_, p)| p),
-                );
+                let dict =
+                    CellDictionary::build_from_points(spec.clone(), data.iter().map(|(_, p)| p));
                 black_box(dict.num_cells())
             })
         });

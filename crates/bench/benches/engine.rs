@@ -1,0 +1,68 @@
+//! Criterion micro-bench: Stage API dispatch overhead.
+//!
+//! Measures the fixed cost of pushing a batch of trivial tasks through
+//! the engine's execution pool — context construction, panic catching,
+//! timing, and result collection — at 1, 4, and 16 physical threads, and
+//! the end-to-end `run_stage` path including scheduling and tracing.
+//! This is the overhead every stage of every driver pays per task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpdbscan_engine::{pool, CostModel, Engine, RetryPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+const TASKS: usize = 256;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_dispatch");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(TASKS as u64));
+    for threads in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("run_batch_trivial", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let inputs: Vec<u64> = (0..TASKS as u64).collect();
+                    let batch = pool::run_batch(
+                        threads,
+                        "bench:trivial",
+                        8,
+                        RetryPolicy::none(),
+                        inputs,
+                        |_ctx, x| Ok(black_box(x).wrapping_mul(31)),
+                    )
+                    .expect("no failures");
+                    black_box(batch.outputs.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_run_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run_stage");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(TASKS as u64));
+    // Full path: pool dispatch + scheduling + metrics + trace spans.
+    group.bench_function("trivial_tasks", |b| {
+        let engine = Engine::with_cost_model(8, CostModel::free());
+        b.iter(|| {
+            let inputs: Vec<u64> = (0..TASKS as u64).collect();
+            let r = engine
+                .run_stage("bench:stage", inputs, |_ctx, x| {
+                    Ok(black_box(x).wrapping_mul(31))
+                })
+                .expect("no failures");
+            engine.reset();
+            black_box(r.outputs.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_run_stage);
+criterion_main!(benches);

@@ -17,11 +17,7 @@ fn bench_build(c: &mut Criterion) {
         let data = synth::cosmo_like(SynthConfig::new(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let t = KdTree::build(
-                    3,
-                    data.flat().to_vec(),
-                    (0..data.len() as u32).collect(),
-                );
+                let t = KdTree::build(3, data.flat().to_vec(), (0..data.len() as u32).collect());
                 black_box(t.len())
             })
         });

@@ -5,10 +5,10 @@
 //! reduction is what keeps later rounds cheap, Figure 17).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rpdbscan_core::graph::{CellSubgraph, CellType};
-use rpdbscan_core::merge::{merge_pair, tournament};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rpdbscan_core::graph::{CellSubgraph, CellType};
+use rpdbscan_core::merge::{merge_pair, tournament};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rpdbscan_metrics::{adjusted_rand_index, normalized_mutual_info, rand_index, Clustering, NoisePolicy};
+use rpdbscan_metrics::{
+    adjusted_rand_index, normalized_mutual_info, rand_index, Clustering, NoisePolicy,
+};
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -15,10 +15,8 @@
 use rpdbscan_bench::*;
 use rpdbscan_data::{synth, SynthConfig};
 use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec, QueryStats};
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct DefragRow {
     capacity: u64,
     fragments: usize,
@@ -27,7 +25,14 @@ struct DefragRow {
     seconds_per_1k_queries: f64,
 }
 
-#[derive(Serialize)]
+rpdbscan_json::impl_to_json!(DefragRow {
+    capacity,
+    fragments,
+    skipped_per_query,
+    candidates_per_query,
+    seconds_per_1k_queries
+});
+
 struct RhoRow {
     rho: f64,
     h: u32,
@@ -35,6 +40,14 @@ struct RhoRow {
     dict_bytes: u64,
     seconds_per_1k_queries: f64,
 }
+
+rpdbscan_json::impl_to_json!(RhoRow {
+    rho,
+    h,
+    subcells,
+    dict_bytes,
+    seconds_per_1k_queries
+});
 
 fn main() {
     let n = (60_000.0 * scale()) as usize;
@@ -70,7 +83,11 @@ fn main() {
         };
         println!(
             "{:>12} {:>10} {:>14.1} {:>16.1} {:>14.4}",
-            if capacity == u64::MAX { "unlimited".to_string() } else { capacity.to_string() },
+            if capacity == u64::MAX {
+                "unlimited".to_string()
+            } else {
+                capacity.to_string()
+            },
             row.fragments,
             row.skipped_per_query,
             row.candidates_per_query,

@@ -23,9 +23,7 @@ use rpdbscan_bench::*;
 use rpdbscan_data::{synth, SynthConfig};
 use rpdbscan_engine::{CostModel, Engine};
 use rpdbscan_metrics::{rand_index, NoisePolicy};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AblationRow {
     strategy: String,
     rand_index: f64,
@@ -34,6 +32,15 @@ struct AblationRow {
     elapsed: f64,
     clusters: usize,
 }
+
+rpdbscan_json::impl_to_json!(AblationRow {
+    strategy,
+    rand_index,
+    load_imbalance,
+    duplication,
+    elapsed,
+    clusters
+});
 
 fn main() {
     let n = (40_000.0 * scale()) as usize;
@@ -69,7 +76,8 @@ fn main() {
     {
         let engine = Engine::with_cost_model(WORKERS, CostModel::default());
         let out = NaiveRandomDbscan::new(NaiveParams::new(eps, min_pts, WORKERS))
-            .run(&data, &engine);
+            .run(&data, &engine)
+            .expect("run succeeds");
         let report = engine.report();
         let r = AblationRow {
             strategy: "naive random points".into(),
@@ -92,6 +100,7 @@ fn main() {
             let engine = Engine::with_cost_model(WORKERS, CostModel::free());
             rpdbscan_baselines::RegionDbscan::new(params)
                 .run(&data, &engine)
+                .expect("run succeeds")
                 .clustering
         };
         let r = AblationRow {

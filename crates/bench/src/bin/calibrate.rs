@@ -11,7 +11,10 @@ fn main() {
         print!("{:<16} n={:<7}", spec.name, data.len());
         for eps in spec.eps_ladder() {
             let (row, _, _) = run_rp(&data, spec.name, eps, spec.min_pts, WORKERS);
-            print!("  eps={eps:<8.3} clusters={:<5} noise={:<6}", row.clusters, row.noise);
+            print!(
+                "  eps={eps:<8.3} clusters={:<5} noise={:<6}",
+                row.clusters, row.noise
+            );
         }
         println!();
     }

@@ -17,7 +17,12 @@ fn main() {
     let mut rows: Vec<RunRow> = Vec::new();
     for (di, spec) in datasets().iter().enumerate() {
         let data = spec.generate();
-        println!("\n=== {} (n={}, d={}) ===", spec.name, data.len(), data.dim());
+        println!(
+            "\n=== {} (n={}, d={}) ===",
+            spec.name,
+            data.len(),
+            data.dim()
+        );
         println!(
             "{:<14} {:>9} {:>12} {:>10}",
             "algorithm", "eps", "elapsed(s)", "clusters"
@@ -65,7 +70,13 @@ fn main() {
 
     // Headline ratios (the paper's §7.2.1 summary).
     println!("\nSpeed-up of RP-DBSCAN over each baseline (geometric mean across cells):");
-    for algo in ["ESP-DBSCAN", "RBP-DBSCAN", "CBP-DBSCAN", "SPARK-DBSCAN", "NG-DBSCAN"] {
+    for algo in [
+        "ESP-DBSCAN",
+        "RBP-DBSCAN",
+        "CBP-DBSCAN",
+        "SPARK-DBSCAN",
+        "NG-DBSCAN",
+    ] {
         let mut ratios = Vec::new();
         for r in rows.iter().filter(|r| r.algo == algo) {
             if let Some(rp) = rows

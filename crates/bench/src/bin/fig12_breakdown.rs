@@ -10,9 +10,7 @@
 //! ```
 
 use rpdbscan_bench::*;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct BreakdownRow {
     dataset: String,
     phase1_1: f64,
@@ -21,6 +19,15 @@ struct BreakdownRow {
     phase3_1: f64,
     phase3_2: f64,
 }
+
+rpdbscan_json::impl_to_json!(BreakdownRow {
+    dataset,
+    phase1_1,
+    phase1_2,
+    phase2,
+    phase3_1,
+    phase3_2
+});
 
 fn main() {
     let mut rows = Vec::new();
@@ -31,6 +38,12 @@ fn main() {
     for spec in datasets() {
         let data = spec.generate();
         let (_, _, report) = run_rp(&data, spec.name, spec.eps10, spec.min_pts, WORKERS);
+        // Execution trace (Chrome trace-event JSON, loadable in
+        // Perfetto / chrome://tracing): one lane per virtual worker.
+        let slug = spec.name.to_lowercase().replace('-', "_");
+        let trace_path = experiments_dir().join(format!("fig12_trace_{slug}.json"));
+        std::fs::write(&trace_path, report.chrome_trace_json()).expect("write trace");
+        println!("wrote {}", trace_path.display());
         let p = [
             report.elapsed_with_prefix("phase1-1"),
             report.elapsed_with_prefix("phase1-2"),

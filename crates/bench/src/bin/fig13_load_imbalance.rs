@@ -10,15 +10,58 @@
 //! ```
 
 use rpdbscan_bench::*;
+use rpdbscan_engine::{ChunkedSteal, Fifo, Lpt, Scheduler};
+
+struct SchedRow {
+    dataset: String,
+    stage: String,
+    scheduler: String,
+    makespan: f64,
+}
+
+rpdbscan_json::impl_to_json!(SchedRow {
+    dataset,
+    stage,
+    scheduler,
+    makespan
+});
 
 fn main() {
     let mut rows: Vec<RunRow> = Vec::new();
+    let mut sched_rows: Vec<SchedRow> = Vec::new();
     for spec in datasets() {
         let data = spec.generate();
         println!("\n=== {} ===", spec.name);
         println!("{:<14} {:>9} {:>16}", "algorithm", "eps", "load imbalance");
         for eps in spec.eps_ladder() {
-            let (row, _, _) = run_rp(&data, spec.name, eps, spec.min_pts, WORKERS);
+            let (row, _, report) = run_rp(&data, spec.name, eps, spec.min_pts, WORKERS);
+            // Same measured durations, rescheduled under each policy: how
+            // much of the imbalance is placement rather than task skew.
+            if eps == spec.eps10 {
+                let schedulers: [&dyn Scheduler; 3] = [&Fifo, &Lpt, &ChunkedSteal::default()];
+                for s in report
+                    .stages
+                    .iter()
+                    .filter(|s| s.name.starts_with("phase2"))
+                {
+                    for sched in schedulers {
+                        let plan = sched.schedule(&s.task_durations, s.workers);
+                        println!(
+                            "  {:<28} {:<8} makespan {:.6}s (lower bound {:.6}s)",
+                            s.name,
+                            sched.name(),
+                            plan.makespan,
+                            s.makespan_lower_bound()
+                        );
+                        sched_rows.push(SchedRow {
+                            dataset: spec.name.into(),
+                            stage: s.name.clone(),
+                            scheduler: sched.name().into(),
+                            makespan: plan.makespan,
+                        });
+                    }
+                }
+            }
             println!("{:<14} {:>9.3} {:>16.2}", row.algo, eps, row.load_imbalance);
             rows.push(row);
             for (algo, params) in region_baselines(eps, spec.min_pts, WORKERS)
@@ -32,6 +75,7 @@ fn main() {
         }
     }
     write_csv("fig13_load_imbalance", &rows);
+    write_csv("fig13_schedulers", &sched_rows);
     for spec in datasets() {
         let series = rows_to_series(&rows, spec.name, |r| r.load_imbalance);
         save_line_chart(

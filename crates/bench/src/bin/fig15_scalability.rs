@@ -11,15 +11,20 @@
 //! ```
 
 use rpdbscan_bench::*;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct ScaleRow {
     algo: String,
     workers: usize,
     elapsed: f64,
     speedup: f64,
 }
+
+rpdbscan_json::impl_to_json!(ScaleRow {
+    algo,
+    workers,
+    elapsed,
+    speedup
+});
 
 fn main() {
     let worker_grid = [5usize, 10, 20, 40];

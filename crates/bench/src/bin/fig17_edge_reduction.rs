@@ -11,15 +11,20 @@
 //! ```
 
 use rpdbscan_bench::*;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct EdgeRow {
     dataset: String,
     eps: f64,
     round: usize,
     edges: usize,
 }
+
+rpdbscan_json::impl_to_json!(EdgeRow {
+    dataset,
+    eps,
+    round,
+    edges
+});
 
 fn main() {
     let mut rows = Vec::new();

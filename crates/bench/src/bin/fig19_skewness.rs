@@ -13,9 +13,7 @@
 
 use rpdbscan_bench::*;
 use rpdbscan_data::{synth, SynthConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SkewRow {
     dim: usize,
     alpha: f64,
@@ -24,6 +22,15 @@ struct SkewRow {
     elapsed: f64,
     clusters: usize,
 }
+
+rpdbscan_json::impl_to_json!(SkewRow {
+    dim,
+    alpha,
+    dict_bytes,
+    load_imbalance,
+    elapsed,
+    clusters
+});
 
 fn main() {
     // Appendix B.1: range [0,100]^d, eps = 5, minPts = 100, rho = 0.01 —
@@ -89,7 +96,11 @@ fn main() {
                     .iter()
                     .filter(|r| r.dim == d)
                     .map(|r| {
-                        let y = if field == 0 { r.load_imbalance } else { r.elapsed };
+                        let y = if field == 0 {
+                            r.load_imbalance
+                        } else {
+                            r.elapsed
+                        };
                         (r.alpha, y)
                     })
                     .collect();
@@ -98,9 +109,20 @@ fn main() {
             .collect();
         save_line_chart(
             metric,
-            &format!("Fig 19: {} vs skewness", if field == 0 { "load imbalance" } else { "elapsed" }),
+            &format!(
+                "Fig 19: {} vs skewness",
+                if field == 0 {
+                    "load imbalance"
+                } else {
+                    "elapsed"
+                }
+            ),
             "alpha",
-            if field == 0 { "slowest/fastest" } else { "seconds" },
+            if field == 0 {
+                "slowest/fastest"
+            } else {
+                "seconds"
+            },
             log,
             &series,
         );

@@ -11,9 +11,7 @@
 
 use rpdbscan_bench::*;
 use rpdbscan_data::{synth, SynthConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SizeRow {
     n: usize,
     elapsed: f64,
@@ -21,6 +19,14 @@ struct SizeRow {
     phase2: f64,
     phase3: f64,
 }
+
+rpdbscan_json::impl_to_json!(SizeRow {
+    n,
+    elapsed,
+    phase1,
+    phase2,
+    phase3
+});
 
 fn main() {
     let eps = 5.0;
@@ -59,7 +65,9 @@ fn main() {
     write_csv("fig20_21_datasize", &rows);
     let series = vec![(
         "RP-DBSCAN".to_string(),
-        rows.iter().map(|r| (r.n as f64, r.elapsed)).collect::<Vec<_>>(),
+        rows.iter()
+            .map(|r| (r.n as f64, r.elapsed))
+            .collect::<Vec<_>>(),
     )];
     save_line_chart(
         "fig20_datasize",

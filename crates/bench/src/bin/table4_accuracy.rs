@@ -9,16 +9,14 @@
 //! cargo run --release -p rpdbscan-bench --bin table4_accuracy
 //! ```
 
-use rpdbscan_bench::*;
 use rpdbscan_baselines::exact_dbscan;
+use rpdbscan_bench::*;
 use rpdbscan_core::{RpDbscan, RpDbscanParams};
 use rpdbscan_data::{synth, SynthConfig};
 use rpdbscan_engine::{CostModel, Engine};
 use rpdbscan_geom::Dataset;
 use rpdbscan_metrics::{adjusted_rand_index, rand_index, NoisePolicy};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct AccuracyRow {
     dataset: String,
     rho: f64,
@@ -27,6 +25,15 @@ struct AccuracyRow {
     clusters_exact: usize,
     clusters_rp: usize,
 }
+
+rpdbscan_json::impl_to_json!(AccuracyRow {
+    dataset,
+    rho,
+    rand_index,
+    adjusted_rand_index,
+    clusters_exact,
+    clusters_rp
+});
 
 fn main() {
     // The paper uses 100k points per accuracy set; scaled by RP_SCALE.
@@ -85,10 +92,8 @@ fn main() {
             });
             // Figure 16: plot data + rendered scatter at the default rho.
             if (rho - 0.01).abs() < 1e-12 {
-                let path = experiments_dir().join(format!(
-                    "fig16_{}_labeled.csv",
-                    name.to_lowercase()
-                ));
+                let path =
+                    experiments_dir().join(format!("fig16_{}_labeled.csv", name.to_lowercase()));
                 rpdbscan_data::io::write_labeled_csv(&path, data, &out.clustering, ',')
                     .expect("write labeled csv");
                 let svg = experiments_dir().join(format!("fig16_{}.svg", name.to_lowercase()));

@@ -12,9 +12,7 @@
 
 use rpdbscan_bench::*;
 use rpdbscan_grid::{CellDictionary, GridSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct DictRow {
     dataset: String,
     eps: f64,
@@ -25,6 +23,17 @@ struct DictRow {
     data_bytes: usize,
     percent_of_data: f64,
 }
+
+rpdbscan_json::impl_to_json!(DictRow {
+    dataset,
+    eps,
+    cells,
+    subcells,
+    dict_bytes,
+    wire_bytes,
+    data_bytes,
+    percent_of_data
+});
 
 fn main() {
     let mut rows = Vec::new();
@@ -67,11 +76,8 @@ fn main() {
     // square reproduces that ratio regime at laptop point counts.
     {
         let n = (500_000.0 * scale()) as usize;
-        let data = rpdbscan_data::synth::uniform(
-            rpdbscan_data::SynthConfig::new(n).with_seed(3),
-            2,
-            5.0,
-        );
+        let data =
+            rpdbscan_data::synth::uniform(rpdbscan_data::SynthConfig::new(n).with_seed(3), 2, 5.0);
         let data_bytes = data.paper_size_bytes();
         for eps in [2.5, 5.0] {
             let grid = GridSpec::new(2, eps, RHO).expect("valid grid");

@@ -19,7 +19,7 @@ use rpdbscan_data::synth;
 use rpdbscan_data::SynthConfig;
 use rpdbscan_engine::{CostModel, Engine};
 use rpdbscan_geom::Dataset;
-use serde::Serialize;
+use rpdbscan_json::ToJson;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -109,7 +109,7 @@ pub fn scale() -> f64 {
 }
 
 /// One algorithm run distilled to the quantities the paper plots.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunRow {
     /// Algorithm name.
     pub algo: String,
@@ -129,6 +129,17 @@ pub struct RunRow {
     pub noise: usize,
 }
 
+rpdbscan_json::impl_to_json!(RunRow {
+    algo,
+    dataset,
+    eps,
+    elapsed,
+    load_imbalance,
+    points_processed,
+    clusters,
+    noise,
+});
+
 /// Runs RP-DBSCAN and produces its row (plus the raw output for callers
 /// needing more, e.g. edge counts).
 pub fn run_rp(
@@ -137,7 +148,11 @@ pub fn run_rp(
     eps: f64,
     min_pts: usize,
     workers: usize,
-) -> (RunRow, rpdbscan_core::RpDbscanOutput, rpdbscan_engine::EngineReport) {
+) -> (
+    RunRow,
+    rpdbscan_core::RpDbscanOutput,
+    rpdbscan_engine::EngineReport,
+) {
     let engine = Engine::with_cost_model(workers, CostModel::default());
     let params = RpDbscanParams::new(eps, min_pts)
         .with_rho(RHO)
@@ -169,7 +184,9 @@ pub fn run_region(
     workers: usize,
 ) -> (RunRow, rpdbscan_engine::EngineReport) {
     let engine = Engine::with_cost_model(workers, CostModel::default());
-    let out = RegionDbscan::new(params).run(data, &engine);
+    let out = RegionDbscan::new(params)
+        .run(data, &engine)
+        .expect("run succeeds");
     let report = engine.report();
     let row = RunRow {
         algo: algo.into(),
@@ -185,15 +202,11 @@ pub fn run_region(
 }
 
 /// Runs NG-DBSCAN and produces its row.
-pub fn run_ng(
-    data: &Dataset,
-    name: &str,
-    eps: f64,
-    min_pts: usize,
-    workers: usize,
-) -> RunRow {
+pub fn run_ng(data: &Dataset, name: &str, eps: f64, min_pts: usize, workers: usize) -> RunRow {
     let engine = Engine::with_cost_model(workers, CostModel::default());
-    let out = NgDbscan::new(NgParams::new(eps, min_pts)).run(data, &engine);
+    let out = NgDbscan::new(NgParams::new(eps, min_pts))
+        .run(data, &engine)
+        .expect("run succeeds");
     let report = engine.report();
     RunRow {
         algo: "NG-DBSCAN".into(),
@@ -214,25 +227,19 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Writes rows as CSV (header from field names) under
+/// Writes rows as CSV (header from field names, alphabetical) under
 /// `target/experiments/<name>.csv` and returns the path.
-pub fn write_csv<T: Serialize>(name: &str, rows: &[T]) -> PathBuf {
+pub fn write_csv<T: ToJson>(name: &str, rows: &[T]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
     let mut w = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
     for (i, row) in rows.iter().enumerate() {
-        let v = serde_json::to_value(row).expect("serializable row");
+        let v = row.to_json();
         let obj = v.as_object().expect("row is a struct");
         if i == 0 {
             let header: Vec<&str> = obj.keys().map(|k| k.as_str()).collect();
             writeln!(w, "{}", header.join(",")).expect("write header");
         }
-        let line: Vec<String> = obj
-            .values()
-            .map(|v| match v {
-                serde_json::Value::String(s) => s.clone(),
-                other => other.to_string(),
-            })
-            .collect();
+        let line: Vec<String> = obj.values().map(|v| v.csv_cell()).collect();
         writeln!(w, "{}", line.join(",")).expect("write row");
     }
     println!("wrote {}", path.display());

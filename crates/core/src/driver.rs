@@ -14,13 +14,13 @@ use crate::phase2::build_local_clustering;
 use crate::CoreError;
 use rpdbscan_engine::Engine;
 use rpdbscan_geom::{Dataset, PointId};
-use rpdbscan_grid::{CellCoord, CellDictionary, CellEntry, DictionaryIndex, FxHashMap, GridSpec, QueryStats};
+use rpdbscan_grid::{
+    CellCoord, CellDictionary, CellEntry, DictionaryIndex, FxHashMap, GridSpec, QueryStats,
+};
 use rpdbscan_metrics::Clustering;
-use serde::{Deserialize, Serialize};
-
 /// Measured facts about a completed run (feeds Tables 5/7 and Figures
 /// 12/13/14/17).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Non-empty cells in the dictionary.
     pub dict_cells: usize,
@@ -120,9 +120,9 @@ impl RpDbscan {
         // Parallel cell grouping over point ranges, then the seeded
         // random deal of whole cells to partitions.
         let chunks = point_ranges(data.len(), k);
-        let grouped = engine.run_stage("phase1-1:group-by-cell", chunks, |_, (lo, hi)| {
-            group_range_by_cell(&spec, data, lo, hi)
-        });
+        let grouped = engine.run_stage("phase1-1:group-by-cell", chunks, |_ctx, (lo, hi)| {
+            Ok(group_range_by_cell(&spec, data, lo, hi))
+        })?;
         let cells = merge_cell_groups(grouped.outputs);
         let parts = pseudo_random_partition(cells, k, p.seed);
         // Dealing cells to partitions moves every point to its worker
@@ -133,19 +133,22 @@ impl RpDbscan {
 
         // ---- Phase I-2: cell dictionary building + broadcast ----------
         let part_refs: Vec<&Partition> = parts.iter().collect();
-        let entries = engine.run_stage("phase1-2:dictionary", part_refs.clone(), |_, part| {
-            part.cells
-                .iter()
-                .map(|c| {
-                    CellEntry::from_points(
-                        &spec,
-                        c.coord.clone(),
-                        c.points.iter().map(|&id| data.point(id)),
-                    )
-                })
-                .collect::<Vec<_>>()
-        });
-        let dict = CellDictionary::from_entries(spec.clone(), entries.outputs.into_iter().flatten());
+        let entries =
+            engine.run_stage("phase1-2:dictionary", part_refs.clone(), |_ctx, part| {
+                Ok(part
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        CellEntry::from_points(
+                            &spec,
+                            c.coord.clone(),
+                            c.points.iter().map(|&id| data.point(id)),
+                        )
+                    })
+                    .collect::<Vec<_>>())
+            })?;
+        let dict =
+            CellDictionary::from_entries(spec.clone(), entries.outputs.into_iter().flatten());
         let wire_bytes = dict.encode().len() as u64;
         engine.broadcast_cost("phase1-2:broadcast", wire_bytes);
         let dict_cells = dict.num_cells();
@@ -154,9 +157,13 @@ impl RpDbscan {
         let index = DictionaryIndex::new(dict, p.subdict_capacity);
 
         // ---- Phase II: cell graph construction ------------------------
-        let locals = engine.run_stage("phase2:local-clustering", part_refs.clone(), |_, part| {
-            build_local_clustering(part, data, &index, p.min_pts)
-        });
+        let locals =
+            engine.run_stage("phase2:local-clustering", part_refs.clone(), |ctx, part| {
+                if Some(ctx.index()) == p.inject_fault {
+                    panic!("injected fault in partition {}", ctx.index());
+                }
+                Ok(build_local_clustering(part, data, &index, p.min_pts))
+            })?;
         let mut query_stats = QueryStats::default();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         let mut graphs: Vec<CellSubgraph> = Vec::with_capacity(k);
@@ -176,7 +183,12 @@ impl RpDbscan {
         while graphs.len() > 1 {
             round += 1;
             // Shuffle: every second subgraph moves to its match's worker.
-            let moved_bytes: u64 = graphs.iter().skip(1).step_by(2).map(|g| g.wire_bytes()).sum();
+            let moved_bytes: u64 = graphs
+                .iter()
+                .skip(1)
+                .step_by(2)
+                .map(|g| g.wire_bytes())
+                .sum();
             engine.shuffle_cost(&format!("phase3-1:shuffle-round-{round}"), moved_bytes);
             let mut pairs: Vec<(CellSubgraph, Option<CellSubgraph>)> = Vec::new();
             let mut it = graphs.into_iter();
@@ -186,11 +198,13 @@ impl RpDbscan {
             let merged = engine.run_stage(
                 &format!("phase3-1:merge-round-{round}"),
                 pairs,
-                |_, (g1, g2)| match g2 {
-                    Some(g2) => merge_pair(g1, g2),
-                    None => g1,
+                |_ctx, (g1, g2)| {
+                    Ok(match g2 {
+                        Some(g2) => merge_pair(g1, g2),
+                        None => g1,
+                    })
                 },
-            );
+            )?;
             graphs = merged.outputs;
             edges_per_round.push(graphs.iter().map(|g| g.num_edges()).sum());
         }
@@ -200,8 +214,8 @@ impl RpDbscan {
         // ---- Phase III-2: point labeling -------------------------------
         let clusters = extract_clusters(&global);
         let preds = predecessor_map(&global);
-        let labeled = engine.run_stage("phase3-2:labeling", part_refs, |_, part| {
-            label_partition(
+        let labeled = engine.run_stage("phase3-2:labeling", part_refs, |_ctx, part| {
+            Ok(label_partition(
                 part,
                 &global,
                 &clusters,
@@ -210,8 +224,8 @@ impl RpDbscan {
                 index.dict(),
                 data,
                 p.eps,
-            )
-        });
+            ))
+        })?;
         let clustering = assemble_clustering(data.len(), labeled.outputs);
 
         let stats = RunStats {
@@ -252,7 +266,9 @@ fn group_range_by_cell(
     let mut out: FxHashMap<CellCoord, Vec<PointId>> = FxHashMap::default();
     for i in lo..hi {
         let id = PointId(i as u32);
-        out.entry(spec.cell_of(data.point(id))).or_default().push(id);
+        out.entry(spec.cell_of(data.point(id)))
+            .or_default()
+            .push(id);
     }
     out
 }
@@ -383,7 +399,9 @@ mod tests {
             .unwrap();
         for (k, seed) in [(3, 0), (7, 9), (16, 123)] {
             let out = RpDbscan::new(
-                RpDbscanParams::new(1.0, 5).with_partitions(k).with_seed(seed),
+                RpDbscanParams::new(1.0, 5)
+                    .with_partitions(k)
+                    .with_seed(seed),
             )
             .unwrap()
             .run(&data, &engine)
@@ -410,6 +428,32 @@ mod tests {
             .run(&data, &engine)
             .unwrap();
         assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_stage_error() {
+        let data = two_blob_data();
+        let engine = Engine::new(4);
+        let params = RpDbscanParams::new(1.0, 5)
+            .with_partitions(4)
+            .with_injected_fault(1);
+        let err = RpDbscan::new(params)
+            .unwrap()
+            .run(&data, &engine)
+            .unwrap_err();
+        match err {
+            CoreError::Stage(e) => {
+                assert_eq!(e.stage, "phase2:local-clustering");
+                assert!(e.to_string().contains("injected fault"), "{e}");
+            }
+            other => panic!("expected Stage error, got {other:?}"),
+        }
+        // The engine survives the failure and can run the same data again.
+        let ok = RpDbscan::new(RpDbscanParams::new(1.0, 5).with_partitions(4))
+            .unwrap()
+            .run(&data, &engine)
+            .unwrap();
+        assert_eq!(ok.clustering.num_clusters(), 2);
     }
 
     #[test]

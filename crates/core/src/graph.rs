@@ -8,13 +8,11 @@
 //! detection (§6.1.3) is simply re-reading edges after vertex types merge.
 
 use rpdbscan_grid::{FxHashMap, FxHashSet};
-use serde::{Deserialize, Serialize};
-
 /// Vertex type of a cell in a cell (sub)graph.
 ///
 /// Ordered so that `max` implements Definition 6.2's promotion: a
 /// determined type always wins over [`CellType::Undetermined`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CellType {
     /// The cell lives in a partition this graph has not seen yet.
     Undetermined,
@@ -25,7 +23,7 @@ pub enum CellType {
 }
 
 /// Edge type derived from endpoint cell types (Definition 5.8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeType {
     /// Fully directly reachable: both cells core (Definition 3.3).
     Full,
@@ -36,7 +34,7 @@ pub enum EdgeType {
 }
 
 /// A cell (sub)graph: typed cells plus directed reachability edges.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CellSubgraph {
     /// Determined vertex types; absent cells are `Undetermined`.
     types: FxHashMap<u32, CellType>,
@@ -71,7 +69,10 @@ impl CellSubgraph {
 
     /// The type of a cell (`Undetermined` when unknown).
     pub fn cell_type(&self, cell: u32) -> CellType {
-        self.types.get(&cell).copied().unwrap_or(CellType::Undetermined)
+        self.types
+            .get(&cell)
+            .copied()
+            .unwrap_or(CellType::Undetermined)
     }
 
     /// Adds a directed edge from a core cell.

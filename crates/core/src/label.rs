@@ -148,9 +148,9 @@ pub fn assemble_clustering(n: usize, parts: Vec<Vec<(PointId, Option<u32>)>>) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::merge::tournament;
     use crate::partition::{group_by_cell, pseudo_random_partition};
     use crate::phase2::build_local_clustering;
-    use crate::merge::tournament;
     use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
 
     /// End-to-end mini pipeline (partition → phase2 → merge → label) used
@@ -238,11 +238,8 @@ mod tests {
         let (c1, _) = run_pipeline(&rows, 0.8, 5, 1);
         let (c8, _) = run_pipeline(&rows, 0.8, 5, 8);
         // Same clustering up to label permutation: compare via Rand index.
-        let ri = rpdbscan_metrics::rand_index(
-            &c1,
-            &c8,
-            rpdbscan_metrics::NoisePolicy::SingleCluster,
-        );
+        let ri =
+            rpdbscan_metrics::rand_index(&c1, &c8, rpdbscan_metrics::NoisePolicy::SingleCluster);
         assert_eq!(ri, 1.0);
     }
 

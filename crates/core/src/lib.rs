@@ -72,6 +72,9 @@ pub enum CoreError {
         /// Dataset dimensionality.
         got: usize,
     },
+    /// An engine stage failed: a task returned an error or panicked and
+    /// exhausted its retries (e.g. a poisoned partition).
+    Stage(rpdbscan_engine::StageError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -83,6 +86,7 @@ impl std::fmt::Display for CoreError {
             CoreError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
+            CoreError::Stage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -92,5 +96,11 @@ impl std::error::Error for CoreError {}
 impl From<rpdbscan_grid::GridError> for CoreError {
     fn from(e: rpdbscan_grid::GridError) -> Self {
         CoreError::Grid(e)
+    }
+}
+
+impl From<rpdbscan_engine::StageError> for CoreError {
+    fn from(e: rpdbscan_engine::StageError) -> Self {
+        CoreError::Stage(e)
     }
 }

@@ -1,10 +1,8 @@
 //! Algorithm parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of an RP-DBSCAN run (Algorithm 1's inputs plus the
 /// dictionary-memory knob of §4.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RpDbscanParams {
     /// DBSCAN neighbourhood radius ε.
     pub eps: f64,
@@ -24,6 +22,10 @@ pub struct RpDbscanParams {
     /// RNG seed for the random cell-to-partition assignment; fixed so runs
     /// are reproducible.
     pub seed: u64,
+    /// Testing support: the Phase II task for this partition index panics,
+    /// exercising task-failure propagation end to end (a poisoned
+    /// partition must surface as an `Err`, not a process abort).
+    pub inject_fault: Option<usize>,
 }
 
 impl RpDbscanParams {
@@ -37,6 +39,7 @@ impl RpDbscanParams {
             num_partitions: 8,
             subdict_capacity: 1 << 20,
             seed: 0,
+            inject_fault: None,
         }
     }
 
@@ -61,6 +64,13 @@ impl RpDbscanParams {
     /// Sets the partitioning RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Makes the Phase II task for partition `index` panic (testing
+    /// support for failure-propagation coverage).
+    pub fn with_injected_fault(mut self, index: usize) -> Self {
+        self.inject_fault = Some(index);
         self
     }
 }

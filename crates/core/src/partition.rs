@@ -96,7 +96,10 @@ pub fn true_random_partition(
         let slice: Vec<PointId> = ids[pid..].iter().step_by(k).copied().collect();
         let mut by_cell: FxHashMap<CellCoord, Vec<PointId>> = FxHashMap::default();
         for id in slice {
-            by_cell.entry(spec.cell_of(data.point(id))).or_default().push(id);
+            by_cell
+                .entry(spec.cell_of(data.point(id)))
+                .or_default()
+                .push(id);
         }
         let mut cells: Vec<CellPoints> = by_cell
             .into_iter()
@@ -192,13 +195,13 @@ mod tests {
         let d = data(300, 6);
         let a = pseudo_random_partition(group_by_cell(&spec(), &d), 4, 1);
         let b = pseudo_random_partition(group_by_cell(&spec(), &d), 4, 2);
-        let same = a
-            .iter()
-            .zip(&b)
-            .all(|(x, y)| {
-                x.cells.len() == y.cells.len()
-                    && x.cells.iter().zip(&y.cells).all(|(cx, cy)| cx.coord == cy.coord)
-            });
+        let same = a.iter().zip(&b).all(|(x, y)| {
+            x.cells.len() == y.cells.len()
+                && x.cells
+                    .iter()
+                    .zip(&y.cells)
+                    .all(|(cx, cy)| cx.coord == cy.coord)
+        });
         assert!(!same, "shuffle appears seed-independent");
     }
 

@@ -108,17 +108,10 @@ mod tests {
         (spec, Dataset::from_rows(2, &rows).unwrap())
     }
 
-    fn setup(
-        spec: &GridSpec,
-        data: &Dataset,
-        k: usize,
-    ) -> (Vec<Partition>, DictionaryIndex) {
+    fn setup(spec: &GridSpec, data: &Dataset, k: usize) -> (Vec<Partition>, DictionaryIndex) {
         let cells = group_by_cell(spec, data);
         let parts = pseudo_random_partition(cells, k, 0);
-        let dict = CellDictionary::build_from_points(
-            spec.clone(),
-            data.iter().map(|(_, p)| p),
-        );
+        let dict = CellDictionary::build_from_points(spec.clone(), data.iter().map(|(_, p)| p));
         (parts, DictionaryIndex::new(dict, 1 << 16))
     }
 

@@ -1,8 +1,8 @@
 //! Property-based tests over the RP-DBSCAN pipeline.
 
 use proptest::prelude::*;
-use rpdbscan_core::merge::{merge_pair, tournament};
 use rpdbscan_core::graph::{CellSubgraph, CellType, UnionFind};
+use rpdbscan_core::merge::{merge_pair, tournament};
 use rpdbscan_core::partition::{group_by_cell, pseudo_random_partition};
 use rpdbscan_core::{RpDbscan, RpDbscanParams};
 use rpdbscan_engine::{CostModel, Engine};
@@ -17,7 +17,10 @@ fn dataset_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
 /// core-originated edges.
 fn subgraph_strategy() -> impl Strategy<Value = CellSubgraph> {
     (
-        prop::collection::vec(prop::sample::select(vec![CellType::Core, CellType::NonCore]), 8),
+        prop::collection::vec(
+            prop::sample::select(vec![CellType::Core, CellType::NonCore]),
+            8,
+        ),
         prop::collection::vec((0u32..8, 0u32..8), 0..24),
     )
         .prop_map(|(types, raw_edges)| {

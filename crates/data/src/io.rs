@@ -76,9 +76,8 @@ pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
         }
         let b = match &mut builder {
             Some(b) => b,
-            None => builder.get_or_insert(
-                DatasetBuilder::with_capacity(row.len(), 1024).expect("dim >= 1"),
-            ),
+            None => builder
+                .get_or_insert(DatasetBuilder::with_capacity(row.len(), 1024).expect("dim >= 1")),
         };
         b.push(&row).map_err(|e| IoError::Parse {
             line: lineno,

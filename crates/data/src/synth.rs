@@ -8,10 +8,8 @@ use crate::normal::normal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rpdbscan_geom::{Dataset, DatasetBuilder};
-use serde::{Deserialize, Serialize};
-
 /// Configuration shared by generator presets.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SynthConfig {
     /// Number of points to generate.
     pub n: usize,

@@ -6,10 +6,8 @@
 //! (Phase III). Charging them through an explicit model keeps those costs
 //! visible in elapsed-time figures instead of silently free.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the simulated network and scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Sustained point-to-point bandwidth in bytes/second. Azure D12v2
     /// instances see roughly 1 GB/s within a region.

@@ -14,13 +14,18 @@
 //! # Physical execution vs. the virtual cluster
 //!
 //! Tasks execute on a *physical* thread pool sized to the local machine,
-//! and each task's wall-clock duration is measured individually. Cluster
-//! behaviour is then *simulated*: the measured durations are list-scheduled
-//! onto `W` **virtual workers** (FIFO, earliest-available-worker — the
-//! same greedy policy Spark's scheduler effectively yields for a single
-//! stage), producing a makespan that is independent of how many cores the
-//! local host happens to have. Broadcast and shuffle costs are charged via
-//! an explicit [`CostModel`]. This is the substitution documented in
+//! and each task's wall-clock duration is measured individually. Panics
+//! are caught per task, failures can be retried ([`RetryPolicy`]), and a
+//! task whose retries are exhausted fails the whole stage with a
+//! [`StageError`]. Cluster behaviour is then *simulated*: the measured
+//! durations are placed onto `W` **virtual workers** by a pluggable
+//! [`Scheduler`] ([`Fifo`] by default — the greedy policy Spark's
+//! scheduler effectively yields for a single stage; [`Lpt`] and
+//! [`ChunkedSteal`] are alternatives for scheduling studies), producing a
+//! makespan that is independent of how many cores the local host happens
+//! to have. Broadcast and shuffle costs are charged via an explicit
+//! [`CostModel`], and every run leaves a [`Trace`] (one span per task on
+//! its virtual lane) exportable as Chrome trace-event JSON. This is the substitution documented in
 //! DESIGN.md: relative speed-ups, load imbalance, and phase breakdowns —
 //! the quantities the paper reports — survive this simulation; absolute
 //! seconds do not (and are not claimed).
@@ -31,8 +36,14 @@
 pub mod cost;
 pub mod metrics;
 pub mod pool;
+pub mod sched;
 pub mod stage;
+pub mod task;
+pub mod trace;
 
 pub use cost::CostModel;
 pub use metrics::{EngineReport, StageMetrics};
+pub use sched::{ChunkedSteal, Fifo, Lpt, Placement, Schedule, Scheduler};
 pub use stage::{Engine, StageResult};
+pub use task::{RetryPolicy, StageError, TaskCtx, TaskError};
+pub use trace::{NetworkEvent, NetworkKind, TaskSpan, Trace};

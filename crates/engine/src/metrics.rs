@@ -1,10 +1,10 @@
 //! Stage and engine metrics — the reproduction's stand-in for the Spark
 //! counters the paper reads its elapsed times from (§7.1.5).
 
-use serde::{Deserialize, Serialize};
+use crate::trace::Trace;
 
 /// Metrics of one executed stage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StageMetrics {
     /// Stage name (e.g. `"phase2:subgraph"`).
     pub name: String,
@@ -12,17 +12,28 @@ pub struct StageMetrics {
     pub num_tasks: usize,
     /// Virtual workers the stage was scheduled onto.
     pub workers: usize,
+    /// Scheduling policy that produced `makespan` (e.g. `"fifo"`).
+    pub scheduler: String,
     /// Measured wall-clock duration of each task, seconds.
     pub task_durations: Vec<f64>,
     /// Simulated stage makespan on the virtual cluster, seconds
-    /// (list-scheduled task durations + per-task overhead).
+    /// (task durations placed by the engine's scheduler).
     pub makespan: f64,
+    /// Total work: sum of task durations, seconds.
+    pub work: f64,
+    /// Critical path: the longest single task, seconds (tasks within a
+    /// stage are independent, so this is the stage's span).
+    pub span: f64,
+    /// Scheduling imbalance: `makespan / max(work / workers, span)` —
+    /// the ratio of achieved makespan to the theoretical lower bound
+    /// (1.0 = a perfect schedule).
+    pub imbalance: f64,
     /// Extra simulated network time charged to this stage, seconds.
     pub network_time: f64,
 }
 
 impl StageMetrics {
-    /// Total CPU seconds across tasks.
+    /// Total CPU seconds across tasks (same as [`StageMetrics::work`]).
     pub fn total_cpu(&self) -> f64 {
         self.task_durations.iter().sum()
     }
@@ -49,13 +60,22 @@ impl StageMetrics {
     pub fn elapsed(&self) -> f64 {
         self.makespan + self.network_time
     }
+
+    /// Lower bound on any schedule's makespan for this stage's tasks:
+    /// `max(work / workers, span)`.
+    pub fn makespan_lower_bound(&self) -> f64 {
+        let workers = self.workers.max(1) as f64;
+        (self.work / workers).max(self.span)
+    }
 }
 
-/// Accumulated log of every stage an [`crate::Engine`] ran.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Accumulated log of everything an [`crate::Engine`] ran.
+#[derive(Debug, Clone, Default)]
 pub struct EngineReport {
     /// Per-stage metrics in execution order.
     pub stages: Vec<StageMetrics>,
+    /// Task spans and network events on the simulated timeline.
+    pub trace: Trace,
 }
 
 impl EngineReport {
@@ -85,6 +105,12 @@ impl EngineReport {
             .map(|s| s.load_imbalance())
             .fold(1.0, f64::max)
     }
+
+    /// The run's execution trace in Chrome trace-event JSON (see
+    /// [`Trace::to_chrome_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        self.trace.to_chrome_json()
+    }
 }
 
 #[cfg(test)]
@@ -92,11 +118,17 @@ mod tests {
     use super::*;
 
     fn stage(name: &str, durs: Vec<f64>, net: f64) -> StageMetrics {
+        let work: f64 = durs.iter().sum();
+        let span = durs.iter().fold(0.0f64, |a, &b| a.max(b));
         StageMetrics {
             name: name.to_string(),
             num_tasks: durs.len(),
             workers: 4,
-            makespan: durs.iter().fold(0.0f64, |a, &b| a.max(b)),
+            scheduler: "fifo".to_string(),
+            makespan: span,
+            work,
+            span,
+            imbalance: 1.0,
             task_durations: durs,
             network_time: net,
         }
@@ -121,6 +153,16 @@ mod tests {
     }
 
     #[test]
+    fn lower_bound_is_max_of_avg_and_span() {
+        // 4 workers: work 8, span 5 -> bound is the span.
+        let s = stage("x", vec![5.0, 1.0, 1.0, 0.5, 0.5], 0.0);
+        assert_eq!(s.makespan_lower_bound(), 5.0);
+        // work 8, span 2 on 4 workers -> bound is work/workers = 2.
+        let s = stage("x", vec![2.0, 2.0, 2.0, 2.0], 0.0);
+        assert_eq!(s.makespan_lower_bound(), 2.0);
+    }
+
+    #[test]
     fn report_prefix_sums() {
         let r = EngineReport {
             stages: vec![
@@ -128,6 +170,7 @@ mod tests {
                 stage("phase1:dict", vec![0.5], 0.5),
                 stage("phase2:subgraph", vec![2.0], 0.0),
             ],
+            trace: Trace::default(),
         };
         assert_eq!(r.elapsed_with_prefix("phase1"), 2.0);
         assert_eq!(r.elapsed_with_prefix("phase2"), 2.0);
@@ -142,6 +185,7 @@ mod tests {
                 stage("phase2:b", vec![1.0, 1.5], 0.0),
                 stage("phase3:c", vec![1.0, 100.0], 0.0),
             ],
+            trace: Trace::default(),
         };
         assert_eq!(r.load_imbalance_with_prefix("phase2"), 3.0);
     }

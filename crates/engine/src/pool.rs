@@ -1,65 +1,144 @@
-//! Physical task execution: a scoped worker pool over crossbeam channels.
+//! Physical task execution: a scoped worker pool on std threads.
 //!
-//! The pool's only job is to run a batch of closures on real OS threads
-//! and measure each closure's wall-clock duration. Cluster semantics
-//! (virtual workers, scheduling, network) live in [`crate::stage`]; this
-//! module is deliberately dumb and allocation-light.
+//! The pool's job is to run a batch of fallible task closures on real OS
+//! threads, measure each task's wall-clock duration, catch panics, and
+//! apply the batch's retry policy. Cluster semantics (virtual workers,
+//! scheduling, network) live in [`crate::stage`]; this module is
+//! deliberately dumb and allocation-light.
+//!
+//! Failure semantics: a task attempt fails by returning `Err` or by
+//! panicking (caught via `catch_unwind` — the process does not abort).
+//! Failed attempts are retried in place up to
+//! [`RetryPolicy::max_attempts`]; the first task to exhaust its retries
+//! flips the batch's cancellation flag — queued tasks are skipped,
+//! running tasks can observe [`TaskCtx::is_cancelled`] — and the batch
+//! returns that task's [`StageError`].
 
-use crossbeam::channel;
+use crate::task::{RetryPolicy, StageError, TaskCtx, TaskError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Runs `f(i, input_i)` for every input on up to `threads` OS threads and
-/// returns `(outputs, durations_sec)` in input order.
+/// Successful batch execution: outputs and measured durations, both in
+/// task (input) order.
+#[derive(Debug)]
+pub struct BatchOutput<T> {
+    /// Task outputs.
+    pub outputs: Vec<T>,
+    /// Wall-clock duration of each task's *successful* attempt, seconds.
+    pub durations: Vec<f64>,
+}
+
+/// Runs `f(ctx, input_i)` for every input on up to `threads` OS threads.
 ///
-/// Panics in task closures propagate (the scope re-raises them) — a
-/// clustering task that panics is a bug, not a recoverable condition.
-pub fn run_batch<I, T, F>(threads: usize, inputs: Vec<I>, f: F) -> (Vec<T>, Vec<f64>)
+/// Inputs must be `Clone` so failed attempts can be retried; the final
+/// permitted attempt consumes the input by move, so the default
+/// no-retry policy never clones.
+///
+/// `virtual_workers` only seeds [`TaskCtx::virtual_worker`]
+/// (round-robin); physical placement is whichever thread picks the task
+/// up.
+pub fn run_batch<I, T, F>(
+    threads: usize,
+    stage: &str,
+    virtual_workers: usize,
+    retry: RetryPolicy,
+    inputs: Vec<I>,
+    f: F,
+) -> Result<BatchOutput<T>, StageError>
 where
-    I: Send,
+    I: Send + Clone,
     T: Send,
-    F: Fn(usize, I) -> T + Sync,
+    F: Fn(&TaskCtx, I) -> Result<T, TaskError> + Sync,
 {
     let n = inputs.len();
     if n == 0 {
-        return (Vec::new(), Vec::new());
+        return Ok(BatchOutput {
+            outputs: Vec::new(),
+            durations: Vec::new(),
+        });
     }
     let threads = threads.max(1).min(n);
-    let (in_tx, in_rx) = channel::unbounded::<(usize, I)>();
-    let (out_tx, out_rx) = channel::unbounded::<(usize, T, f64)>();
-    for pair in inputs.into_iter().enumerate() {
-        in_tx.send(pair).expect("queue send");
-    }
-    drop(in_tx);
+    let virtual_workers = virtual_workers.max(1);
+    let max_attempts = retry.max_attempts.max(1);
 
-    crossbeam::scope(|s| {
+    let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<(T, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let failure: Mutex<Option<StageError>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            let in_rx = in_rx.clone();
-            let out_tx = out_tx.clone();
-            let f = &f;
-            s.spawn(move |_| {
-                while let Ok((i, input)) = in_rx.recv() {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if cancel.load(Ordering::Relaxed) {
+                    continue; // drain the queue without executing
+                }
+                let mut input = slots[i].lock().expect("input slot lock").take();
+                let mut attempt = 0;
+                let outcome = loop {
+                    attempt += 1;
+                    // Clone only while retries remain; the last permitted
+                    // attempt consumes the input.
+                    let arg = if attempt < max_attempts {
+                        input.clone().expect("input present before final attempt")
+                    } else {
+                        input.take().expect("input present on final attempt")
+                    };
+                    let ctx = TaskCtx::new(stage, i, i % virtual_workers, attempt, &cancel);
                     let start = Instant::now();
-                    let out = f(i, input);
+                    let ran = catch_unwind(AssertUnwindSafe(|| f(&ctx, arg)));
                     let dt = start.elapsed().as_secs_f64();
-                    out_tx.send((i, out, dt)).expect("result send");
+                    match ran {
+                        Ok(Ok(out)) => break Ok((out, dt)),
+                        Ok(Err(e)) if attempt >= max_attempts => break Err(e),
+                        Err(payload) if attempt >= max_attempts => {
+                            break Err(TaskError::from_panic(payload))
+                        }
+                        _ => {} // soft failure: retry
+                    }
+                };
+                match outcome {
+                    Ok(pair) => {
+                        *results[i].lock().expect("result slot lock") = Some(pair);
+                    }
+                    Err(error) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        let mut first = failure.lock().expect("failure lock");
+                        if first.is_none() {
+                            *first = Some(StageError {
+                                stage: stage.to_string(),
+                                task: i,
+                                attempts: attempt,
+                                error,
+                            });
+                        }
+                        break;
+                    }
                 }
             });
         }
-        drop(out_tx);
-    })
-    .expect("worker panicked");
+    });
 
-    let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let mut durations = vec![0.0f64; n];
-    for (i, out, dt) in out_rx.iter() {
-        outputs[i] = Some(out);
-        durations[i] = dt;
+    if let Some(err) = failure.into_inner().expect("failure lock") {
+        return Err(err);
     }
-    let outputs = outputs
-        .into_iter()
-        .map(|o| o.expect("missing task output"))
-        .collect();
-    (outputs, durations)
+    let mut outputs = Vec::with_capacity(n);
+    let mut durations = Vec::with_capacity(n);
+    for slot in results {
+        let (out, dt) = slot
+            .into_inner()
+            .expect("result slot lock")
+            .expect("task completed without result or failure");
+        outputs.push(out);
+        durations.push(dt);
+    }
+    Ok(BatchOutput { outputs, durations })
 }
 
 /// Physical parallelism available on this host.
@@ -72,44 +151,184 @@ pub fn physical_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
+
+    fn batch<I, T, F>(threads: usize, inputs: Vec<I>, f: F) -> Result<BatchOutput<T>, StageError>
+    where
+        I: Send + Clone,
+        T: Send,
+        F: Fn(&TaskCtx, I) -> Result<T, TaskError> + Sync,
+    {
+        run_batch(threads, "test", 4, RetryPolicy::none(), inputs, f)
+    }
 
     #[test]
     fn outputs_in_input_order() {
         let inputs: Vec<u64> = (0..100).collect();
-        let (out, durs) = run_batch(4, inputs, |_, x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        assert_eq!(durs.len(), 100);
-        assert!(durs.iter().all(|&d| d >= 0.0));
+        let out = batch(4, inputs, |_, x| Ok(x * 2)).unwrap();
+        assert_eq!(out.outputs, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(out.durations.len(), 100);
+        assert!(out.durations.iter().all(|&d| d >= 0.0));
     }
 
     #[test]
     fn empty_batch() {
-        let (out, durs) = run_batch(4, Vec::<u32>::new(), |_, x| x);
-        assert!(out.is_empty());
-        assert!(durs.is_empty());
+        let out = batch(4, Vec::<u32>::new(), |_, x| Ok(x)).unwrap();
+        assert!(out.outputs.is_empty());
+        assert!(out.durations.is_empty());
     }
 
     #[test]
     fn single_thread_is_sequential_but_complete() {
         let counter = AtomicUsize::new(0);
-        let (out, _) = run_batch(1, vec![(); 50], |i, _| {
+        let out = batch(1, vec![(); 50], |ctx, _| {
             counter.fetch_add(1, Ordering::Relaxed);
-            i
-        });
+            Ok(ctx.index())
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 50);
-        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        assert_eq!(out.outputs, (0..50).collect::<Vec<_>>());
     }
 
     #[test]
-    fn index_argument_matches_position() {
-        let (out, _) = run_batch(3, vec![10u64, 20, 30], |i, x| (i as u64, x));
-        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    fn ctx_index_matches_position() {
+        let out = batch(3, vec![10u64, 20, 30], |ctx, x| Ok((ctx.index() as u64, x))).unwrap();
+        assert_eq!(out.outputs, vec![(0, 10), (1, 20), (2, 30)]);
     }
 
     #[test]
     fn many_threads_few_tasks() {
-        let (out, _) = run_batch(64, vec![1, 2], |_, x| x + 1);
-        assert_eq!(out, vec![2, 3]);
+        let out = batch(64, vec![1, 2], |_, x| Ok(x + 1)).unwrap();
+        assert_eq!(out.outputs, vec![2, 3]);
+    }
+
+    #[test]
+    fn err_surfaces_as_stage_error_and_cancels() {
+        let err = run_batch(
+            2,
+            "failing",
+            4,
+            RetryPolicy::none(),
+            (0..64).collect::<Vec<u32>>(),
+            |_, x| {
+                if x == 5 {
+                    Err(TaskError::new("poisoned partition"))
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, "failing");
+        assert_eq!(err.task, 5);
+        assert_eq!(err.attempts, 1);
+        assert!(err.error.message.contains("poisoned"));
+    }
+
+    #[test]
+    fn panic_is_caught_not_propagated() {
+        let err = batch(4, (0..16).collect::<Vec<u32>>(), |_, x| {
+            if x == 3 {
+                panic!("task exploded");
+            }
+            Ok(x)
+        })
+        .unwrap_err();
+        assert_eq!(err.task, 3);
+        assert!(err.error.message.contains("task exploded"));
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        let tries = AtomicUsize::new(0);
+        let out = run_batch(
+            2,
+            "flaky",
+            4,
+            RetryPolicy::with_attempts(3),
+            vec![7u32],
+            |ctx, x| {
+                tries.fetch_add(1, Ordering::Relaxed);
+                if ctx.attempt() < 3 {
+                    Err(TaskError::new("transient"))
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![7]);
+        assert_eq!(tries.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempt_count() {
+        let err = run_batch(
+            1,
+            "always-bad",
+            4,
+            RetryPolicy::with_attempts(3),
+            vec![0u32],
+            |_, _: u32| -> Result<u32, TaskError> { Err(TaskError::new("permanent")) },
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, 3);
+    }
+
+    #[test]
+    fn retry_also_covers_panics() {
+        let out = run_batch(
+            1,
+            "flaky-panic",
+            4,
+            RetryPolicy::with_attempts(2),
+            vec![1u32],
+            |ctx, x| {
+                if ctx.attempt() == 1 {
+                    panic!("first attempt dies");
+                }
+                Ok(x)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![1]);
+    }
+
+    #[test]
+    fn cancellation_skips_queued_tasks() {
+        // Single thread: task 0 fails hard, so tasks 1.. must be skipped.
+        let executed = AtomicUsize::new(0);
+        let err = run_batch(
+            1,
+            "cancelling",
+            4,
+            RetryPolicy::none(),
+            (0..100).collect::<Vec<u32>>(),
+            |_, x| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    Err(TaskError::new("first task fails"))
+                } else {
+                    Ok(x)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.task, 0);
+        assert_eq!(executed.load(Ordering::Relaxed), 1, "queued tasks ran");
+    }
+
+    #[test]
+    fn virtual_worker_is_round_robin() {
+        let out = run_batch(
+            2,
+            "lanes",
+            3,
+            RetryPolicy::none(),
+            (0..9usize).collect::<Vec<_>>(),
+            |ctx, _| Ok(ctx.virtual_worker()),
+        )
+        .unwrap();
+        assert_eq!(out.outputs, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
     }
 }

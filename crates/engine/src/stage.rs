@@ -3,9 +3,10 @@
 use crate::cost::CostModel;
 use crate::metrics::{EngineReport, StageMetrics};
 use crate::pool;
-use parking_lot::Mutex;
-use std::collections::BinaryHeap;
-use std::cmp::Reverse;
+use crate::sched::{Fifo, Scheduler};
+use crate::task::{RetryPolicy, StageError, TaskCtx, TaskError};
+use crate::trace::{NetworkEvent, NetworkKind, TaskSpan};
+use std::sync::Mutex;
 
 /// Result of running one stage: ordered task outputs plus metrics.
 #[derive(Debug)]
@@ -16,16 +17,27 @@ pub struct StageResult<T> {
     pub metrics: StageMetrics,
 }
 
+/// Mutable engine state behind one lock: the metrics report and the
+/// virtual clock the trace timeline is built on.
+#[derive(Debug)]
+struct EngineState {
+    report: EngineReport,
+    clock: f64,
+}
+
 /// A simulated cluster executing MapReduce-style stages.
 ///
 /// `virtual_workers` controls the simulated cluster width (the paper's
 /// core count); physical execution always uses the local machine fully.
+/// The scheduling policy and the per-task retry policy are pluggable.
 ///
 /// ```
 /// use rpdbscan_engine::Engine;
 ///
 /// let engine = Engine::new(4);
-/// let result = engine.run_stage("square", vec![1u64, 2, 3], |_, x| x * x);
+/// let result = engine
+///     .run_stage("square", vec![1u64, 2, 3], |_ctx, x| Ok(x * x))
+///     .unwrap();
 /// assert_eq!(result.outputs, vec![1, 4, 9]);
 /// engine.broadcast_cost("ship-dictionary", 1_000_000);
 /// assert_eq!(engine.report().stages.len(), 2);
@@ -35,24 +47,50 @@ pub struct Engine {
     virtual_workers: usize,
     physical_threads: usize,
     cost: CostModel,
-    report: Mutex<EngineReport>,
+    scheduler: Box<dyn Scheduler>,
+    retry: RetryPolicy,
+    state: Mutex<EngineState>,
 }
 
 impl Engine {
     /// An engine with `virtual_workers` simulated workers and the default
-    /// cost model.
+    /// cost model, FIFO scheduler, and no-retry policy.
     pub fn new(virtual_workers: usize) -> Self {
         Self::with_cost_model(virtual_workers, CostModel::default())
     }
 
     /// An engine with an explicit cost model.
     pub fn with_cost_model(virtual_workers: usize, cost: CostModel) -> Self {
+        let virtual_workers = virtual_workers.max(1);
         Self {
-            virtual_workers: virtual_workers.max(1),
+            virtual_workers,
             physical_threads: pool::physical_threads(),
             cost,
-            report: Mutex::new(EngineReport::default()),
+            scheduler: Box::new(Fifo),
+            retry: RetryPolicy::none(),
+            state: Mutex::new(EngineState {
+                report: EngineReport {
+                    stages: Vec::new(),
+                    trace: crate::trace::Trace {
+                        workers: virtual_workers,
+                        ..Default::default()
+                    },
+                },
+                clock: 0.0,
+            }),
         }
+    }
+
+    /// Replaces the scheduling policy (builder style).
+    pub fn with_scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Replaces the per-task retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Number of simulated workers.
@@ -65,16 +103,40 @@ impl Engine {
         &self.cost
     }
 
-    /// Runs one stage: applies `f` to every input (a partition), measures
-    /// each task, and schedules the measured durations onto the virtual
-    /// cluster.
-    pub fn run_stage<I, T, F>(&self, name: &str, inputs: Vec<I>, f: F) -> StageResult<T>
+    /// Name of the active scheduling policy.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Runs one stage: applies `f` to every input (a partition) on the
+    /// physical pool, measures each task, and places the measured
+    /// durations onto the virtual cluster with the engine's scheduler.
+    ///
+    /// A task fails by returning `Err` or panicking (panics are caught,
+    /// not propagated); failures are retried per the engine's
+    /// [`RetryPolicy`], and the first task to exhaust its retries fails
+    /// the stage — remaining tasks are cancelled and the [`StageError`]
+    /// propagates to the caller.
+    pub fn run_stage<I, T, F>(
+        &self,
+        name: &str,
+        inputs: Vec<I>,
+        f: F,
+    ) -> Result<StageResult<T>, StageError>
     where
-        I: Send,
+        I: Send + Clone,
         T: Send,
-        F: Fn(usize, I) -> T + Sync,
+        F: Fn(&TaskCtx, I) -> Result<T, TaskError> + Sync,
     {
-        let (outputs, mut durations) = pool::run_batch(self.physical_threads, inputs, f);
+        let batch = pool::run_batch(
+            self.physical_threads,
+            name,
+            self.virtual_workers,
+            self.retry,
+            inputs,
+            f,
+        )?;
+        let mut durations = batch.durations;
         // Task times are reported the way Spark's counters report them —
         // including launch overhead. This also floors sub-millisecond
         // tasks so load-imbalance ratios reflect scheduling reality
@@ -82,24 +144,51 @@ impl Engine {
         for d in &mut durations {
             *d += self.cost.per_task_overhead_sec;
         }
-        let makespan = simulate_makespan(&durations, self.virtual_workers, 0.0);
+        let schedule = self.scheduler.schedule(&durations, self.virtual_workers);
+        let work: f64 = durations.iter().sum();
+        let span = durations.iter().fold(0.0f64, |a, &b| a.max(b));
+        let lower = (work / self.virtual_workers as f64).max(span);
+        let imbalance = if lower > 0.0 {
+            schedule.makespan / lower
+        } else {
+            1.0
+        };
         let metrics = StageMetrics {
             name: name.to_string(),
             num_tasks: durations.len(),
             workers: self.virtual_workers,
-            task_durations: durations,
-            makespan,
+            scheduler: self.scheduler.name().to_string(),
+            makespan: schedule.makespan,
+            work,
+            span,
+            imbalance,
+            task_durations: durations.clone(),
             network_time: 0.0,
         };
-        self.report.lock().stages.push(metrics.clone());
-        StageResult { outputs, metrics }
+        let mut state = self.state.lock().expect("engine state lock");
+        let clock = state.clock;
+        for (task, placement) in schedule.placements.iter().enumerate() {
+            state.report.trace.spans.push(TaskSpan {
+                stage: name.to_string(),
+                task,
+                worker: placement.worker,
+                start: clock + placement.start,
+                duration: durations[task],
+            });
+        }
+        state.clock += metrics.elapsed();
+        state.report.stages.push(metrics.clone());
+        Ok(StageResult {
+            outputs: batch.outputs,
+            metrics,
+        })
     }
 
     /// Charges the cost of broadcasting `bytes` to every worker as a
     /// zero-task stage (Phase I's dictionary broadcast).
     pub fn broadcast_cost(&self, name: &str, bytes: u64) -> f64 {
         let t = self.cost.broadcast_time(bytes, self.virtual_workers);
-        self.charge_network(name, t);
+        self.charge_network(name, NetworkKind::Broadcast, bytes, t);
         t
     }
 
@@ -107,92 +196,65 @@ impl Engine {
     /// subgraph exchanges between merge rounds).
     pub fn shuffle_cost(&self, name: &str, bytes: u64) -> f64 {
         let t = self.cost.transfer_time(bytes);
-        self.charge_network(name, t);
+        self.charge_network(name, NetworkKind::Shuffle, bytes, t);
         t
     }
 
-    fn charge_network(&self, name: &str, seconds: f64) {
-        self.report.lock().stages.push(StageMetrics {
+    fn charge_network(&self, name: &str, kind: NetworkKind, bytes: u64, seconds: f64) {
+        let mut state = self.state.lock().expect("engine state lock");
+        let clock = state.clock;
+        state.report.trace.events.push(NetworkEvent {
+            name: name.to_string(),
+            kind,
+            bytes,
+            start: clock,
+            duration: seconds,
+        });
+        state.clock += seconds;
+        state.report.stages.push(StageMetrics {
             name: name.to_string(),
             num_tasks: 0,
             workers: self.virtual_workers,
+            scheduler: self.scheduler.name().to_string(),
             task_durations: Vec::new(),
             makespan: 0.0,
+            work: 0.0,
+            span: 0.0,
+            imbalance: 1.0,
             network_time: seconds,
         });
     }
 
-    /// Snapshot of everything run so far.
+    /// Snapshot of everything run so far, trace included.
     pub fn report(&self) -> EngineReport {
-        self.report.lock().clone()
+        self.state.lock().expect("engine state lock").report.clone()
     }
 
-    /// Clears accumulated metrics (between experiment repetitions).
+    /// Clears accumulated metrics and trace (between experiment
+    /// repetitions).
     pub fn reset(&self) {
-        self.report.lock().stages.clear();
+        let mut state = self.state.lock().expect("engine state lock");
+        state.report.stages.clear();
+        state.report.trace.spans.clear();
+        state.report.trace.events.clear();
+        state.clock = 0.0;
     }
-}
-
-/// FIFO list scheduling: each task (in submission order) starts on the
-/// earliest-available worker; returns the simulated makespan.
-fn simulate_makespan(durations: &[f64], workers: usize, per_task_overhead: f64) -> f64 {
-    if durations.is_empty() {
-        return 0.0;
-    }
-    // Min-heap of worker available-times, keyed by f64 bits (all values
-    // are non-negative finite, so the bit ordering matches numeric order).
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..workers.max(1))
-        .map(|w| Reverse((0u64, w)))
-        .collect();
-    let mut makespan = 0.0f64;
-    for &d in durations {
-        let Reverse((bits, w)) = heap.pop().expect("non-empty heap");
-        let available = f64::from_bits(bits);
-        let finish = available + d + per_task_overhead;
-        makespan = makespan.max(finish);
-        heap.push(Reverse((finish.to_bits(), w)));
-    }
-    makespan
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn makespan_single_worker_is_sum() {
-        let m = simulate_makespan(&[1.0, 2.0, 3.0], 1, 0.0);
-        assert!((m - 6.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn makespan_many_workers_is_max() {
-        let m = simulate_makespan(&[1.0, 2.0, 3.0], 8, 0.0);
-        assert!((m - 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn makespan_two_workers_fifo() {
-        // FIFO on 2 workers: w0=[3], w1=[1,2] -> makespan 3.
-        let m = simulate_makespan(&[3.0, 1.0, 2.0], 2, 0.0);
-        assert!((m - 3.0).abs() < 1e-12);
-        // Adverse order: w0=[1,3], w1=[2] -> makespan 4.
-        let m = simulate_makespan(&[1.0, 2.0, 3.0], 2, 0.0);
-        assert!((m - 4.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn overhead_charged_per_task() {
-        let m = simulate_makespan(&[1.0, 1.0], 1, 0.5);
-        assert!((m - 3.0).abs() < 1e-12);
-    }
+    use crate::sched::Lpt;
 
     #[test]
     fn stage_outputs_ordered_and_logged() {
         let e = Engine::with_cost_model(4, CostModel::free());
-        let r = e.run_stage("double", (0..10u64).collect(), |_, x| x * 2);
+        let r = e
+            .run_stage("double", (0..10u64).collect(), |_, x| Ok(x * 2))
+            .unwrap();
         assert_eq!(r.outputs, (0..10).map(|x| x * 2).collect::<Vec<_>>());
         assert_eq!(r.metrics.num_tasks, 10);
+        assert_eq!(r.metrics.scheduler, "fifo");
         let rep = e.report();
         assert_eq!(rep.stages.len(), 1);
         assert_eq!(rep.stages[0].name, "double");
@@ -207,32 +269,103 @@ mod tests {
         let rep = e.report();
         assert_eq!(rep.stages.len(), 2);
         assert!((rep.total_elapsed() - (b + s)).abs() < 1e-12);
+        assert_eq!(rep.trace.events.len(), 2);
+        assert_eq!(rep.trace.events[0].kind, NetworkKind::Broadcast);
+        assert_eq!(rep.trace.events[1].kind, NetworkKind::Shuffle);
+        // Second event starts when the first finishes.
+        assert!((rep.trace.events[1].start - b).abs() < 1e-12);
     }
 
     #[test]
-    fn reset_clears_report() {
+    fn reset_clears_report_and_trace() {
         let e = Engine::new(2);
-        e.run_stage("x", vec![1, 2, 3], |_, v| v);
+        e.run_stage("x", vec![1, 2, 3], |_, v| Ok(v)).unwrap();
+        e.broadcast_cost("bc", 1024);
         e.reset();
+        let rep = e.report();
+        assert!(rep.stages.is_empty());
+        assert!(rep.trace.spans.is_empty());
+        assert!(rep.trace.events.is_empty());
+    }
+
+    #[test]
+    fn failing_task_fails_stage_without_abort() {
+        let e = Engine::with_cost_model(4, CostModel::free());
+        let err = e
+            .run_stage("poisoned", (0..8u32).collect(), |_, x| {
+                if x == 6 {
+                    Err(TaskError::new("bad partition"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.stage, "poisoned");
+        assert_eq!(err.task, 6);
+        // A failed stage records no metrics.
         assert!(e.report().stages.is_empty());
+        // The engine stays usable afterwards.
+        let r = e.run_stage("after", vec![1u32], |_, x| Ok(x)).unwrap();
+        assert_eq!(r.outputs, vec![1]);
     }
 
     #[test]
-    fn more_workers_never_slower() {
-        let durs: Vec<f64> = (0..50).map(|i| (i % 7) as f64 * 0.1 + 0.05).collect();
-        let mut prev = f64::INFINITY;
-        for w in [1, 2, 4, 8, 16, 64] {
-            let m = simulate_makespan(&durs, w, 0.0);
-            assert!(m <= prev + 1e-12, "w={w}: {m} > {prev}");
-            prev = m;
+    fn trace_spans_cover_every_task_on_valid_lanes() {
+        let e = Engine::with_cost_model(3, CostModel::free());
+        e.run_stage("a", vec![(); 7], |_, ()| Ok(())).unwrap();
+        e.run_stage("b", vec![(); 5], |_, ()| Ok(())).unwrap();
+        let rep = e.report();
+        assert_eq!(rep.trace.spans.len(), 12);
+        assert!(rep.trace.spans.iter().all(|s| s.worker < 3));
+        assert_eq!(rep.trace.workers, 3);
+        // Stage b's spans start at or after stage a's elapsed time.
+        let a_elapsed = rep.stages[0].elapsed();
+        for span in rep.trace.spans.iter().filter(|s| s.stage == "b") {
+            assert!(span.start >= a_elapsed - 1e-12);
         }
+        let json = rep.chrome_trace_json();
+        assert!(json.contains("\"ph\":\"X\""));
     }
 
     #[test]
-    fn virtual_scaling_of_uniform_tasks_is_linear() {
-        let durs = vec![1.0; 40];
-        let m5 = simulate_makespan(&durs, 5, 0.0);
-        let m40 = simulate_makespan(&durs, 40, 0.0);
-        assert!((m5 / m40 - 8.0).abs() < 1e-9);
+    fn scheduler_is_pluggable() {
+        let e = Engine::with_cost_model(2, CostModel::free()).with_scheduler(Lpt);
+        assert_eq!(e.scheduler_name(), "lpt");
+        let r = e.run_stage("s", vec![1, 2, 3], |_, v| Ok(v)).unwrap();
+        assert_eq!(r.metrics.scheduler, "lpt");
+    }
+
+    #[test]
+    fn retry_policy_is_engine_wide() {
+        let e =
+            Engine::with_cost_model(2, CostModel::free()).with_retry(RetryPolicy::with_attempts(2));
+        let r = e
+            .run_stage("flaky", vec![5u32], |ctx, x| {
+                if ctx.attempt() == 1 {
+                    Err(TaskError::new("transient"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap();
+        assert_eq!(r.outputs, vec![5]);
+    }
+
+    #[test]
+    fn work_span_imbalance_are_consistent() {
+        let e = Engine::with_cost_model(4, CostModel::free());
+        let r = e
+            .run_stage("m", vec![1u64, 2, 3, 4, 5, 6, 7, 8], |_, x| {
+                // Busy-wait proportional to x so durations are non-trivial.
+                let start = std::time::Instant::now();
+                while start.elapsed().as_micros() < x as u128 * 200 {}
+                Ok(x)
+            })
+            .unwrap();
+        let m = &r.metrics;
+        assert!((m.work - m.total_cpu()).abs() < 1e-12);
+        assert!(m.span <= m.work + 1e-12);
+        assert!(m.makespan >= m.makespan_lower_bound() - 1e-12);
+        assert!(m.imbalance >= 1.0 - 1e-9);
     }
 }

@@ -1,0 +1,233 @@
+//! Task-level types of the Stage API: execution context, task errors,
+//! retry policy, and the stage-level failure surfaced to drivers.
+
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Execution context handed to every task closure.
+///
+/// Carries the identity of the running task (stage name, task index,
+/// virtual worker lane, attempt number) and a cooperative cancellation
+/// flag: once any task in the batch fails hard, the flag flips and
+/// long-running tasks can bail out early via [`TaskCtx::is_cancelled`].
+#[derive(Debug)]
+pub struct TaskCtx<'a> {
+    stage: &'a str,
+    index: usize,
+    virtual_worker: usize,
+    attempt: usize,
+    cancel: &'a AtomicBool,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Builds a context; called by the pool for each attempt.
+    pub(crate) fn new(
+        stage: &'a str,
+        index: usize,
+        virtual_worker: usize,
+        attempt: usize,
+        cancel: &'a AtomicBool,
+    ) -> Self {
+        Self {
+            stage,
+            index,
+            virtual_worker,
+            attempt,
+            cancel,
+        }
+    }
+
+    /// Name of the stage this task belongs to.
+    pub fn stage(&self) -> &str {
+        self.stage
+    }
+
+    /// Task index within the stage (partition number), `0..num_tasks`.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The virtual worker lane this task is nominally assigned to
+    /// (round-robin over the simulated cluster width). Useful for
+    /// per-worker seeding; the scheduler may place the measured task on
+    /// a different lane in the simulated timeline.
+    pub fn virtual_worker(&self) -> usize {
+        self.virtual_worker
+    }
+
+    /// 1-based attempt number (`1` on the first run, `2` on the first
+    /// retry, ...).
+    pub fn attempt(&self) -> usize {
+        self.attempt
+    }
+
+    /// True once another task in the batch has failed hard; cooperative
+    /// tasks should return promptly (any `Err` is fine — the batch
+    /// already failed).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// Failure of one task attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl TaskError {
+    /// A task error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Converts a caught panic payload into a task error.
+    pub(crate) fn from_panic(payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("task panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("task panicked: {s}")
+        } else {
+            "task panicked".to_string()
+        };
+        Self { message }
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TaskError {}
+
+impl From<String> for TaskError {
+    fn from(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl From<&str> for TaskError {
+    fn from(message: &str) -> Self {
+        Self::new(message)
+    }
+}
+
+/// How many times the pool runs a failing task before giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per task, including the first (`1` = no retry).
+    pub max_attempts: usize,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is immediately hard.
+    pub fn none() -> Self {
+        Self { max_attempts: 1 }
+    }
+
+    /// Up to `max_attempts` total attempts per task.
+    pub fn with_attempts(max_attempts: usize) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A stage that failed: the first task whose retries were exhausted.
+///
+/// Once a stage fails, remaining queued tasks are cancelled and the
+/// error propagates to the driver (e.g. as `CoreError::Stage` out of
+/// `RpDbscan::run`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageError {
+    /// Name of the failing stage.
+    pub stage: String,
+    /// Index of the task that failed.
+    pub task: usize,
+    /// Attempts made before giving up.
+    pub attempts: usize,
+    /// The final attempt's error.
+    pub error: TaskError,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage `{}` failed: task {} failed after {} attempt{}: {}",
+            self.stage,
+            self.task,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.error
+        )
+    }
+}
+
+impl Error for StageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_reports_identity_and_cancellation() {
+        let cancel = AtomicBool::new(false);
+        let ctx = TaskCtx::new("phase2:local", 3, 1, 2, &cancel);
+        assert_eq!(ctx.stage(), "phase2:local");
+        assert_eq!(ctx.index(), 3);
+        assert_eq!(ctx.virtual_worker(), 1);
+        assert_eq!(ctx.attempt(), 2);
+        assert!(!ctx.is_cancelled());
+        cancel.store(true, Ordering::Relaxed);
+        assert!(ctx.is_cancelled());
+    }
+
+    #[test]
+    fn panic_payloads_become_messages() {
+        let e = TaskError::from_panic(Box::new("boom"));
+        assert_eq!(e.message, "task panicked: boom");
+        let e = TaskError::from_panic(Box::new("boom".to_string()));
+        assert_eq!(e.message, "task panicked: boom");
+        let e = TaskError::from_panic(Box::new(42u32));
+        assert_eq!(e.message, "task panicked");
+    }
+
+    #[test]
+    fn retry_policy_floors_at_one_attempt() {
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().max_attempts, 1);
+    }
+
+    #[test]
+    fn stage_error_display_mentions_stage_and_task() {
+        let e = StageError {
+            stage: "phase3-1:merge".into(),
+            task: 7,
+            attempts: 3,
+            error: TaskError::new("bad partition"),
+        };
+        let text = e.to_string();
+        assert!(text.contains("phase3-1:merge"));
+        assert!(text.contains("task 7"));
+        assert!(text.contains("3 attempts"));
+        assert!(text.contains("bad partition"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Execution tracing: one span per task on the simulated timeline,
+//! exportable as Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`).
+//!
+//! Stages execute sequentially in every reproduced algorithm, so the
+//! engine keeps a virtual clock that advances by each stage's elapsed
+//! time; spans are placed at `clock + placement.start`. Virtual worker
+//! `w` renders as thread lane `tid = w`; network events (broadcasts and
+//! shuffles) render on a dedicated lane one past the last worker.
+
+use rpdbscan_json::Value;
+
+/// One task's occupancy of a virtual worker lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpan {
+    /// Stage the task belongs to.
+    pub stage: String,
+    /// Task index within the stage.
+    pub task: usize,
+    /// Virtual worker lane the scheduler placed the task on.
+    pub worker: usize,
+    /// Start time on the global virtual timeline, seconds.
+    pub start: f64,
+    /// Measured task duration, seconds.
+    pub duration: f64,
+}
+
+/// Kind of a simulated network transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// One-to-all broadcast (Phase I dictionary shipping).
+    Broadcast,
+    /// Point-to-point shuffle (Phase III subgraph exchange).
+    Shuffle,
+}
+
+impl NetworkKind {
+    fn label(self) -> &'static str {
+        match self {
+            NetworkKind::Broadcast => "broadcast",
+            NetworkKind::Shuffle => "shuffle",
+        }
+    }
+}
+
+/// One simulated network transfer on the global timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkEvent {
+    /// Name of the charging stage (e.g. `"phase1-2:broadcast"`).
+    pub name: String,
+    /// Broadcast or shuffle.
+    pub kind: NetworkKind,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Start time on the global virtual timeline, seconds.
+    pub start: f64,
+    /// Charged transfer time, seconds.
+    pub duration: f64,
+}
+
+/// Everything recorded about one engine run's timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Task spans in completion-record order.
+    pub spans: Vec<TaskSpan>,
+    /// Network transfers in charge order.
+    pub events: Vec<NetworkEvent>,
+    /// Virtual cluster width; network events render on lane `workers`.
+    pub workers: usize,
+}
+
+impl Trace {
+    /// Exports the trace in Chrome trace-event JSON array format.
+    ///
+    /// Each entry is a complete event (`"ph":"X"`) with microsecond
+    /// `ts`/`dur`; `tid` is the virtual worker lane (network events use
+    /// lane `workers`). Load the file in <https://ui.perfetto.dev> or
+    /// `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut entries = Vec::with_capacity(self.spans.len() + self.events.len());
+        for span in &self.spans {
+            let mut e = Value::object();
+            e.insert("name", format!("{}[{}]", span.stage, span.task));
+            e.insert("cat", "task");
+            e.insert("ph", "X");
+            e.insert("ts", span.start * 1e6);
+            e.insert("dur", span.duration * 1e6);
+            e.insert("pid", 0i64);
+            e.insert("tid", span.worker);
+            let mut args = Value::object();
+            args.insert("stage", span.stage.as_str());
+            args.insert("task", span.task);
+            e.insert("args", args);
+            entries.push(e);
+        }
+        for ev in &self.events {
+            let mut e = Value::object();
+            e.insert("name", ev.name.as_str());
+            e.insert("cat", "network");
+            e.insert("ph", "X");
+            e.insert("ts", ev.start * 1e6);
+            e.insert("dur", ev.duration * 1e6);
+            e.insert("pid", 0i64);
+            e.insert("tid", self.workers);
+            let mut args = Value::object();
+            args.insert("kind", ev.kind.label());
+            args.insert("bytes", ev.bytes as i64);
+            e.insert("args", args);
+            entries.push(e);
+        }
+        Value::Array(entries).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                TaskSpan {
+                    stage: "phase2:local".into(),
+                    task: 0,
+                    worker: 0,
+                    start: 0.0,
+                    duration: 0.5,
+                },
+                TaskSpan {
+                    stage: "phase2:local".into(),
+                    task: 1,
+                    worker: 1,
+                    start: 0.0,
+                    duration: 0.25,
+                },
+            ],
+            events: vec![NetworkEvent {
+                name: "phase1-2:broadcast".into(),
+                kind: NetworkKind::Broadcast,
+                bytes: 1024,
+                start: 0.5,
+                duration: 0.1,
+            }],
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        for key in [
+            "\"ph\":\"X\"",
+            "\"ts\":",
+            "\"dur\":",
+            "\"tid\":",
+            "\"pid\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"name\":\"phase2:local[0]\""));
+        assert!(json.contains("\"cat\":\"network\""));
+        // Network lane is one past the last worker lane.
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = sample().to_chrome_json();
+        // 0.5 s duration -> 500000 µs.
+        assert!(json.contains("\"dur\":500000.0"), "{json}");
+        // broadcast starts at 0.5 s -> ts 500000 µs.
+        assert!(json.contains("\"ts\":500000.0"), "{json}");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(Trace::default().to_chrome_json(), "[]");
+    }
+}

@@ -1,6 +1,6 @@
 //! Behavioural integration tests for the execution engine.
 
-use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_engine::{CostModel, Engine, RetryPolicy, TaskError};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
@@ -10,29 +10,56 @@ fn tasks_actually_run_concurrently_on_multicore() {
     // use a weaker, robust check: all tasks observe a shared counter.
     let e = Engine::new(4);
     let started = AtomicUsize::new(0);
-    let r = e.run_stage("count", vec![(); 16], |_, ()| {
-        started.fetch_add(1, Ordering::SeqCst)
-    });
+    let r = e
+        .run_stage("count", vec![(); 16], |_, ()| {
+            Ok(started.fetch_add(1, Ordering::SeqCst))
+        })
+        .unwrap();
     assert_eq!(r.outputs.len(), 16);
     assert_eq!(started.load(Ordering::SeqCst), 16);
 }
 
 #[test]
-#[should_panic]
-fn task_panic_propagates() {
+fn task_panic_becomes_stage_error() {
+    // A panicking task no longer takes the process down: the panic is
+    // caught, the stage fails with an Err naming the task, and the engine
+    // remains usable.
     let e = Engine::new(2);
-    e.run_stage("boom", vec![0, 1, 2], |_, x| {
-        if x == 1 {
-            panic!("task failure");
-        }
-        x
-    });
+    let err = e
+        .run_stage("boom", vec![0, 1, 2], |_, x| {
+            if x == 1 {
+                panic!("task failure");
+            }
+            Ok(x)
+        })
+        .unwrap_err();
+    assert_eq!(err.stage, "boom");
+    assert_eq!(err.task, 1);
+    assert!(err.error.message.contains("task failure"), "{err}");
+    let r = e.run_stage("after", vec![5u32], |_, x| Ok(x)).unwrap();
+    assert_eq!(r.outputs, vec![5]);
+}
+
+#[test]
+fn retry_recovers_a_transient_panic() {
+    let e = Engine::new(2).with_retry(RetryPolicy::with_attempts(3));
+    let r = e
+        .run_stage("flaky", vec![9u32], |ctx, x| {
+            if ctx.attempt() < 3 {
+                return Err(TaskError::new("transient"));
+            }
+            Ok(x)
+        })
+        .unwrap();
+    assert_eq!(r.outputs, vec![9]);
 }
 
 #[test]
 fn metrics_reflect_task_count_and_workers() {
     let e = Engine::with_cost_model(7, CostModel::free());
-    let r = e.run_stage("s", (0..20).collect::<Vec<_>>(), |_, x| x);
+    let r = e
+        .run_stage("s", (0..20).collect::<Vec<_>>(), |_, x: i32| Ok(x))
+        .unwrap();
     assert_eq!(r.metrics.num_tasks, 20);
     assert_eq!(r.metrics.workers, 7);
     assert_eq!(r.metrics.task_durations.len(), 20);
@@ -44,17 +71,17 @@ fn virtual_makespan_shrinks_with_more_workers() {
     // Measure the same deterministic workload twice with different
     // virtual widths: the wider cluster must simulate faster even though
     // physical execution is identical.
-    let work = |_: usize, n: u64| {
+    let work = |_: &rpdbscan_engine::TaskCtx, n: u64| {
         let mut acc = 0u64;
         for i in 0..n * 200_000 {
             acc = acc.wrapping_add(i);
         }
-        acc
+        Ok(acc)
     };
     let narrow = Engine::with_cost_model(1, CostModel::free());
     let wide = Engine::with_cost_model(16, CostModel::free());
-    let rn = narrow.run_stage("w", vec![2u64; 16], work);
-    let rw = wide.run_stage("w", vec![2u64; 16], work);
+    let rn = narrow.run_stage("w", vec![2u64; 16], work).unwrap();
+    let rw = wide.run_stage("w", vec![2u64; 16], work).unwrap();
     assert!(
         rw.metrics.makespan < rn.metrics.makespan,
         "wide {} !< narrow {}",
@@ -66,7 +93,7 @@ fn virtual_makespan_shrinks_with_more_workers() {
 #[test]
 fn network_charges_compose_in_report() {
     let e = Engine::new(4);
-    e.run_stage("a", vec![1], |_, x| x);
+    e.run_stage("a", vec![1], |_, x: i32| Ok(x)).unwrap();
     let b1 = e.broadcast_cost("bc1", 10_000_000);
     let s1 = e.shuffle_cost("sh1", 5_000_000);
     let rep = e.report();
@@ -78,7 +105,9 @@ fn network_charges_compose_in_report() {
 #[test]
 fn empty_stage_is_fine() {
     let e = Engine::new(4);
-    let r = e.run_stage("empty", Vec::<u32>::new(), |_, x| x);
+    let r = e
+        .run_stage("empty", Vec::<u32>::new(), |_, x| Ok(x))
+        .unwrap();
     assert!(r.outputs.is_empty());
     assert_eq!(r.metrics.makespan, 0.0);
     assert_eq!(r.metrics.load_imbalance(), 1.0);
@@ -88,8 +117,29 @@ fn empty_stage_is_fine() {
 fn stage_order_preserved_in_report() {
     let e = Engine::new(2);
     for name in ["first", "second", "third"] {
-        e.run_stage(name, vec![()], |_, ()| ());
+        e.run_stage(name, vec![()], |_, ()| Ok(())).unwrap();
     }
     let names: Vec<String> = e.report().stages.into_iter().map(|s| s.name).collect();
     assert_eq!(names, vec!["first", "second", "third"]);
+}
+
+#[test]
+fn trace_covers_all_stages_and_exports_json() {
+    let e = Engine::with_cost_model(3, CostModel::free());
+    e.run_stage("alpha", vec![(); 4], |_, ()| Ok(())).unwrap();
+    e.broadcast_cost("beta", 1 << 20);
+    e.run_stage("gamma", vec![(); 2], |_, ()| Ok(())).unwrap();
+    let rep = e.report();
+    assert_eq!(rep.trace.spans.len(), 6);
+    assert_eq!(rep.trace.events.len(), 1);
+    let json = rep.chrome_trace_json();
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ts\":",
+        "\"dur\":",
+        "\"tid\":",
+        "alpha[0]",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in trace JSON");
+    }
 }

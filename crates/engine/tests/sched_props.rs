@@ -1,0 +1,119 @@
+//! Property tests for scheduler invariants.
+//!
+//! Every scheduler must produce a valid placement whose makespan lies in
+//! the classic list-scheduling envelope, and adding workers must never
+//! make FIFO or LPT slower on the same task set.
+
+use proptest::prelude::*;
+use rpdbscan_engine::{ChunkedSteal, Fifo, Lpt, Scheduler};
+
+const EPS: f64 = 1e-9;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fifo),
+        Box::new(Lpt),
+        Box::new(ChunkedSteal::default()),
+        Box::new(ChunkedSteal { chunk_size: 1 }),
+    ]
+}
+
+proptest! {
+    /// Any schedule's makespan is bounded below by
+    /// `max(total / workers, longest task)` and above by the serial total,
+    /// and every task is placed exactly once on a valid lane.
+    #[test]
+    fn makespan_within_envelope(
+        durations in prop::collection::vec(0.0f64..10.0, 0..60),
+        workers in 1usize..20,
+    ) {
+        let total: f64 = durations.iter().sum();
+        let longest = durations.iter().fold(0.0f64, |a, &b| a.max(b));
+        let lower = (total / workers as f64).max(longest);
+        for sched in schedulers() {
+            let plan = sched.schedule(&durations, workers);
+            prop_assert_eq!(plan.placements.len(), durations.len());
+            for p in &plan.placements {
+                prop_assert!(p.worker < workers, "{} lane {}", sched.name(), p.worker);
+                prop_assert!(p.start >= -EPS);
+            }
+            prop_assert!(
+                plan.makespan + EPS >= lower,
+                "{}: makespan {} below lower bound {}",
+                sched.name(), plan.makespan, lower
+            );
+            prop_assert!(
+                plan.makespan <= total + EPS,
+                "{}: makespan {} above serial total {}",
+                sched.name(), plan.makespan, total
+            );
+        }
+    }
+
+    /// Tasks assigned to one lane never overlap in time.
+    #[test]
+    fn no_overlap_within_a_lane(
+        durations in prop::collection::vec(0.01f64..5.0, 1..40),
+        workers in 1usize..8,
+    ) {
+        for sched in schedulers() {
+            let plan = sched.schedule(&durations, workers);
+            for w in 0..workers {
+                let mut lane: Vec<(f64, f64)> = plan
+                    .placements
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.worker == w)
+                    .map(|(t, p)| (p.start, p.start + durations[t]))
+                    .collect();
+                lane.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite start"));
+                for pair in lane.windows(2) {
+                    prop_assert!(
+                        pair[1].0 + EPS >= pair[0].1,
+                        "{}: lane {} overlap {:?}",
+                        sched.name(), w, pair
+                    );
+                }
+            }
+        }
+    }
+
+    /// Growing the cluster never increases FIFO's or LPT's makespan.
+    ///
+    /// This holds for these two because both are deterministic
+    /// earliest-available-worker list schedulers: each task starts at the
+    /// current minimum lane load, which is monotonically non-increasing
+    /// in the worker count for a fixed task order.
+    #[test]
+    fn more_workers_never_slower(
+        durations in prop::collection::vec(0.0f64..10.0, 0..50),
+        workers in 1usize..16,
+    ) {
+        for sched in [&Fifo as &dyn Scheduler, &Lpt] {
+            let narrow = sched.schedule(&durations, workers).makespan;
+            let wide = sched.schedule(&durations, workers + 1).makespan;
+            prop_assert!(
+                wide <= narrow + EPS,
+                "{}: {} workers -> {}, {} workers -> {}",
+                sched.name(), workers, narrow, workers + 1, wide
+            );
+        }
+    }
+
+    /// LPT never loses to FIFO by more than FIFO's own makespan (sanity)
+    /// and both agree exactly on a single worker.
+    #[test]
+    fn single_worker_serialises_everything(
+        durations in prop::collection::vec(0.0f64..10.0, 0..40),
+    ) {
+        let total: f64 = durations.iter().sum();
+        for sched in schedulers() {
+            let plan = sched.schedule(&durations, 1);
+            prop_assert!(
+                (plan.makespan - total).abs() < 1e-6,
+                "{}: serial makespan {} != total {}",
+                sched.name(), plan.makespan, total
+            );
+        }
+    }
+}

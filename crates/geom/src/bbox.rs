@@ -8,10 +8,8 @@
 //!   (§4.2.2), which recursively splits boxes;
 //! * the region-split baselines, whose partitions are boxes grown by ε.
 
-use serde::{Deserialize, Serialize};
-
 /// A `d`-dimensional axis-aligned bounding box (closed on all sides).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Aabb {
     min: Vec<f64>,
     max: Vec<f64>,
@@ -62,12 +60,12 @@ impl Aabb {
     /// Grows the box to contain `p`.
     pub fn expand(&mut self, p: &[f64]) {
         debug_assert_eq!(p.len(), self.dim());
-        for i in 0..self.min.len() {
-            if p[i] < self.min[i] {
-                self.min[i] = p[i];
+        for ((lo, hi), &v) in self.min.iter_mut().zip(self.max.iter_mut()).zip(p) {
+            if v < *lo {
+                *lo = v;
             }
-            if p[i] > self.max[i] {
-                self.max[i] = p[i];
+            if v > *hi {
+                *hi = v;
             }
         }
     }
@@ -99,11 +97,11 @@ impl Aabb {
     pub fn min_dist2(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..p.len() {
-            let d = if p[i] < self.min[i] {
-                self.min[i] - p[i]
-            } else if p[i] > self.max[i] {
-                p[i] - self.max[i]
+        for ((&v, &lo), &hi) in p.iter().zip(&self.min).zip(&self.max) {
+            let d = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
             } else {
                 0.0
             };
@@ -121,8 +119,8 @@ impl Aabb {
     pub fn max_dist2(&self, p: &[f64]) -> f64 {
         debug_assert_eq!(p.len(), self.dim());
         let mut acc = 0.0;
-        for i in 0..p.len() {
-            let d = (p[i] - self.min[i]).abs().max((p[i] - self.max[i]).abs());
+        for ((&v, &lo), &hi) in p.iter().zip(&self.min).zip(&self.max) {
+            let d = (v - lo).abs().max((v - hi).abs());
             acc += d * d;
         }
         acc

@@ -6,14 +6,12 @@
 //! stream millions of points — and makes sequential scans cache-friendly.
 
 use crate::{Aabb, GeomError};
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a point inside a [`Dataset`].
 ///
 /// Stored as `u32` rather than `usize` to halve the footprint of the large
 /// id-keyed side tables built by the clustering phases (cluster labels,
 /// core flags, partition assignments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PointId(pub u32);
 
 impl PointId {
@@ -31,7 +29,7 @@ impl std::fmt::Display for PointId {
 }
 
 /// An immutable collection of `d`-dimensional points in flat storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
     coords: Vec<f64>,

@@ -1,12 +1,10 @@
 //! Cell addressing types.
 
-use serde::{Deserialize, Serialize};
-
 /// Integer lattice coordinate of a cell (one `i64` per dimension).
 ///
 /// Boxed slice rather than `Vec` to keep the in-memory footprint at two
 /// words; coordinates are immutable once computed.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellCoord(Box<[i64]>);
 
 impl CellCoord {
@@ -45,7 +43,7 @@ impl std::fmt::Display for CellCoord {
 /// dimension (Lemma 4.3's `d(h−1)`-bit position), dimension 0 in the least
 /// significant bits. 128 bits accommodates the paper's largest
 /// configuration (d = 13, ρ = 0.01 → 91 bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubCellIdx(pub u128);
 
 impl std::fmt::Display for SubCellIdx {

@@ -18,11 +18,9 @@
 use crate::cell::{CellCoord, SubCellIdx};
 use crate::fxhash::FxHashMap;
 use crate::spec::GridSpec;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// One leaf entry: a sub-cell's packed local position and its density.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubCellEntry {
     /// Packed `d(h−1)`-bit local position within the parent cell.
     pub idx: SubCellIdx,
@@ -31,7 +29,7 @@ pub struct SubCellEntry {
 }
 
 /// One root entry: a cell, its density, and its non-empty sub-cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellEntry {
     /// Lattice coordinate of the cell.
     pub coord: CellCoord,
@@ -75,11 +73,8 @@ impl CellEntry {
     pub fn merge(&mut self, other: CellEntry) {
         debug_assert_eq!(self.coord, other.coord);
         self.count += other.count;
-        let mut map: FxHashMap<SubCellIdx, u32> = self
-            .subs
-            .drain(..)
-            .map(|s| (s.idx, s.count))
-            .collect();
+        let mut map: FxHashMap<SubCellIdx, u32> =
+            self.subs.drain(..).map(|s| (s.idx, s.count)).collect();
         for s in other.subs {
             *map.entry(s.idx).or_insert(0) += s.count;
         }
@@ -221,75 +216,99 @@ impl CellDictionary {
     /// `eps: f64`, `rho: f64`, `n_cells: u64`, then per cell: `d × i64`
     /// coordinates, `count: u32`, `n_subs: u32`, and per sub-cell its
     /// position packed into `⌈d(h−1)/8⌉` bytes followed by `count: u32`.
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Vec<u8> {
         let sub_pos_bytes = (self.spec.sub_bits() as usize).div_ceil(8);
-        let mut buf = BytesMut::with_capacity(64 + self.num_cells() * 32);
-        buf.put_slice(b"RPD1");
-        buf.put_u32_le(self.spec.dim() as u32);
-        buf.put_u32_le(self.spec.h());
-        buf.put_f64_le(self.spec.eps());
-        buf.put_f64_le(self.spec.rho());
-        buf.put_u64_le(self.cells.len() as u64);
+        let mut buf = Vec::with_capacity(64 + self.num_cells() * 32);
+        buf.extend_from_slice(b"RPD1");
+        buf.extend_from_slice(&(self.spec.dim() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.spec.h().to_le_bytes());
+        buf.extend_from_slice(&self.spec.eps().to_le_bytes());
+        buf.extend_from_slice(&self.spec.rho().to_le_bytes());
+        buf.extend_from_slice(&(self.cells.len() as u64).to_le_bytes());
         for cell in &self.cells {
             for &c in cell.coord.coords() {
-                buf.put_i64_le(c);
+                buf.extend_from_slice(&c.to_le_bytes());
             }
-            buf.put_u32_le(cell.count);
-            buf.put_u32_le(cell.subs.len() as u32);
+            buf.extend_from_slice(&cell.count.to_le_bytes());
+            buf.extend_from_slice(&(cell.subs.len() as u32).to_le_bytes());
             for s in &cell.subs {
                 let bytes = s.idx.0.to_le_bytes();
-                buf.put_slice(&bytes[..sub_pos_bytes]);
-                buf.put_u32_le(s.count);
+                buf.extend_from_slice(&bytes[..sub_pos_bytes]);
+                buf.extend_from_slice(&s.count.to_le_bytes());
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Parses a dictionary previously produced by [`Self::encode`].
-    pub fn decode(mut data: Bytes) -> Result<Self, DecodeError> {
-        let need = |data: &Bytes, n: usize| -> Result<(), DecodeError> {
-            if data.remaining() < n {
-                Err(DecodeError::Truncated)
-            } else {
-                Ok(())
-            }
-        };
-        need(&data, 4)?;
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != b"RPD1" {
+    pub fn decode(data: impl AsRef<[u8]>) -> Result<Self, DecodeError> {
+        let mut data = Reader(data.as_ref());
+        if data.take(4)? != b"RPD1" {
             return Err(DecodeError::BadMagic);
         }
-        need(&data, 4 + 4 + 8 + 8 + 8)?;
-        let dim = data.get_u32_le() as usize;
-        let _h = data.get_u32_le();
-        let eps = data.get_f64_le();
-        let rho = data.get_f64_le();
-        let n_cells = data.get_u64_le() as usize;
+        let dim = data.get_u32_le()? as usize;
+        let _h = data.get_u32_le()?;
+        let eps = data.get_f64_le()?;
+        let rho = data.get_f64_le()?;
+        let n_cells = data.get_u64_le()? as usize;
         let spec = GridSpec::new(dim, eps, rho).map_err(|_| DecodeError::BadHeader)?;
         let sub_pos_bytes = (spec.sub_bits() as usize).div_ceil(8);
         let mut cells = Vec::with_capacity(n_cells);
         for _ in 0..n_cells {
-            need(&data, dim * 8 + 8)?;
-            let coord = CellCoord::new((0..dim).map(|_| data.get_i64_le()));
-            let count = data.get_u32_le();
-            let n_subs = data.get_u32_le() as usize;
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                coords.push(data.get_i64_le()?);
+            }
+            let coord = CellCoord::new(coords);
+            let count = data.get_u32_le()?;
+            let n_subs = data.get_u32_le()? as usize;
             let mut subs = Vec::with_capacity(n_subs);
             for _ in 0..n_subs {
-                need(&data, sub_pos_bytes + 4)?;
                 let mut raw = [0u8; 16];
-                data.copy_to_slice(&mut raw[..sub_pos_bytes]);
+                raw[..sub_pos_bytes].copy_from_slice(data.take(sub_pos_bytes)?);
                 let idx = SubCellIdx(u128::from_le_bytes(raw));
-                let c = data.get_u32_le();
+                let c = data.get_u32_le()?;
                 subs.push(SubCellEntry { idx, count: c });
             }
-            cells.push(CellEntry {
-                coord,
-                count,
-                subs,
-            });
+            cells.push(CellEntry { coord, count, subs });
         }
         Ok(Self::from_entries(spec, cells))
+    }
+}
+
+/// Little-endian slice reader used by [`CellDictionary::decode`].
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.0.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn get_i64_le(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64_le()?))
     }
 }
 
@@ -365,7 +384,7 @@ mod tests {
         let d = CellDictionary::build_from_points(spec2d(), flat(&pts));
         let cells = d.num_cells() as u64; // 2
         let subs = d.num_sub_cells() as u64; // 3
-        // h = 2, d = 2 -> position bits per sub = 2
+                                             // h = 2, d = 2 -> position bits per sub = 2
         let expect = 32 * (cells + subs) + 32 * 2 * cells + 2 * subs;
         assert_eq!(d.size_bits(), expect);
         assert_eq!(d.size_bytes(), expect.div_ceil(8));
@@ -395,16 +414,16 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(
-            CellDictionary::decode(Bytes::from_static(b"nope")).unwrap_err(),
+            CellDictionary::decode(b"nope").unwrap_err(),
             DecodeError::BadMagic
         );
         assert_eq!(
-            CellDictionary::decode(Bytes::from_static(b"RP")).unwrap_err(),
+            CellDictionary::decode(b"RP").unwrap_err(),
             DecodeError::Truncated
         );
         // valid magic, truncated header
         assert_eq!(
-            CellDictionary::decode(Bytes::from_static(b"RPD1\x02\x00")).unwrap_err(),
+            CellDictionary::decode(b"RPD1\x02\x00").unwrap_err(),
             DecodeError::Truncated
         );
     }

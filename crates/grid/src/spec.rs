@@ -12,8 +12,6 @@
 use crate::cell::{CellCoord, SubCellIdx};
 use crate::GridError;
 use rpdbscan_geom::Aabb;
-use serde::{Deserialize, Serialize};
-
 /// Immutable description of the grid induced by `(d, ε, ρ)`.
 ///
 /// ```
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// let cell = spec.cell_of(&[3.2, -1.7]);
 /// assert!(spec.cell_aabb(&cell).contains(&[3.2, -1.7]));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridSpec {
     dim: usize,
     eps: f64,
@@ -49,7 +47,7 @@ impl GridSpec {
         if dim == 0 {
             return Err(GridError::ZeroDimension);
         }
-        if !(eps > 0.0) || !eps.is_finite() {
+        if !eps.is_finite() || eps <= 0.0 {
             return Err(GridError::NonPositiveEps(eps));
         }
         if !(rho > 0.0 && rho <= 1.0) {
@@ -130,9 +128,7 @@ impl GridSpec {
     /// Number of sub-cells per cell (`2^{d(h−1)}`); saturates at
     /// `u128::MAX` for extreme configurations.
     pub fn sub_cells_per_cell(&self) -> u128 {
-        1u128
-            .checked_shl(self.sub_bits())
-            .unwrap_or(u128::MAX)
+        1u128.checked_shl(self.sub_bits()).unwrap_or(u128::MAX)
     }
 
     /// Lattice coordinate of the cell containing `p`.
@@ -191,11 +187,7 @@ impl GridSpec {
     pub fn sub_center_into(&self, c: &CellCoord, sub: SubCellIdx, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.dim);
         let bits = self.h - 1;
-        let mask: u128 = if bits == 0 {
-            0
-        } else {
-            (1u128 << bits) - 1
-        };
+        let mask: u128 = if bits == 0 { 0 } else { (1u128 << bits) - 1 };
         for (i, (&coord, o)) in c.coords().iter().zip(out.iter_mut()).enumerate() {
             let local = ((sub.0 >> (i as u32 * bits)) & mask) as f64;
             *o = coord as f64 * self.side + (local + 0.5) * self.sub_side;
@@ -230,11 +222,7 @@ impl GridSpec {
     /// Decomposes a packed sub-cell index into per-dimension locals.
     pub fn sub_locals(&self, sub: SubCellIdx) -> Vec<u32> {
         let bits = self.h - 1;
-        let mask: u128 = if bits == 0 {
-            0
-        } else {
-            (1u128 << bits) - 1
-        };
+        let mask: u128 = if bits == 0 { 0 } else { (1u128 << bits) - 1 };
         (0..self.dim)
             .map(|i| ((sub.0 >> (i as u32 * bits)) & mask) as u32)
             .collect()

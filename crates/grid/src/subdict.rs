@@ -144,8 +144,7 @@ fn bsp_split(
     cap: u64,
     out: &mut Vec<Vec<u32>>,
 ) {
-    let weight =
-        |id: u32| -> u64 { 1 + dict.entry(id).subs.len() as u64 };
+    let weight = |id: u32| -> u64 { 1 + dict.entry(id).subs.len() as u64 };
     let total: u64 = items.iter().map(|&i| weight(i)).sum();
     if total <= cap || items.len() <= 1 {
         out.push(std::mem::take(items));

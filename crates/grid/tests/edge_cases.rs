@@ -58,11 +58,7 @@ fn one_dimensional_grid() {
 #[test]
 fn negative_and_large_coordinates() {
     let spec = GridSpec::new(2, 1.0, 0.25).unwrap();
-    let rows = vec![
-        vec![-1e7, -1e7],
-        vec![-1e7 + 0.1, -1e7],
-        vec![1e7, 1e7],
-    ];
+    let rows = vec![vec![-1e7, -1e7], vec![-1e7 + 0.1, -1e7], vec![1e7, 1e7]];
     let dict = CellDictionary::build_from_points(spec, pts(&rows));
     let idx = DictionaryIndex::new(dict, 4);
     assert_eq!(idx.neighbor_density(&[-1e7, -1e7]), 2);

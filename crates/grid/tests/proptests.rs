@@ -1,8 +1,8 @@
 //! Property-based tests for the grid and dictionary.
 
 use proptest::prelude::*;
-use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
 use rpdbscan_geom::dist;
+use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
 
 fn points_strategy(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(-20.0f64..20.0, dim), 1..80)

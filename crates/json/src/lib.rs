@@ -1,0 +1,303 @@
+//! Minimal JSON support for the workspace.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, so this
+//! crate provides the small surface the repo needs: a [`Value`] tree
+//! with deterministic (alphabetical) object key order, serialization
+//! to compact JSON text, and a [`ToJson`] trait rows and reports
+//! implement to describe themselves.
+//!
+//! Formatting matches `serde_json` where the bench suite depends on
+//! it: floats render via Rust's shortest roundtrip formatting (`1.5`,
+//! and whole floats keep a trailing `.0` — `2.0`), strings are
+//! escaped per RFC 8259.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Objects use [`BTreeMap`] so key order is always
+/// alphabetical, which keeps CSV headers and JSON output stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized with `{:?}`, so `2.0` keeps its `.0`).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with alphabetically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value; panics on non-objects.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.into(), value.into());
+            }
+            other => panic!("insert on non-object JSON value: {other:?}"),
+        }
+    }
+
+    /// The object's key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as it should appear in a CSV cell: like JSON,
+    /// but strings are unquoted.
+    pub fn csv_cell(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps the `.0` on whole floats (serde_json
+                    // behaviour the bench CSV test depends on).
+                    write!(f, "{x:?}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::String(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(s, &mut buf);
+                f.write_str(&buf)
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::with_capacity(k.len() + 2);
+                    escape_into(k, &mut key);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Conversion into a JSON [`Value`]; the workspace's replacement for
+/// `serde::Serialize` on result-row structs.
+pub trait ToJson {
+    /// Describes `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// use rpdbscan_json::{impl_to_json, ToJson};
+///
+/// struct Row {
+///     dataset: String,
+///     clusters: usize,
+/// }
+/// impl_to_json!(Row { dataset, clusters });
+///
+/// let row = Row { dataset: "x".into(), clusters: 2 };
+/// assert_eq!(row.to_json().to_string(), r#"{"clusters":2,"dataset":"x"}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                let mut obj = $crate::Value::object();
+                $(obj.insert(stringify!($field), self.$field.clone());)+
+                obj
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Float(0.1).to_string(), "0.1");
+        assert_eq!(Value::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn object_keys_are_alphabetical() {
+        let mut obj = Value::object();
+        obj.insert("zeta", 1i64);
+        obj.insert("alpha", 2i64);
+        obj.insert("mid", "x");
+        assert_eq!(obj.to_string(), r#"{"alpha":2,"mid":"x","zeta":1}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn csv_cell_unquotes_strings() {
+        assert_eq!(Value::String("plain".into()).csv_cell(), "plain");
+        assert_eq!(Value::Float(2.0).csv_cell(), "2.0");
+        assert_eq!(Value::Int(10).csv_cell(), "10");
+    }
+
+    #[test]
+    fn impl_to_json_macro_round_trip() {
+        struct Row {
+            b: f64,
+            a: usize,
+        }
+        impl_to_json!(Row { b, a });
+        let row = Row { b: 2.0, a: 7 };
+        assert_eq!(row.to_json().to_string(), r#"{"a":7,"b":2.0}"#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let mut inner = Value::object();
+        inner.insert("k", Value::Array(vec![Value::Int(1), Value::Null]));
+        assert_eq!(inner.to_string(), r#"{"k":[1,null]}"#);
+    }
+}

@@ -1,10 +1,8 @@
 //! The shared clustering result type.
 
-use serde::{Deserialize, Serialize};
-
 /// A clustering of `n` points: `labels[i]` is the cluster of point `i`,
 /// or `None` for noise/outliers (DBSCAN's third category).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Clustering {
     labels: Vec<Option<u32>>,
 }

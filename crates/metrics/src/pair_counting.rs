@@ -59,8 +59,13 @@ fn resolve(c: &Clustering, policy: NoisePolicy) -> Vec<u32> {
     out
 }
 
+/// Sparse joint counts keyed by a pair of labels.
+type JointCounts = HashMap<(u32, u32), u64>;
+/// Per-label marginal counts.
+type MarginalCounts = HashMap<u32, u64>;
+
 /// Builds the sparse contingency table between two label vectors.
-fn contingency(a: &[u32], b: &[u32]) -> (HashMap<(u32, u32), u64>, HashMap<u32, u64>, HashMap<u32, u64>) {
+fn contingency(a: &[u32], b: &[u32]) -> (JointCounts, MarginalCounts, MarginalCounts) {
     let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
     let mut ma: HashMap<u32, u64> = HashMap::new();
     let mut mb: HashMap<u32, u64> = HashMap::new();

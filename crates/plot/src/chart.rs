@@ -30,7 +30,13 @@ impl Scale {
         } else {
             (d0, d1)
         };
-        Self { d0, d1, p0, p1, log }
+        Self {
+            d0,
+            d1,
+            p0,
+            p1,
+            log,
+        }
     }
 
     fn map(&self, v: f64) -> f64 {
@@ -147,7 +153,14 @@ impl LineChart {
         let sy = Scale::new(y0, y1, height - MARGIN, 30.0, self.log_y);
 
         // Axes.
-        c.line(MARGIN, height - MARGIN, width - 120.0, height - MARGIN, "#333333", 1.0);
+        c.line(
+            MARGIN,
+            height - MARGIN,
+            width - 120.0,
+            height - MARGIN,
+            "#333333",
+            1.0,
+        );
         c.line(MARGIN, 30.0, MARGIN, height - MARGIN, "#333333", 1.0);
         c.text(
             (MARGIN + width - 120.0) / 2.0,
@@ -161,7 +174,13 @@ impl LineChart {
         // Ticks: min / max per axis (labels only; the data spans vary by
         // orders of magnitude across figures, so full grids add noise).
         c.text(MARGIN, height - MARGIN + 14.0, 9.0, &fmt_tick(x0), true);
-        c.text(width - 120.0, height - MARGIN + 14.0, 9.0, &fmt_tick(x1), true);
+        c.text(
+            width - 120.0,
+            height - MARGIN + 14.0,
+            9.0,
+            &fmt_tick(x1),
+            true,
+        );
         c.text(MARGIN - 4.0, height - MARGIN, 9.0, &fmt_tick(y0), false);
         c.text(MARGIN - 4.0, 36.0, 9.0, &fmt_tick(y1), false);
 
@@ -227,9 +246,12 @@ mod tests {
 
     #[test]
     fn scatter_draws_points_and_noise() {
-        let data = Dataset::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.5]]).unwrap();
+        let data =
+            Dataset::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.5]]).unwrap();
         let clustering = Clustering::new(vec![Some(0), Some(1), None]);
-        let svg = ScatterPlot::new(&data, &clustering, "t").render(200.0, 150.0).to_svg();
+        let svg = ScatterPlot::new(&data, &clustering, "t")
+            .render(200.0, 150.0)
+            .to_svg();
         assert_eq!(svg.matches("<circle").count(), 3);
         assert!(svg.contains(NOISE_COLOR));
         assert!(svg.contains(cluster_color(0)));
@@ -239,7 +261,9 @@ mod tests {
     fn scatter_empty_data() {
         let data = Dataset::from_flat(2, vec![]).unwrap();
         let clustering = Clustering::new(vec![]);
-        let svg = ScatterPlot::new(&data, &clustering, "empty").render(100.0, 100.0).to_svg();
+        let svg = ScatterPlot::new(&data, &clustering, "empty")
+            .render(100.0, 100.0)
+            .to_svg();
         assert!(svg.contains("empty"));
     }
 

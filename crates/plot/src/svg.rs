@@ -147,7 +147,7 @@ mod tests {
     }
 
     #[test]
-    fn save_round_trips(){
+    fn save_round_trips() {
         let dir = std::env::temp_dir().join("rpdbscan-plot-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("t.svg");

@@ -59,7 +59,7 @@ fn main() {
     ] {
         let engine = Engine::new(workers);
         let wall = Instant::now();
-        let out = RegionDbscan::new(params).run(&data, &engine);
+        let out = RegionDbscan::new(params).run(&data, &engine).unwrap();
         println!(
             "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
             name,
@@ -74,7 +74,9 @@ fn main() {
     // NG-DBSCAN
     let engine = Engine::new(workers);
     let wall = Instant::now();
-    let out = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine);
+    let out = NgDbscan::new(NgParams::new(eps, min_pts))
+        .run(&data, &engine)
+        .unwrap();
     println!(
         "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
         "NG-DBSCAN",

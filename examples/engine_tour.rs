@@ -1,15 +1,24 @@
-//! Tour of the execution engine: stages, broadcast, and the virtual
-//! cluster model — the substrate standing in for Spark.
+//! Tour of the execution engine: fallible stages, retry, pluggable
+//! schedulers, and trace export — the substrate standing in for Spark.
 //!
 //! ```sh
 //! cargo run --release --example engine_tour
 //! ```
 
-use rp_dbscan::engine::{CostModel, Engine};
+use rp_dbscan::engine::{CostModel, Engine, Lpt, RetryPolicy, TaskError};
+
+fn spin(weight: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..weight * 200_000 {
+        acc = acc.wrapping_add(i).rotate_left(3);
+    }
+    acc
+}
 
 fn main() {
     // A virtual 10-worker cluster with an explicit network model: 1 GB/s,
-    // 1 ms latency, 2 ms task-launch overhead (Azure-ish numbers).
+    // 1 ms latency, 2 ms task-launch overhead (Azure-ish numbers). LPT
+    // scheduling places the longest tasks first.
     let engine = Engine::with_cost_model(
         10,
         CostModel {
@@ -17,27 +26,35 @@ fn main() {
             latency_sec: 1.0e-3,
             per_task_overhead_sec: 2.0e-3,
         },
-    );
+    )
+    .with_scheduler(Lpt);
 
-    // Stage 1: forty uneven tasks. The engine measures each task's real
-    // duration and schedules them onto the 10 virtual workers.
+    // Stage 1: forty uneven tasks. Every task gets a TaskCtx (stage name,
+    // index, virtual worker lane) and returns a Result; the engine
+    // measures each task's real duration and schedules them onto the 10
+    // virtual workers.
     let inputs: Vec<u64> = (1..=40).collect();
-    let result = engine.run_stage("demo:uneven", inputs, |_, weight| {
-        // Simulate work proportional to the weight.
-        let mut acc = 0u64;
-        for i in 0..weight * 200_000 {
-            acc = acc.wrapping_add(i).rotate_left(3);
-        }
-        acc
-    });
+    let result = engine
+        .run_stage("demo:uneven", inputs, |ctx, weight| {
+            if ctx.is_cancelled() {
+                return Err(TaskError::new("cancelled"));
+            }
+            Ok(spin(weight))
+        })
+        .expect("no task fails");
     println!(
-        "stage '{}': {} tasks on {} workers",
-        result.metrics.name, result.metrics.num_tasks, result.metrics.workers
+        "stage '{}': {} tasks on {} workers under {} scheduling",
+        result.metrics.name,
+        result.metrics.num_tasks,
+        result.metrics.workers,
+        engine.scheduler_name()
     );
     println!(
-        "  total CPU {:.3}s, simulated makespan {:.3}s, load imbalance {:.1}x",
-        result.metrics.total_cpu(),
+        "  work {:.3}s, simulated makespan {:.3}s (lower bound {:.3}s, imbalance {:.2}), load skew {:.1}x",
+        result.metrics.work,
         result.metrics.makespan,
+        result.metrics.makespan_lower_bound(),
+        result.metrics.imbalance,
         result.metrics.load_imbalance()
     );
 
@@ -45,29 +62,64 @@ fn main() {
     let t = engine.broadcast_cost("demo:broadcast", 8 << 20);
     println!("broadcast of 8 MiB to 10 workers: {t:.4}s simulated");
 
-    // Stage 3: same tasks, one virtual worker — the speed-up denominator.
+    // Stage 3: a flaky task recovered by bounded retry. The first attempt
+    // fails; the second succeeds, so the stage still returns Ok. Retry is
+    // an engine-wide policy, so this demo runs on its own engine.
+    let flaky =
+        Engine::with_cost_model(4, CostModel::free()).with_retry(RetryPolicy::with_attempts(2));
+    let recovered = flaky
+        .run_stage("demo:flaky", vec![7u64], |ctx, weight| {
+            if ctx.attempt() == 1 {
+                return Err(TaskError::new("transient failure"));
+            }
+            Ok(spin(weight))
+        })
+        .expect("second attempt succeeds");
+    println!(
+        "flaky task recovered on retry: output {}",
+        recovered.outputs[0]
+    );
+
+    // Stage 4: a hard failure surfaces as an Err instead of a panic; the
+    // engine stays usable afterwards.
+    let err = flaky
+        .run_stage("demo:poisoned", vec![1u64, 2, 3], |ctx, _| {
+            if ctx.index() == 1 {
+                return Err(TaskError::new("poisoned partition"));
+            }
+            Ok(0u64)
+        })
+        .unwrap_err();
+    println!("hard failure surfaced: {err}");
+
+    // Stage 5: same tasks, one virtual worker — the speed-up denominator.
     let single = Engine::with_cost_model(1, CostModel::free());
     let inputs: Vec<u64> = (1..=40).collect();
-    let r1 = single.run_stage("demo:single", inputs, |_, weight| {
-        let mut acc = 0u64;
-        for i in 0..weight * 200_000 {
-            acc = acc.wrapping_add(i).rotate_left(3);
-        }
-        acc
-    });
+    let r1 = single
+        .run_stage("demo:single", inputs, |_ctx, weight| Ok(spin(weight)))
+        .expect("no task fails");
     println!(
         "speed-up 1 -> 10 workers: {:.2}x (ideal 10x; uneven tasks cap it)",
         r1.metrics.makespan / result.metrics.makespan
     );
 
-    // The report aggregates everything that ran.
+    // The report aggregates everything that ran, including the execution
+    // trace (Chrome trace-event JSON — load it in Perfetto).
     println!("\nfull report:");
-    for s in engine.report().stages {
+    let report = engine.report();
+    for s in &report.stages {
         println!(
-            "  {:<16} tasks={:<3} elapsed={:.4}s",
+            "  {:<16} tasks={:<3} scheduler={:<6} elapsed={:.4}s",
             s.name,
             s.num_tasks,
+            s.scheduler,
             s.elapsed()
         );
     }
+    let trace = report.chrome_trace_json();
+    println!(
+        "\ntrace: {} events, {} bytes of Chrome trace JSON",
+        report.trace.spans.len() + report.trace.events.len(),
+        trace.len()
+    );
 }

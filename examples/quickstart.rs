@@ -52,10 +52,7 @@ fn main() {
     // 5. The engine recorded a per-phase breakdown (Figure 12's view).
     let report = engine.report();
     for prefix in ["phase1-1", "phase1-2", "phase2", "phase3-1", "phase3-2"] {
-        println!(
-            "  {prefix:9} {:8.4}s",
-            report.elapsed_with_prefix(prefix)
-        );
+        println!("  {prefix:9} {:8.4}s", report.elapsed_with_prefix(prefix));
     }
     println!("  total     {:8.4}s (simulated)", report.total_elapsed());
 }

@@ -31,12 +31,10 @@ fn main() {
 
     // RP-DBSCAN: random cells -> balanced splits.
     let engine = Engine::new(workers);
-    let out = RpDbscan::new(
-        RpDbscanParams::new(eps, min_pts).with_partitions(workers * 4),
-    )
-    .unwrap()
-    .run(&data, &engine)
-    .unwrap();
+    let out = RpDbscan::new(RpDbscanParams::new(eps, min_pts).with_partitions(workers * 4))
+        .unwrap()
+        .run(&data, &engine)
+        .unwrap();
     let report = engine.report();
     println!(
         "{:<14} {:>12.3} {:>16.2} {:>14} {:>10}",
@@ -55,7 +53,7 @@ fn main() {
         ("CBP-DBSCAN", RegionParams::cbp(eps, min_pts, 0.01, workers)),
     ] {
         let engine = Engine::new(workers);
-        let out = RegionDbscan::new(params).run(&data, &engine);
+        let out = RegionDbscan::new(params).run(&data, &engine).unwrap();
         let report = engine.report();
         println!(
             "{:<14} {:>12.3} {:>16.2} {:>14} {:>10}",

@@ -14,9 +14,9 @@
 //! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
 //! Labeled CSVs carry the cluster id as a trailing column (−1 = noise).
 
-use rp_dbscan::prelude::*;
 use rp_dbscan::data::io;
 use rp_dbscan::metrics::{adjusted_rand_index, normalized_mutual_info};
+use rp_dbscan::prelude::*;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -126,7 +126,12 @@ fn generate(args: &[String]) -> Result<(), String> {
         }
     };
     io::write_csv(&out, &data, ',').map_err(|e| e.to_string())?;
-    println!("wrote {} points ({}d) to {}", data.len(), data.dim(), out.display());
+    println!(
+        "wrote {} points ({}d) to {}",
+        data.len(),
+        data.dim(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -172,11 +177,17 @@ fn cluster(args: &[String]) -> Result<(), String> {
                 "cbp" => RegionParams::cbp(eps, min_pts, rho, partitions),
                 _ => RegionParams::spark(eps, min_pts, partitions),
             };
-            RegionDbscan::new(params).run(&data, &engine).clustering
+            RegionDbscan::new(params)
+                .run(&data, &engine)
+                .map_err(|e| e.to_string())?
+                .clustering
         }
-        "ng" => NgDbscan::new(NgParams::new(eps, min_pts))
-            .run(&data, &engine)
-            .clustering,
+        "ng" => {
+            NgDbscan::new(NgParams::new(eps, min_pts))
+                .run(&data, &engine)
+                .map_err(|e| e.to_string())?
+                .clustering
+        }
         other => return Err(format!("unknown --algo {other:?}")),
     };
     let wall = start.elapsed().as_secs_f64();
@@ -225,7 +236,9 @@ fn compare(args: &[String]) -> Result<(), String> {
         ("SPARK-DBSCAN", RegionParams::spark(eps, min_pts, workers)),
     ] {
         let engine = Engine::new(workers);
-        let out = RegionDbscan::new(params).run(&data, &engine);
+        let out = RegionDbscan::new(params)
+            .run(&data, &engine)
+            .map_err(|e| e.to_string())?;
         println!(
             "{:<14} {:>12.3} {:>9} {:>9} {:>8.4}",
             name,
@@ -236,7 +249,9 @@ fn compare(args: &[String]) -> Result<(), String> {
         );
     }
     let engine = Engine::new(workers);
-    let out = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine);
+    let out = NgDbscan::new(NgParams::new(eps, min_pts))
+        .run(&data, &engine)
+        .map_err(|e| e.to_string())?;
     println!(
         "{:<14} {:>12.3} {:>9} {:>9} {:>8.4}",
         "NG-DBSCAN",
@@ -252,7 +267,10 @@ fn compare(args: &[String]) -> Result<(), String> {
 fn load_labeled(path: &Path) -> Result<(Dataset, Clustering), String> {
     let combined = load(path, ',')?;
     if combined.dim() < 2 {
-        return Err(format!("{}: labeled files need >= 2 columns", path.display()));
+        return Err(format!(
+            "{}: labeled files need >= 2 columns",
+            path.display()
+        ));
     }
     let dim = combined.dim() - 1;
     let mut b = DatasetBuilder::with_capacity(dim, combined.len()).expect("dim >= 1");
@@ -271,11 +289,7 @@ fn metrics(args: &[String]) -> Result<(), String> {
     let (_, ca) = load_labeled(&a)?;
     let (_, cb) = load_labeled(&b)?;
     if ca.len() != cb.len() {
-        return Err(format!(
-            "label counts differ: {} vs {}",
-            ca.len(),
-            cb.len()
-        ));
+        return Err(format!("label counts differ: {} vs {}", ca.len(), cb.len()));
     }
     for policy in [NoisePolicy::SingleCluster, NoisePolicy::Singletons] {
         println!(
@@ -297,7 +311,10 @@ fn plot(args: &[String]) -> Result<(), String> {
         &clustering,
         &format!(
             "{} — {} clusters, {} noise",
-            input.file_name().map(|f| f.to_string_lossy()).unwrap_or_default(),
+            input
+                .file_name()
+                .map(|f| f.to_string_lossy())
+                .unwrap_or_default(),
             clustering.num_clusters(),
             clustering.noise_count()
         ),

@@ -50,7 +50,10 @@ pub mod prelude {
     pub use rpdbscan_core::{RpDbscan, RpDbscanParams};
     pub use rpdbscan_data::synth;
     pub use rpdbscan_data::SynthConfig;
-    pub use rpdbscan_engine::{CostModel, Engine};
+    pub use rpdbscan_engine::{
+        ChunkedSteal, CostModel, Engine, Fifo, Lpt, RetryPolicy, Scheduler, StageError, TaskCtx,
+        TaskError,
+    };
     pub use rpdbscan_geom::{Dataset, DatasetBuilder, PointId};
     pub use rpdbscan_grid::GridSpec;
     pub use rpdbscan_metrics::{rand_index, Clustering, NoisePolicy};

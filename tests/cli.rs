@@ -21,10 +21,21 @@ fn generate_cluster_metrics_plot_pipeline() {
     let svg = tmp("blobs.svg");
 
     let out = bin()
-        .args(["generate", "blobs", "3000", csv.to_str().unwrap(), "--seed", "5"])
+        .args([
+            "generate",
+            "blobs",
+            "3000",
+            csv.to_str().unwrap(),
+            "--seed",
+            "7",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(csv.exists());
 
     let out = bin()
@@ -39,7 +50,11 @@ fn generate_cluster_metrics_plot_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("clusters"), "{stdout}");
 
@@ -60,12 +75,19 @@ fn generate_cluster_metrics_plot_pipeline() {
     assert!(out.status.success());
 
     let out = bin()
-        .args(["metrics", labeled.to_str().unwrap(), labeled2.to_str().unwrap()])
+        .args([
+            "metrics",
+            labeled.to_str().unwrap(),
+            labeled2.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("RI=1.000000"), "RP vs exact should agree: {stdout}");
+    assert!(
+        stdout.contains("RI=1.000000"),
+        "RP vs exact should agree: {stdout}"
+    );
 
     let out = bin()
         .args(["plot", labeled.to_str().unwrap(), svg.to_str().unwrap()])

@@ -2,8 +2,8 @@
 //! against exact DBSCAN on realistic generated workloads, invariants over
 //! the engine metrics, and cross-algorithm agreement.
 
-use rp_dbscan::prelude::*;
 use rp_dbscan::metrics::adjusted_rand_index;
+use rp_dbscan::prelude::*;
 
 fn engine() -> Engine {
     Engine::with_cost_model(4, CostModel::free())
@@ -53,7 +53,9 @@ fn chameleon_high_agreement_across_rho() {
     let exact = exact_dbscan(&data, 1.2, 10);
     for rho in [0.10, 0.05, 0.01] {
         let out = RpDbscan::new(
-            RpDbscanParams::new(1.2, 10).with_rho(rho).with_partitions(8),
+            RpDbscanParams::new(1.2, 10)
+                .with_rho(rho)
+                .with_partitions(8),
         )
         .unwrap()
         .run(&data, &engine())
@@ -87,11 +89,13 @@ fn all_parallel_algorithms_agree_on_well_separated_data() {
         ("CBP", RegionParams::cbp(eps, min_pts, 0.01, 4)),
         ("SPARK", RegionParams::spark(eps, min_pts, 4)),
     ] {
-        let out = RegionDbscan::new(params).run(&data, &engine());
+        let out = RegionDbscan::new(params).run(&data, &engine()).unwrap();
         let ri = rand_index(reference, &out.clustering, NoisePolicy::SingleCluster);
         assert_eq!(ri, 1.0, "{name}");
     }
-    let ng = NgDbscan::new(NgParams::new(eps, min_pts)).run(&data, &engine());
+    let ng = NgDbscan::new(NgParams::new(eps, min_pts))
+        .run(&data, &engine())
+        .unwrap();
     let ri = rand_index(reference, &ng.clustering, NoisePolicy::SingleCluster);
     assert!(ri > 0.95, "NG-DBSCAN Rand index {ri}");
 }
@@ -110,7 +114,9 @@ fn region_split_duplicates_grow_with_eps() {
     let data = synth::osm_like(SynthConfig::new(15_000));
     let mut processed = Vec::new();
     for eps in [0.3, 0.6, 1.2] {
-        let out = RegionDbscan::new(RegionParams::esp(eps, 10, 0.01, 8)).run(&data, &engine());
+        let out = RegionDbscan::new(RegionParams::esp(eps, 10, 0.01, 8))
+            .run(&data, &engine())
+            .unwrap();
         processed.push(out.points_processed);
     }
     assert!(

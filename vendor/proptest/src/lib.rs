@@ -1,0 +1,437 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of proptest's surface the workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (reproducible across runs and
+//! machines, overridable via `PROPTEST_SEED`), and failing inputs are
+//! reported but not shrunk.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Per-case result used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait SizeRange {
+        /// Inclusive bounds on the collection length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.min_len..=self.max_len);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy produced by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` works after importing the
+/// prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Deterministic base seed for a test, from its name (FNV-1a) unless
+/// `PROPTEST_SEED` overrides it.
+fn base_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property test: draws inputs per case and executes the body.
+///
+/// Called by the code [`proptest!`] generates; not for direct use.
+pub fn run_cases(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let seed = base_seed(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = (config.cases as u64) * 20 + 100;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let case_seed = seed.wrapping_add(attempt);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property test {name}: too many rejected cases \
+                         ({rejected} rejects for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property test {name} failed at case {accepted} \
+                     (PROPTEST_SEED={case_seed} reproduces): {msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Defines property tests: each argument is drawn from its strategy for
+/// every case, and the body runs with `prop_assert*` support.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), __proptest_rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+        let _ = r;
+    }};
+}
+
+/// Rejects the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in -2.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u8..255, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 8, "len {}", v.len());
+        }
+
+        #[test]
+        fn select_only_yields_options(c in prop::sample::select(vec!['a', 'b', 'c'])) {
+            prop_assert!(['a', 'b', 'c'].contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(
+            (a, b) in (0u64..100, 0u64..100),
+            doubled in (0u32..50).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..20);
+        let mut r1 = crate::TestRng::seed_from_u64(9);
+        let mut r2 = crate::TestRng::seed_from_u64(9);
+        assert_eq!(strat.gen_value(&mut r1), strat.gen_value(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "property test")]
+    fn failing_property_panics() {
+        crate::run_cases(ProptestConfig::with_cases(5), "always_fails", |_| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+}
