@@ -106,13 +106,19 @@ pub fn label_partition(
             CellType::NonCore => {
                 // Border points: exact check against predecessor core
                 // points (Lines 18–23); first qualifying predecessor wins,
-                // as in sequential DBSCAN's first-come assignment.
+                // as in sequential DBSCAN's first-come assignment. The
+                // predecessors are visited in cell-coordinate order, which
+                // depends only on the data — not on partition count, seed,
+                // or dictionary build order — so ambiguous border points
+                // resolve identically across runs and across the batch and
+                // streaming pipelines.
                 let empty = Vec::new();
-                let pred_cells = preds.get(&idx).unwrap_or(&empty);
+                let mut pred_cells = preds.get(&idx).unwrap_or(&empty).clone();
+                pred_cells.sort_unstable_by(|a, b| dict.entry(*a).coord.cmp(&dict.entry(*b).coord));
                 for &q in &cell.points {
                     let qc = data.point(q);
                     let mut label = None;
-                    'search: for &pc in pred_cells {
+                    'search: for &pc in &pred_cells {
                         if let Some(cores) = core_points.get(&pc) {
                             for &p in cores {
                                 if dist2(data.point(p), qc) <= eps2 {

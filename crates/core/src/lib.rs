@@ -50,11 +50,16 @@ pub mod merge;
 pub mod params;
 pub mod partition;
 pub mod phase2;
+pub mod repair;
 
 pub use driver::{RpDbscan, RpDbscanOutput, RunStats};
 pub use graph::{CellSubgraph, CellType, EdgeType};
 pub use params::RpDbscanParams;
 pub use partition::{CellPoints, Partition};
+pub use repair::{
+    assign_border_point, cell_contribution, contribution_delta, recompute_cell, sub_diff,
+    CellRepair, SubDiff,
+};
 
 /// Errors from the RP-DBSCAN driver.
 #[derive(Debug, Clone, PartialEq)]

@@ -15,7 +15,9 @@
 pub mod io;
 pub mod normal;
 pub mod sampling;
+pub mod stream_order;
 pub mod synth;
 
 pub use sampling::reservoir_sample;
+pub use stream_order::{locality_order, shuffled_order};
 pub use synth::SynthConfig;

@@ -42,7 +42,7 @@ pub mod task;
 pub mod trace;
 
 pub use cost::CostModel;
-pub use metrics::{EngineReport, StageMetrics};
+pub use metrics::{epoch_stage_name, parse_epoch_stage, EngineReport, StageMetrics};
 pub use sched::{ChunkedSteal, Fifo, Lpt, Placement, Schedule, Scheduler};
 pub use stage::{Engine, StageResult};
 pub use task::{RetryPolicy, StageError, TaskCtx, TaskError};

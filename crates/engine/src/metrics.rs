@@ -69,6 +69,25 @@ impl StageMetrics {
     }
 }
 
+/// Canonical name for a recurring streaming stage: `"epoch-{epoch}:{step}"`.
+///
+/// The streaming subsystem runs the same steps (ingest, repair, relabel)
+/// every micro-batch; naming them per epoch keeps each occurrence a
+/// distinct lane in the Chrome trace and in per-stage metrics, while the
+/// shared `"epoch-"` prefix still lets
+/// [`EngineReport::elapsed_with_prefix`] aggregate across the whole stream.
+pub fn epoch_stage_name(epoch: u64, step: &str) -> String {
+    format!("epoch-{epoch}:{step}")
+}
+
+/// Parses a stage name produced by [`epoch_stage_name`] back into its
+/// `(epoch, step)` pair; `None` for non-epoch stages.
+pub fn parse_epoch_stage(name: &str) -> Option<(u64, &str)> {
+    let rest = name.strip_prefix("epoch-")?;
+    let (num, step) = rest.split_once(':')?;
+    Some((num.parse().ok()?, step))
+}
+
 /// Accumulated log of everything an [`crate::Engine`] ran.
 #[derive(Debug, Clone, Default)]
 pub struct EngineReport {
@@ -110,6 +129,19 @@ impl EngineReport {
     /// [`Trace::to_chrome_json`]).
     pub fn chrome_trace_json(&self) -> String {
         self.trace.to_chrome_json()
+    }
+
+    /// Distinct streaming epochs recorded in the report (stages named by
+    /// [`epoch_stage_name`]), ascending.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .stages
+            .iter()
+            .filter_map(|s| parse_epoch_stage(&s.name).map(|(e, _)| e))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -175,6 +207,29 @@ mod tests {
         assert_eq!(r.elapsed_with_prefix("phase1"), 2.0);
         assert_eq!(r.elapsed_with_prefix("phase2"), 2.0);
         assert_eq!(r.total_elapsed(), 4.0);
+    }
+
+    #[test]
+    fn epoch_stage_names_round_trip() {
+        assert_eq!(epoch_stage_name(3, "repair"), "epoch-3:repair");
+        assert_eq!(parse_epoch_stage("epoch-3:repair"), Some((3, "repair")));
+        assert_eq!(parse_epoch_stage("phase2:local"), None);
+        assert_eq!(parse_epoch_stage("epoch-x:repair"), None);
+        assert_eq!(parse_epoch_stage("epoch-3"), None);
+    }
+
+    #[test]
+    fn report_lists_distinct_epochs_in_order() {
+        let r = EngineReport {
+            stages: vec![
+                stage("epoch-2:repair", vec![1.0], 0.0),
+                stage("epoch-1:ingest", vec![1.0], 0.0),
+                stage("epoch-1:repair", vec![1.0], 0.0),
+                stage("phase2:local", vec![1.0], 0.0),
+            ],
+            trace: Trace::default(),
+        };
+        assert_eq!(r.epochs(), vec![1, 2]);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Behavioural integration tests for the execution engine.
 
-use rpdbscan_engine::{CostModel, Engine, RetryPolicy, TaskError};
+use rpdbscan_engine::{
+    ChunkedSteal, CostModel, Engine, Fifo, Lpt, RetryPolicy, Scheduler, TaskError,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
@@ -52,6 +54,65 @@ fn retry_recovers_a_transient_panic() {
         })
         .unwrap();
     assert_eq!(r.outputs, vec![9]);
+}
+
+/// Cancellation semantics must not depend on the configured scheduler:
+/// schedulers only drive the *virtual* placement, so a hard task failure
+/// has to cancel the stage identically under every policy.
+fn assert_cancellation_under(scheduler: impl Scheduler + 'static) {
+    let e = Engine::new(4).with_scheduler(scheduler);
+    let name = e.scheduler_name();
+    let executed = AtomicUsize::new(0);
+    let cancelled_observed = AtomicUsize::new(0);
+    let err = e
+        .run_stage("doomed", (0..64).collect::<Vec<_>>(), |ctx, x: usize| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            if x == 3 {
+                return Err(TaskError::new("hard failure"));
+            }
+            // Tasks already in flight when the failure lands must see the
+            // cancellation flag flip rather than run to completion.
+            for _ in 0..200 {
+                if ctx.is_cancelled() {
+                    cancelled_observed.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            Ok(x)
+        })
+        .expect_err("stage with a hard-failing task must fail");
+    assert_eq!(err.stage, "doomed", "scheduler {name}");
+    assert_eq!(err.task, 3, "scheduler {name}");
+    assert!(
+        err.error.message.contains("hard failure"),
+        "scheduler {name}"
+    );
+    // Queued tasks are drained unexecuted: far fewer than 64 ran.
+    let ran = executed.load(Ordering::SeqCst);
+    assert!(
+        ran < 64,
+        "scheduler {name}: all {ran} tasks ran despite failure"
+    );
+    // The engine stays usable, and the failed stage left no metrics.
+    assert_eq!(e.report().stages.len(), 0, "scheduler {name}");
+    let r = e.run_stage("after", vec![1u32], |_, x| Ok(x)).unwrap();
+    assert_eq!(r.outputs, vec![1], "scheduler {name}");
+}
+
+#[test]
+fn cancellation_on_failure_under_fifo() {
+    assert_cancellation_under(Fifo);
+}
+
+#[test]
+fn cancellation_on_failure_under_lpt() {
+    assert_cancellation_under(Lpt);
+}
+
+#[test]
+fn cancellation_on_failure_under_chunked_steal() {
+    assert_cancellation_under(ChunkedSteal::new(4));
 }
 
 #[test]

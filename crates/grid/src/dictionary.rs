@@ -16,7 +16,7 @@
 //!   execution engine charges as broadcast cost.
 
 use crate::cell::{CellCoord, SubCellIdx};
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::spec::GridSpec;
 
 /// One leaf entry: a sub-cell's packed local position and its density.
@@ -253,6 +253,14 @@ impl CellDictionary {
         let n_cells = data.get_u64_le()? as usize;
         let spec = GridSpec::new(dim, eps, rho).map_err(|_| DecodeError::BadHeader)?;
         let sub_pos_bytes = (spec.sub_bits() as usize).div_ceil(8);
+        // Never trust wire-supplied lengths for allocation: a 20-byte buffer
+        // claiming u64::MAX cells must fail with `Truncated`, not abort on an
+        // over-sized `Vec`. Each cell needs at least `8·dim + 8` payload
+        // bytes, so the remaining buffer bounds every count up front.
+        let min_cell_bytes = (dim as u128) * 8 + 8;
+        if (n_cells as u128) * min_cell_bytes > data.remaining() as u128 {
+            return Err(DecodeError::Truncated);
+        }
         let mut cells = Vec::with_capacity(n_cells);
         for _ in 0..n_cells {
             let mut coords = Vec::with_capacity(dim);
@@ -262,17 +270,123 @@ impl CellDictionary {
             let coord = CellCoord::new(coords);
             let count = data.get_u32_le()?;
             let n_subs = data.get_u32_le()? as usize;
+            let min_sub_bytes = (sub_pos_bytes as u128) + 4;
+            if (n_subs as u128) * min_sub_bytes > data.remaining() as u128 {
+                return Err(DecodeError::Truncated);
+            }
             let mut subs = Vec::with_capacity(n_subs);
+            let mut sub_total = 0u64;
             for _ in 0..n_subs {
                 let mut raw = [0u8; 16];
                 raw[..sub_pos_bytes].copy_from_slice(data.take(sub_pos_bytes)?);
                 let idx = SubCellIdx(u128::from_le_bytes(raw));
                 let c = data.get_u32_le()?;
+                sub_total += c as u64;
                 subs.push(SubCellEntry { idx, count: c });
+            }
+            if sub_total != count as u64 {
+                return Err(DecodeError::Inconsistent);
             }
             cells.push(CellEntry { coord, count, subs });
         }
         Ok(Self::from_entries(spec, cells))
+    }
+
+    /// Inserts a batch of points, updating cell and sub-cell densities in
+    /// place. Returns the coordinate of every cell whose counts changed
+    /// (each at most once, sorted). New cells are appended, so existing
+    /// dictionary indices stay valid across the call.
+    pub fn insert_points<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Vec<CellCoord> {
+        let mut dirty: FxHashSet<CellCoord> = FxHashSet::default();
+        for p in points {
+            debug_assert_eq!(p.len(), self.spec.dim(), "point dimension mismatch");
+            let coord = self.spec.cell_of(p);
+            let i = match self.lookup.get(&coord) {
+                Some(&i) => i as usize,
+                None => {
+                    let i = self.cells.len();
+                    self.lookup.insert(coord.clone(), i as u32);
+                    self.cells.push(CellEntry {
+                        coord: coord.clone(),
+                        count: 0,
+                        subs: Vec::new(),
+                    });
+                    i
+                }
+            };
+            let sub = self.spec.sub_index_of(&coord, p);
+            let cell = &mut self.cells[i];
+            cell.count += 1;
+            match cell.subs.binary_search_by_key(&sub, |s| s.idx) {
+                Ok(j) => cell.subs[j].count += 1,
+                Err(j) => cell.subs.insert(j, SubCellEntry { idx: sub, count: 1 }),
+            }
+            dirty.insert(coord);
+        }
+        let mut out: Vec<CellCoord> = dirty.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Removes a batch of previously inserted points, decrementing cell and
+    /// sub-cell densities. Returns the coordinate of every cell whose counts
+    /// changed (each at most once, sorted). Sub-cells reaching density zero
+    /// are dropped immediately; cells reaching density zero are kept as
+    /// empty entries — so indices stay valid — until [`Self::compact`] runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a point's cell or sub-cell is not present in the
+    /// dictionary: removing a point that was never inserted is a caller
+    /// bug, not a recoverable condition.
+    pub fn remove_points<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a [f64]>,
+    ) -> Vec<CellCoord> {
+        let mut dirty: FxHashSet<CellCoord> = FxHashSet::default();
+        for p in points {
+            debug_assert_eq!(p.len(), self.spec.dim(), "point dimension mismatch");
+            let coord = self.spec.cell_of(p);
+            let i = *self
+                .lookup
+                .get(&coord)
+                .unwrap_or_else(|| panic!("remove_points: cell {coord} not in dictionary"))
+                as usize;
+            let sub = self.spec.sub_index_of(&coord, p);
+            let cell = &mut self.cells[i];
+            let j = cell
+                .subs
+                .binary_search_by_key(&sub, |s| s.idx)
+                .unwrap_or_else(|_| panic!("remove_points: sub-cell {sub} of {coord} is empty"));
+            cell.subs[j].count -= 1;
+            if cell.subs[j].count == 0 {
+                cell.subs.remove(j);
+            }
+            assert!(cell.count > 0, "remove_points: cell {coord} already empty");
+            cell.count -= 1;
+            dirty.insert(coord);
+        }
+        let mut out: Vec<CellCoord> = dirty.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Drops cells left empty by [`Self::remove_points`] and rebuilds the
+    /// coordinate lookup. Invalidates previously obtained dictionary
+    /// indices; run it before handing the dictionary to index or graph
+    /// construction, which treat every entry as a non-empty cell.
+    pub fn compact(&mut self) {
+        if self.cells.iter().all(|c| c.count > 0) {
+            return;
+        }
+        self.cells.retain(|c| c.count > 0);
+        self.lookup.clear();
+        for (i, c) in self.cells.iter().enumerate() {
+            self.lookup.insert(c.coord.clone(), i as u32);
+        }
     }
 }
 
@@ -280,6 +394,11 @@ impl CellDictionary {
 struct Reader<'a>(&'a [u8]);
 
 impl<'a> Reader<'a> {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.0.len() < n {
             return Err(DecodeError::Truncated);
@@ -321,6 +440,8 @@ pub enum DecodeError {
     BadMagic,
     /// Header fields describe an invalid grid.
     BadHeader,
+    /// A cell's density disagrees with the sum of its sub-cell densities.
+    Inconsistent,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -329,6 +450,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "dictionary buffer truncated"),
             DecodeError::BadMagic => write!(f, "bad dictionary magic"),
             DecodeError::BadHeader => write!(f, "invalid dictionary header"),
+            DecodeError::Inconsistent => write!(f, "cell/sub-cell densities disagree"),
         }
     }
 }
@@ -454,6 +576,184 @@ mod tests {
         assert_eq!(d.total_points(), 0);
         let back = CellDictionary::decode(d.encode()).unwrap();
         assert_eq!(back.num_cells(), 0);
+    }
+
+    #[test]
+    fn insert_points_matches_batch_build() {
+        let pts = [[0.1, 0.1], [0.2, 0.7], [0.9, 0.9], [1.5, 0.5], [-3.3, 4.4]];
+        let batch = CellDictionary::build_from_points(spec2d(), flat(&pts));
+        let mut inc = CellDictionary::build_from_points(spec2d(), std::iter::empty());
+        // First three points all land in cell (0,0).
+        let dirty = inc.insert_points(flat(&pts[..3]));
+        assert_eq!(dirty, vec![CellCoord::new([0, 0])]);
+        let dirty = inc.insert_points(flat(&pts[3..]));
+        assert_eq!(dirty.len(), 2);
+        assert_eq!(inc.total_points(), batch.total_points());
+        assert_eq!(inc.num_cells(), batch.num_cells());
+        for cell in batch.cells() {
+            assert_eq!(inc.get(&cell.coord).unwrap(), cell);
+        }
+        // Sub-cell lists stay sorted through incremental insertion.
+        for cell in inc.cells() {
+            assert!(cell.subs.windows(2).all(|w| w[0].idx < w[1].idx));
+        }
+    }
+
+    #[test]
+    fn remove_points_reverses_insert_and_compact_drops_empties() {
+        let pts = [[0.1, 0.1], [0.2, 0.7], [0.9, 0.9], [1.5, 0.5]];
+        let mut d = CellDictionary::build_from_points(spec2d(), flat(&pts));
+        let dirty = d.remove_points(flat(&[[1.5, 0.5]]));
+        assert_eq!(dirty, vec![CellCoord::new([1, 0])]);
+        // The emptied cell survives (indices stable) until compact.
+        assert_eq!(d.num_cells(), 2);
+        assert_eq!(d.get(&CellCoord::new([1, 0])).unwrap().count, 0);
+        assert_eq!(d.total_points(), 3);
+        d.compact();
+        assert_eq!(d.num_cells(), 1);
+        assert!(d.get(&CellCoord::new([1, 0])).is_none());
+        // Remaining cell equals a fresh build over the remaining points.
+        let fresh = CellDictionary::build_from_points(spec2d(), flat(&pts[..3]));
+        assert_eq!(
+            d.get(&CellCoord::new([0, 0])),
+            fresh.get(&CellCoord::new([0, 0]))
+        );
+        // Lookup indices are consistent after compaction.
+        let i = d.index_of(&CellCoord::new([0, 0])).unwrap();
+        assert_eq!(d.entry(i).coord, CellCoord::new([0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "remove_points")]
+    fn remove_unknown_point_panics() {
+        let mut d = CellDictionary::build_from_points(spec2d(), flat(&[[0.1, 0.1]]));
+        d.remove_points(flat(&[[9.0, 9.0]]));
+    }
+
+    #[test]
+    fn decode_rejects_every_truncation() {
+        // Fuzz-style: every strict prefix of a valid wire image must fail
+        // cleanly — no panic, no over-allocation, always `Err`.
+        let pts = [[0.1, 0.1], [0.2, 0.7], [0.9, 0.9], [1.5, 0.5], [-3.3, 4.4]];
+        let wire = CellDictionary::build_from_points(spec2d(), flat(&pts)).encode();
+        for len in 0..wire.len() {
+            let err =
+                CellDictionary::decode(&wire[..len]).expect_err("prefix decodes successfully");
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadMagic),
+                "prefix len {len}: unexpected error {err:?}"
+            );
+        }
+        assert!(CellDictionary::decode(&wire).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_huge_claimed_counts_without_allocating() {
+        // Header claims u64::MAX cells in a 20-byte payload: must be
+        // `Truncated` before any proportional allocation happens.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"RPD1");
+        wire.extend_from_slice(&2u32.to_le_bytes()); // dim
+        wire.extend_from_slice(&2u32.to_le_bytes()); // h
+        wire.extend_from_slice(&1.0f64.to_le_bytes()); // eps
+        wire.extend_from_slice(&0.5f64.to_le_bytes()); // rho
+        wire.extend_from_slice(&u64::MAX.to_le_bytes()); // n_cells
+        wire.extend_from_slice(&[0u8; 20]);
+        assert_eq!(
+            CellDictionary::decode(&wire).unwrap_err(),
+            DecodeError::Truncated
+        );
+
+        // rho = 1 gives h = 1 and zero sub-cell bits, so an absurd
+        // dimension passes grid validation — the byte budget must still
+        // reject it before the per-cell coordinate allocation.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"RPD1");
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // dim = 4 294 967 295
+        wire.extend_from_slice(&1u32.to_le_bytes()); // h
+        wire.extend_from_slice(&1.0f64.to_le_bytes()); // eps
+        wire.extend_from_slice(&1.0f64.to_le_bytes()); // rho
+        wire.extend_from_slice(&1u64.to_le_bytes()); // n_cells
+        wire.extend_from_slice(&[0u8; 64]);
+        assert_eq!(
+            CellDictionary::decode(&wire).unwrap_err(),
+            DecodeError::Truncated
+        );
+
+        // A plausible cell that claims u32::MAX sub-cells it cannot carry.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"RPD1");
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&1.0f64.to_le_bytes());
+        wire.extend_from_slice(&0.5f64.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&0i64.to_le_bytes()); // coord x
+        wire.extend_from_slice(&0i64.to_le_bytes()); // coord y
+        wire.extend_from_slice(&7u32.to_le_bytes()); // count
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // n_subs
+        wire.extend_from_slice(&[0u8; 32]);
+        assert_eq!(
+            CellDictionary::decode(&wire).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_headers() {
+        let base = CellDictionary::build_from_points(spec2d(), flat(&[[0.1, 0.1]])).encode();
+        // dim = 0
+        let mut w = base.clone();
+        w[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            CellDictionary::decode(&w).unwrap_err(),
+            DecodeError::BadHeader
+        );
+        // eps = NaN
+        let mut w = base.clone();
+        w[12..20].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            CellDictionary::decode(&w).unwrap_err(),
+            DecodeError::BadHeader
+        );
+        // rho = 0
+        let mut w = base.clone();
+        w[20..28].copy_from_slice(&0.0f64.to_le_bytes());
+        assert_eq!(
+            CellDictionary::decode(&w).unwrap_err(),
+            DecodeError::BadHeader
+        );
+        // dimension mismatch: header says d = 3 over a d = 2 payload
+        let mut w = base;
+        w[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert!(CellDictionary::decode(&w).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_count_subcell_disagreement() {
+        let mut wire =
+            CellDictionary::build_from_points(spec2d(), flat(&[[0.1, 0.1], [0.9, 0.9]])).encode();
+        // Header: 4 magic + 4 dim + 4 h + 8 eps + 8 rho + 8 n_cells = 36.
+        // First cell: 2 × i64 coords (16), then count: u32 at offset 52.
+        wire[52..56].copy_from_slice(&17u32.to_le_bytes());
+        assert_eq!(
+            CellDictionary::decode(&wire).unwrap_err(),
+            DecodeError::Inconsistent
+        );
+    }
+
+    #[test]
+    fn decode_never_panics_on_single_byte_corruption() {
+        let pts = [[0.1, 0.1], [0.2, 0.7], [0.9, 0.9], [1.5, 0.5]];
+        let wire = CellDictionary::build_from_points(spec2d(), flat(&pts)).encode();
+        for i in 0..wire.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut w = wire.clone();
+                w[i] ^= flip;
+                // Ok or Err are both acceptable — panicking or aborting is not.
+                let _ = CellDictionary::decode(&w);
+            }
+        }
     }
 
     #[test]

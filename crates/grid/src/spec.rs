@@ -219,6 +219,25 @@ impl GridSpec {
         (min_acc, max_acc)
     }
 
+    /// Squared minimum distance between the boxes of two cells. Zero for
+    /// identical or face/edge/corner-adjacent cells; otherwise the summed
+    /// squared per-dimension gaps. Used by the streaming subsystem to bound
+    /// which cells an update can affect: a cell whose box is farther than ε
+    /// from every changed cell cannot change core status or edges.
+    #[inline]
+    pub fn cell_min_dist2(&self, a: &CellCoord, b: &CellCoord) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut acc = 0.0;
+        for (&x, &y) in a.coords().iter().zip(b.coords().iter()) {
+            let gap = (x as i128 - y as i128).abs() - 1;
+            if gap > 0 {
+                let g = gap as f64 * self.side;
+                acc += g * g;
+            }
+        }
+        acc
+    }
+
     /// Decomposes a packed sub-cell index into per-dimension locals.
     pub fn sub_locals(&self, sub: SubCellIdx) -> Vec<u32> {
         let bits = self.h - 1;
@@ -340,6 +359,31 @@ mod tests {
         let p = [0.1, 0.6, 0.9]; // locals 0, 2, 3
         let sub = g.sub_index_of(&c, &p);
         assert_eq!(g.sub_locals(sub), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cell_min_dist2_matches_box_geometry() {
+        let g = GridSpec::new(2, 2.0f64.sqrt(), 0.5).unwrap(); // side = 1
+        let origin = CellCoord::new([0, 0]);
+        // Same cell and all eight surrounding cells touch: distance 0.
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                assert_eq!(g.cell_min_dist2(&origin, &CellCoord::new([dx, dy])), 0.0);
+            }
+        }
+        // One empty cell of gap along x: distance = side = 1.
+        assert_eq!(g.cell_min_dist2(&origin, &CellCoord::new([2, 0])), 1.0);
+        // Diagonal gap of one cell in each axis.
+        assert_eq!(g.cell_min_dist2(&origin, &CellCoord::new([2, -2])), 2.0);
+        // Symmetry.
+        let a = CellCoord::new([-3, 7]);
+        let b = CellCoord::new([4, 4]);
+        assert_eq!(g.cell_min_dist2(&a, &b), g.cell_min_dist2(&b, &a));
+        // Agrees with the point-to-box bound evaluated at the nearest
+        // corner of the other cell.
+        let d2 = g.cell_min_dist2(&origin, &CellCoord::new([3, 5]));
+        let (near, _) = g.cell_dist2_bounds(&CellCoord::new([3, 5]), &[1.0, 1.0]);
+        assert!((d2 - near).abs() < 1e-12);
     }
 
     #[test]

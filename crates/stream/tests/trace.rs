@@ -1,0 +1,57 @@
+//! Streaming epochs must be observable through the engine's instrumentation:
+//! every micro-batch runs as named recurring stages (`epoch-{n}:{step}`)
+//! that show up in both the stage metrics and the Chrome trace export.
+
+use rpdbscan_core::RpDbscanParams;
+use rpdbscan_engine::parse_epoch_stage;
+use rpdbscan_stream::{StreamPointId, StreamingRpDbscan};
+
+fn grid_batch(x0: f64, n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        v.extend([x0 + (i % 8) as f64 * 0.4, (i / 8) as f64 * 0.4]);
+    }
+    v
+}
+
+#[test]
+fn epochs_appear_as_named_recurring_stages() {
+    let mut s = StreamingRpDbscan::new(2, RpDbscanParams::new(0.6, 4)).unwrap();
+    let ids = s.insert_batch(&grid_batch(0.0, 40)).unwrap();
+    s.insert_batch(&grid_batch(10.0, 40)).unwrap();
+    let doomed: Vec<StreamPointId> = ids[..10].to_vec();
+    s.remove_batch(&doomed).unwrap();
+
+    let report = s.report();
+    assert_eq!(report.epochs(), vec![1, 2, 3], "one epoch per micro-batch");
+
+    // Each epoch records the same recurring steps, disambiguated by number.
+    let mut steps_by_epoch = vec![Vec::new(); 4];
+    for stage in &report.stages {
+        let (epoch, step) = parse_epoch_stage(&stage.name)
+            .unwrap_or_else(|| panic!("stage `{}` is not epoch-scoped", stage.name));
+        steps_by_epoch[epoch as usize].push(step.to_string());
+    }
+    for epoch in 1..=3usize {
+        for step in ["ingest", "repair", "relabel"] {
+            assert!(
+                steps_by_epoch[epoch].iter().any(|s| s == step),
+                "epoch {epoch} missing step `{step}`: {:?}",
+                steps_by_epoch[epoch]
+            );
+        }
+    }
+
+    // And the Chrome trace export carries the same names on its spans.
+    let trace = report.chrome_trace_json();
+    for needle in [
+        "epoch-1:ingest",
+        "epoch-1:repair",
+        "epoch-2:ingest",
+        "epoch-2:repair",
+        "epoch-3:ingest",
+        "epoch-3:repair",
+    ] {
+        assert!(trace.contains(needle), "trace missing `{needle}`");
+    }
+}

@@ -5,10 +5,18 @@
 //! rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M
 //!                   [--algo rp|exact|esp|rbp|cbp|spark|ng]
 //!                   [--rho R] [--partitions K] [--workers W] [--delim C]
+//! rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B
+//!                   [--rho R] [--workers W] [--order file|shuffled|locality]
+//!                   [--seed S] [--delim C]
 //! rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
 //! rpdbscan metrics  <a.csv> <b.csv>
 //! rpdbscan plot     <labeled.csv> <out.svg>
 //! ```
+//!
+//! `stream` replays the input as insert micro-batches of `B` points
+//! through [`StreamingRpDbscan`], printing one line per epoch, and writes
+//! the final labels — byte-for-byte the clustering `cluster --algo rp`
+//! would produce on the same points.
 //!
 //! `generate` kinds: `moons`, `blobs`, `chameleon`, `geolife`, `cosmo`,
 //! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
@@ -36,6 +44,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rpdbscan generate <kind> <n> <out.csv> [--seed S]
   rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M [options]
+  rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B [options]
   rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
   rpdbscan metrics  <a.csv> <b.csv>
   rpdbscan plot     <labeled.csv> <out.svg>
@@ -46,6 +55,12 @@ cluster options:
   --partitions K   RP partitions / region splits (default 32)
   --workers W      simulated workers     (default 8)
   --delim C        field delimiter       (default ,)
+
+stream options:
+  --batch B        points per insert micro-batch (required)
+  --order file|shuffled|locality   arrival order  (default file)
+  --seed S         shuffle seed          (default 0)
+  --rho, --workers, --delim as above
 
 generate kinds: moons blobs chameleon geolife cosmo osm teraclick
                 mixture:<dim>:<alpha> uniform:<dim>:<range>";
@@ -79,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "generate" => generate(&args[1..]),
         "cluster" => cluster(&args[1..]),
+        "stream" => stream(&args[1..]),
         "compare" => compare(&args[1..]),
         "metrics" => metrics(&args[1..]),
         "plot" => plot(&args[1..]),
@@ -198,6 +214,62 @@ fn cluster(args: &[String]) -> Result<(), String> {
         engine.report().total_elapsed()
     );
     io::write_labeled_csv(&output, &data, &clustering, delim).map_err(|e| e.to_string())?;
+    println!("wrote labels to {}", output.display());
+    Ok(())
+}
+
+fn stream(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("stream: missing <in.csv>")?);
+    let output = PathBuf::from(args.get(1).ok_or("stream: missing <out.csv>")?);
+    let eps: f64 = require(args, "--eps")?;
+    let min_pts: usize = require(args, "--min-pts")?;
+    let batch: usize = require(args, "--batch")?;
+    if batch == 0 {
+        return Err("stream: --batch must be >= 1".into());
+    }
+    let rho: f64 = parse_flag(args, "--rho", 0.01)?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+    let delim: char = parse_flag(args, "--delim", ',')?;
+    let order = flag(args, "--order").unwrap_or_else(|| "file".into());
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+
+    let data = load(&input, delim)?;
+    println!("loaded {} points ({}d)", data.len(), data.dim());
+    let idx: Vec<u32> = match order.as_str() {
+        "file" => (0..data.len() as u32).collect(),
+        "shuffled" => rp_dbscan::data::shuffled_order(&data, seed),
+        "locality" => rp_dbscan::data::locality_order(&data, eps, seed),
+        other => return Err(format!("unknown --order {other:?}")),
+    };
+    let params = RpDbscanParams::new(eps, min_pts).with_rho(rho);
+    let engine = Engine::with_cost_model(workers, CostModel::free());
+    let mut s =
+        StreamingRpDbscan::with_engine(data.dim(), params, engine).map_err(|e| e.to_string())?;
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "epoch", "inserted", "total", "clusters", "changed", "dirty", "sec"
+    );
+    for chunk in idx.chunks(batch) {
+        let mut flat = Vec::with_capacity(chunk.len() * data.dim());
+        for &i in chunk {
+            flat.extend_from_slice(data.point_at(i as usize));
+        }
+        let t = std::time::Instant::now();
+        s.insert_batch(&flat).map_err(|e| e.to_string())?;
+        let snap = s.snapshot();
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.3}",
+            snap.epoch,
+            chunk.len(),
+            snap.stats.live_points,
+            snap.stats.num_clusters,
+            snap.stats.last_changed_cells,
+            snap.stats.last_dirty_cells,
+            t.elapsed().as_secs_f64()
+        );
+    }
+    let snap = s.snapshot();
+    io::write_labeled_csv(&output, &s.dataset(), &snap.labels, delim).map_err(|e| e.to_string())?;
     println!("wrote labels to {}", output.display());
     Ok(())
 }

@@ -29,9 +29,13 @@
 //!   substitute).
 //! * [`baselines`] — exact DBSCAN, ESP-/RBP-/CBP-/SPARK-DBSCAN,
 //!   NG-DBSCAN.
+//! * [`stream`] — incremental micro-batch clustering over long-lived
+//!   state (insert/remove batches, dirty-region repair, epoch snapshots).
 //! * [`data`] — synthetic workload generators and IO.
 //! * [`metrics`] — Rand index / ARI / NMI.
 //! * [`geom`] — points, boxes, kd-trees.
+
+#![forbid(unsafe_code)]
 
 pub use rpdbscan_baselines as baselines;
 pub use rpdbscan_core as core;
@@ -41,6 +45,7 @@ pub use rpdbscan_geom as geom;
 pub use rpdbscan_grid as grid;
 pub use rpdbscan_metrics as metrics;
 pub use rpdbscan_plot as plot;
+pub use rpdbscan_stream as stream;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -57,4 +62,5 @@ pub mod prelude {
     pub use rpdbscan_geom::{Dataset, DatasetBuilder, PointId};
     pub use rpdbscan_grid::GridSpec;
     pub use rpdbscan_metrics::{rand_index, Clustering, NoisePolicy};
+    pub use rpdbscan_stream::{StreamPointId, StreamingRpDbscan};
 }
