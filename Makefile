@@ -1,12 +1,20 @@
 # Canonical entry points for the RP-DBSCAN reproduction.
 
-.PHONY: build test bench experiments examples doc clean
+.PHONY: build test lint bench experiments examples doc clean
 
 build:
 	cargo build --workspace --release
 
 test:
 	cargo test --workspace
+
+# Local pre-push gate, matching CI's lint + static-analysis jobs
+# exactly: formatting, clippy at deny-warnings, then the workspace
+# invariant linter (writes LINT.json at the repo root).
+lint:
+	cargo fmt --check
+	cargo clippy --workspace -- -D warnings
+	cargo run -p xtask -- lint
 
 bench:
 	cargo bench --workspace

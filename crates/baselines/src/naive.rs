@@ -94,7 +94,7 @@ impl NaiveRandomDbscan {
                 p.seed,
             ))
         })?;
-        let clustering = merged.outputs.into_iter().next().expect("one task");
+        let clustering = merged.outputs.into_iter().next().expect("one task"); // lint:allow(panic-safety): single-input stage yields exactly one output (run_batch preserves arity)
         Ok(BaselineOutput {
             clustering,
             points_processed: n as u64,

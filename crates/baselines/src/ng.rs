@@ -97,7 +97,7 @@ impl NgDbscan {
                         nbrs.push((dist2(data.point_at(u), data.point_at(v as usize)), v));
                     }
                 }
-                nbrs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
+                nbrs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                 lists.push(nbrs);
             }
             Ok(lists)
@@ -128,9 +128,7 @@ impl NgDbscan {
                                 }
                             }
                         }
-                        best.sort_unstable_by(|a, b| {
-                            a.0.partial_cmp(&b.0).expect("finite distance")
-                        });
+                        best.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
                         best.truncate(k);
                         lists.push(best);
                     }

@@ -104,7 +104,7 @@ impl RegionDbscan {
             let regions = split_regions(data, p.num_splits, p.eps, p.strategy);
             Ok(build_processing_sets(data, &regions, p.eps))
         })?;
-        let processing: Vec<Vec<PointId>> = split.outputs.into_iter().next().expect("one task");
+        let processing: Vec<Vec<PointId>> = split.outputs.into_iter().next().expect("one task"); // lint:allow(panic-safety): single-input stage yields exactly one output (run_batch preserves arity)
         let points_processed: u64 = processing.iter().map(|s| s.len() as u64).sum();
         let num_splits = processing.len();
         // The split phase physically redistributes every processed point
@@ -117,7 +117,7 @@ impl RegionDbscan {
             let sub = data.gather(&ids);
             let (labels, core) = match p.rho {
                 Some(rho) => {
-                    let out = rho_approx_dbscan(&sub, p.eps, p.min_pts, rho);
+                    let out = rho_approx_dbscan(&sub, p.eps, p.min_pts, rho)?;
                     (out.clustering.labels().to_vec(), out.core)
                 }
                 None => {
@@ -132,7 +132,7 @@ impl RegionDbscan {
         let merged = engine.run_stage("merge:clusters", vec![locals.outputs], |_ctx, locals| {
             Ok(merge_local_clusters(data.len(), &locals))
         })?;
-        let clustering = merged.outputs.into_iter().next().expect("one task");
+        let clustering = merged.outputs.into_iter().next().expect("one task"); // lint:allow(panic-safety): single-input stage yields exactly one output (run_batch preserves arity)
         Ok(BaselineOutput {
             clustering,
             points_processed,

@@ -48,11 +48,13 @@ pub fn split_regions(data: &Dataset, k: usize, eps: f64, strategy: SplitStrategy
     }];
     while regions.len() < k {
         // Split the region with the most points.
-        let (idx, _) = regions
+        let Some((idx, _)) = regions
             .iter()
             .enumerate()
             .max_by_key(|(_, r)| r.point_ids.len())
-            .expect("non-empty region list");
+        else {
+            break;
+        };
         if regions[idx].point_ids.len() < 2 {
             break; // nothing left to split
         }
@@ -116,13 +118,14 @@ fn even_split_cut(data: &Dataset, region: &Region) -> Option<(usize, f64)> {
         .iter()
         .map(|&p| data.point(p)[dim])
         .collect();
-    coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+    coords.sort_unstable_by(|a, b| a.total_cmp(b));
+    let (&first, &last) = (coords.first()?, coords.last()?);
     let cut = coords[coords.len() / 2];
     // A median equal to the maximum leaves the right side empty (heavy
     // duplicates); fall back to the midpoint, then give up.
-    if cut >= *coords.last().unwrap() {
-        let mid = 0.5 * (coords[0] + coords[coords.len() - 1]);
-        if mid > coords[0] && mid < *coords.last().unwrap() {
+    if cut >= last {
+        let mid = 0.5 * (first + last);
+        if mid > first && mid < last {
             return Some((dim, mid));
         }
         return None;
@@ -172,7 +175,7 @@ fn boundary_cut(data: &Dataset, region: &Region, eps: f64) -> Option<(usize, f64
             .iter()
             .map(|&p| data.point(p)[dim])
             .collect();
-        coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+        coords.sort_unstable_by(|a, b| a.total_cmp(b));
         for (cut, _) in quantile_candidates(&coords) {
             let lo = coords.partition_point(|&v| v < cut - eps);
             let hi = coords.partition_point(|&v| v <= cut + eps);
@@ -209,7 +212,7 @@ fn cost_cut(data: &Dataset, region: &Region, eps: f64) -> Option<(usize, f64)> {
             .iter()
             .map(|&p| data.point(p)[dim])
             .collect();
-        coords.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+        coords.sort_unstable_by(|a, b| a.total_cmp(b));
         // Project cell costs onto this dimension's lattice.
         let mut lane_cost: FxHashMap<i64, f64> = FxHashMap::default();
         for (key, n) in &cells {

@@ -13,6 +13,7 @@ use rpdbscan_core::label::{
 };
 use rpdbscan_core::partition::{group_by_cell, Partition};
 use rpdbscan_core::phase2::build_local_clustering;
+use rpdbscan_engine::TaskError;
 use rpdbscan_geom::Dataset;
 use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
 use rpdbscan_metrics::Clustering;
@@ -28,17 +29,23 @@ pub struct RhoApproxOutput {
 
 /// Runs ρ-approximate DBSCAN on `data`.
 ///
-/// # Panics
-///
-/// Panics if `(data.dim(), eps, rho)` is not a valid grid configuration;
-/// callers in this workspace validate parameters upstream.
-pub fn rho_approx_dbscan(data: &Dataset, eps: f64, min_pts: usize, rho: f64) -> RhoApproxOutput {
-    let spec = GridSpec::new(data.dim(), eps, rho).expect("valid grid parameters");
+/// Errors when `(data.dim(), eps, rho)` is not a valid grid
+/// configuration, or when the internal cell pipeline reports an
+/// inconsistency; the baseline drivers run this inside engine tasks, so
+/// the [`TaskError`] flows through their stage failure path.
+pub fn rho_approx_dbscan(
+    data: &Dataset,
+    eps: f64,
+    min_pts: usize,
+    rho: f64,
+) -> Result<RhoApproxOutput, TaskError> {
+    let spec = GridSpec::new(data.dim(), eps, rho)
+        .map_err(|e| TaskError::new(format!("invalid grid configuration: {e}")))?;
     let cells = group_by_cell(&spec, data);
     let part = Partition { id: 0, cells };
     let dict = CellDictionary::build_from_points(spec, data.iter().map(|(_, p)| p));
     let index = DictionaryIndex::single(dict);
-    let local = build_local_clustering(&part, data, &index, min_pts);
+    let local = build_local_clustering(&part, data, &index, min_pts)?;
 
     let mut core = vec![false; data.len()];
     for pts in local.core_points.values() {
@@ -59,11 +66,11 @@ pub fn rho_approx_dbscan(data: &Dataset, eps: f64, min_pts: usize, rho: f64) -> 
         index.dict(),
         data,
         eps,
-    );
-    RhoApproxOutput {
+    )?;
+    Ok(RhoApproxOutput {
         clustering: assemble_clustering(data.len(), vec![labeled]),
         core,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -90,7 +97,7 @@ mod tests {
     fn matches_exact_dbscan_at_small_rho() {
         let d = blobs();
         let exact = dbscan(&d, 1.0, 5);
-        let approx = rho_approx_dbscan(&d, 1.0, 5, 0.01);
+        let approx = rho_approx_dbscan(&d, 1.0, 5, 0.01).unwrap();
         let ri = rand_index(
             &exact.clustering,
             &approx.clustering,
@@ -103,7 +110,7 @@ mod tests {
     #[test]
     fn three_clusters_one_outlier() {
         let d = blobs();
-        let out = rho_approx_dbscan(&d, 1.0, 5, 0.01);
+        let out = rho_approx_dbscan(&d, 1.0, 5, 0.01).unwrap();
         assert_eq!(out.clustering.num_clusters(), 3);
         assert_eq!(out.clustering.noise_count(), 1);
     }
@@ -112,7 +119,7 @@ mod tests {
     fn coarse_rho_still_reasonable() {
         let d = blobs();
         let exact = dbscan(&d, 1.0, 5);
-        let approx = rho_approx_dbscan(&d, 1.0, 5, 0.5);
+        let approx = rho_approx_dbscan(&d, 1.0, 5, 0.5).unwrap();
         let ri = rand_index(
             &exact.clustering,
             &approx.clustering,
@@ -124,7 +131,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let d = Dataset::from_flat(2, vec![]).unwrap();
-        let out = rho_approx_dbscan(&d, 1.0, 5, 0.01);
+        let out = rho_approx_dbscan(&d, 1.0, 5, 0.01).unwrap();
         assert!(out.clustering.is_empty());
         assert!(out.core.is_empty());
     }

@@ -88,7 +88,7 @@ proptest! {
             rand_index(&lo.clustering, &hi.clustering, NoisePolicy::Singletons) == 1.0
         );
         let exact = exact_dbscan(&data, eps, min_pts);
-        let approx = rho_approx_dbscan(&data, eps, min_pts, rho);
+        let approx = rho_approx_dbscan(&data, eps, min_pts, rho).unwrap();
         // Core sets are sandwiched, and the sandwich is tight here.
         prop_assert_eq!(&approx.core, &exact.core);
         // On core points, the cell-based clustering is a *coarsening* of

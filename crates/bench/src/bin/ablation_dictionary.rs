@@ -67,7 +67,7 @@ fn main() {
     for capacity in [u64::MAX, 1 << 16, 1 << 13, 1 << 10] {
         let index = DictionaryIndex::new(dict.clone(), capacity);
         let mut stats = QueryStats::default();
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
         for q in &queries {
             let s = index.region_query(q, |_, _| {});
             stats.merge(&s);
@@ -109,7 +109,7 @@ fn main() {
         let h = spec.h();
         let dict = CellDictionary::build_from_points(spec, data.iter().map(|(_, p)| p));
         let index = DictionaryIndex::single(dict);
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
         for q in &queries {
             index.region_query(q, |_, _| {});
         }

@@ -73,7 +73,7 @@ fn main() {
         }
         rpdbscan_geom::Dataset::from_flat(data.dim(), flat).expect("well-formed flat buffer")
     };
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
     let full = RpDbscan::new(params)
         .expect("valid params")
         .run_local(&full_data)
@@ -104,7 +104,7 @@ fn main() {
         for &i in &order[preload..] {
             tail.extend_from_slice(data.point_at(i as usize));
         }
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
         s.insert_batch(&tail).expect("micro-batch succeeds");
         let snap = s.snapshot();
         let incremental_sec = t0.elapsed().as_secs_f64();

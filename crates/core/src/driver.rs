@@ -160,9 +160,10 @@ impl RpDbscan {
         let locals =
             engine.run_stage("phase2:local-clustering", part_refs.clone(), |ctx, part| {
                 if Some(ctx.index()) == p.inject_fault {
+                    // lint:allow(panic-safety): deliberate fault-injection hook; the engine's panic recovery is what is under test
                     panic!("injected fault in partition {}", ctx.index());
                 }
-                Ok(build_local_clustering(part, data, &index, p.min_pts))
+                build_local_clustering(part, data, &index, p.min_pts)
             })?;
         let mut query_stats = QueryStats::default();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
@@ -215,7 +216,7 @@ impl RpDbscan {
         let clusters = extract_clusters(&global);
         let preds = predecessor_map(&global);
         let labeled = engine.run_stage("phase3-2:labeling", part_refs, |_ctx, part| {
-            Ok(label_partition(
+            label_partition(
                 part,
                 &global,
                 &clusters,
@@ -224,7 +225,7 @@ impl RpDbscan {
                 index.dict(),
                 data,
                 p.eps,
-            ))
+            )
         })?;
         let clustering = assemble_clustering(data.len(), labeled.outputs);
 

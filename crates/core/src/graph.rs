@@ -113,6 +113,7 @@ impl CellSubgraph {
     /// Counts edges by current type — `(full, partial, undetermined)`.
     pub fn edge_type_counts(&self) -> (usize, usize, usize) {
         let mut counts = (0, 0, 0);
+        // lint:allow(unordered-iter): tallying only — the three counters are order-insensitive
         for &(a, b) in &self.edges {
             match self.edge_type(a, b) {
                 EdgeType::Full => counts.0 += 1,

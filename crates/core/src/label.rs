@@ -9,6 +9,7 @@
 
 use crate::graph::{CellSubgraph, CellType, UnionFind};
 use crate::partition::Partition;
+use rpdbscan_engine::TaskError;
 use rpdbscan_geom::{dist2, Dataset, PointId};
 use rpdbscan_grid::FxHashMap;
 use rpdbscan_metrics::Clustering;
@@ -78,6 +79,11 @@ pub fn predecessor_map(g: &CellSubgraph) -> FxHashMap<u32, Vec<u32>> {
 /// Labels the points of one partition from the global graph
 /// (Algorithm 4, Lines 10–23). Returns `(point, label)` pairs; `None`
 /// labels are outliers.
+///
+/// Runs inside a `run_stage` task, so internal-consistency violations
+/// (a partition cell absent from the dictionary, an undetermined cell
+/// in a supposedly global graph) surface as [`TaskError`]s and flow
+/// through the engine's failure path instead of panicking a worker.
 #[allow(clippy::too_many_arguments)]
 pub fn label_partition(
     partition: &Partition,
@@ -88,13 +94,16 @@ pub fn label_partition(
     dict: &rpdbscan_grid::CellDictionary,
     data: &Dataset,
     eps: f64,
-) -> Vec<(PointId, Option<u32>)> {
+) -> Result<Vec<(PointId, Option<u32>)>, TaskError> {
     let eps2 = eps * eps;
     let mut out = Vec::with_capacity(partition.num_points());
     for cell in &partition.cells {
-        let idx = dict
-            .index_of(&cell.coord)
-            .expect("partition cell missing from dictionary");
+        let idx = dict.index_of(&cell.coord).ok_or_else(|| {
+            TaskError::new(format!(
+                "partition cell {} missing from dictionary",
+                cell.coord
+            ))
+        })?;
         match g.cell_type(idx) {
             CellType::Core => {
                 // All points of a core cell share its cluster (Lines 13–16).
@@ -132,11 +141,13 @@ pub fn label_partition(
                 }
             }
             CellType::Undetermined => {
-                unreachable!("global graph contains undetermined cell {idx}")
+                return Err(TaskError::new(format!(
+                    "global graph contains undetermined cell {idx}"
+                )));
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Assembles per-partition label lists into one [`Clustering`] over `n`
@@ -175,7 +186,7 @@ mod tests {
         let index = DictionaryIndex::new(dict, 1 << 16);
         let locals: Vec<_> = parts
             .iter()
-            .map(|p| build_local_clustering(p, &data, &index, min_pts))
+            .map(|p| build_local_clustering(p, &data, &index, min_pts).unwrap())
             .collect();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         let mut graphs = Vec::new();
@@ -202,6 +213,7 @@ mod tests {
                     &data,
                     eps,
                 )
+                .unwrap()
             })
             .collect();
         (assemble_clustering(data.len(), labeled), clusters)

@@ -9,6 +9,7 @@
 
 use crate::graph::{CellSubgraph, CellType};
 use crate::partition::Partition;
+use rpdbscan_engine::TaskError;
 use rpdbscan_geom::{Dataset, PointId};
 use rpdbscan_grid::{DictionaryIndex, FxHashMap, QueryStats};
 
@@ -31,12 +32,16 @@ pub struct LocalClustering {
 /// `index` is the broadcast dictionary; `data` provides point coordinates
 /// (in the real system the partition physically holds them — ids suffice
 /// here because the dataset is shared read-only memory).
+///
+/// Runs inside a `run_stage` task; a partition cell absent from the
+/// broadcast dictionary is an internal-consistency violation reported as
+/// a [`TaskError`] so it flows through the engine's failure path.
 pub fn build_local_clustering(
     partition: &Partition,
     data: &Dataset,
     index: &DictionaryIndex,
     min_pts: usize,
-) -> LocalClustering {
+) -> Result<LocalClustering, TaskError> {
     let dict = index.dict();
     let mut subgraph = CellSubgraph::new();
     let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
@@ -47,9 +52,12 @@ pub fn build_local_clustering(
     let mut r = rpdbscan_grid::RegionQueryResult::default();
 
     for cell in &partition.cells {
-        let cell_idx = dict
-            .index_of(&cell.coord)
-            .expect("partition cell missing from broadcast dictionary");
+        let cell_idx = dict.index_of(&cell.coord).ok_or_else(|| {
+            TaskError::new(format!(
+                "partition cell {} missing from broadcast dictionary",
+                cell.coord
+            ))
+        })?;
         neighbors.clear();
         let mut is_core_cell = false;
         for &pid in &cell.points {
@@ -85,12 +93,12 @@ pub fn build_local_clustering(
             }
         }
     }
-    LocalClustering {
+    Ok(LocalClustering {
         subgraph,
         core_points,
         stats,
         queries,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +127,7 @@ mod tests {
     fn dense_line_marks_core_outlier_does_not() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
         // Some interior cell must be core; the outlier's cell must not be.
         let outlier_cell = index.dict().index_of(&spec.cell_of(&[50.0, 50.0])).unwrap();
         assert_eq!(local.subgraph.cell_type(outlier_cell), CellType::NonCore);
@@ -139,7 +147,7 @@ mod tests {
     fn single_partition_edges_are_all_determined() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
         assert!(local.subgraph.is_global());
         let (_, _, undet) = local.subgraph.edge_type_counts();
         assert_eq!(undet, 0);
@@ -151,7 +159,7 @@ mod tests {
         let (parts, index) = setup(&spec, &data, 3);
         let mut any_undetermined = false;
         for part in &parts {
-            let local = build_local_clustering(part, &data, &index, 4);
+            let local = build_local_clustering(part, &data, &index, 4).unwrap();
             let (_, _, undet) = local.subgraph.edge_type_counts();
             if undet > 0 {
                 any_undetermined = true;
@@ -167,7 +175,7 @@ mod tests {
     fn min_pts_one_everything_with_a_point_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1);
+        let local = build_local_clustering(&parts[0], &data, &index, 1).unwrap();
         for (&cell, &t) in local.subgraph.types().iter() {
             assert_eq!(t, CellType::Core, "cell {cell} not core at minPts=1");
         }
@@ -177,7 +185,7 @@ mod tests {
     fn huge_min_pts_nothing_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1000);
+        let local = build_local_clustering(&parts[0], &data, &index, 1000).unwrap();
         assert!(local.core_points.is_empty());
         assert_eq!(local.subgraph.num_edges(), 0);
         for &t in local.subgraph.types().values() {
@@ -189,7 +197,7 @@ mod tests {
     fn edges_originate_from_core_cells_only() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4);
+        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
         for &(from, _) in local.subgraph.edges() {
             assert_eq!(local.subgraph.cell_type(from), CellType::Core);
         }
@@ -207,7 +215,7 @@ mod tests {
         let (parts, index) = setup(&spec, &data, 2);
         let total: u64 = parts
             .iter()
-            .map(|p| build_local_clustering(p, &data, &index, 4).queries)
+            .map(|p| build_local_clustering(p, &data, &index, 4).unwrap().queries)
             .sum();
         assert_eq!(total, data.len() as u64);
     }

@@ -179,7 +179,9 @@ pub fn sub_diff(old: &[SubCellEntry], new: &[SubCellEntry]) -> SubDiff {
                 diff.removed.push(a.idx);
                 (a.idx, -(a.count as i64))
             }
-            (None, None) => unreachable!(),
+            // Dead under the loop condition (one side is always Some);
+            // ending the merge beats panicking if that ever changes.
+            (None, None) => break,
         };
         if d != 0 {
             diff.total += d;
@@ -273,7 +275,7 @@ mod tests {
             id: 0,
             cells: cells.clone(),
         };
-        let local = build_local_clustering(&part, &data, &index, 4);
+        let local = build_local_clustering(&part, &data, &index, 4).unwrap();
         for cell in &cells {
             let ids: Vec<u32> = cell.points.iter().map(|p| p.0).collect();
             let rep = recompute_cell(

@@ -76,17 +76,27 @@ pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
         }
         let b = match &mut builder {
             Some(b) => b,
-            None => builder
-                .get_or_insert(DatasetBuilder::with_capacity(row.len(), 1024).expect("dim >= 1")),
+            None => {
+                let fresh =
+                    DatasetBuilder::with_capacity(row.len(), 1024).map_err(|e| IoError::Parse {
+                        line: lineno,
+                        message: e.to_string(),
+                    })?;
+                builder.get_or_insert(fresh)
+            }
         };
         b.push(&row).map_err(|e| IoError::Parse {
             line: lineno,
             message: e.to_string(),
         })?;
     }
-    Ok(builder
-        .map(DatasetBuilder::build)
-        .unwrap_or_else(|| Dataset::from_flat(1, vec![]).expect("valid empty dataset")))
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Dataset::from_flat(1, vec![]).map_err(|e| IoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        }),
+    }
 }
 
 /// Writes a dataset as delimited text.

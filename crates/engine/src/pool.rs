@@ -79,16 +79,21 @@ where
                 if cancel.load(Ordering::Relaxed) {
                     continue; // drain the queue without executing
                 }
-                let mut input = slots[i].lock().expect("input slot lock").take();
+                let mut input = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
                 let mut attempt = 0;
                 let outcome = loop {
                     attempt += 1;
                     // Clone only while retries remain; the last permitted
                     // attempt consumes the input.
                     let arg = if attempt < max_attempts {
-                        input.clone().expect("input present before final attempt")
+                        input.clone()
                     } else {
-                        input.take().expect("input present on final attempt")
+                        input.take()
+                    };
+                    let Some(arg) = arg else {
+                        break Err(TaskError::new(
+                            "internal: task input missing before attempt",
+                        ));
                     };
                     let ctx = TaskCtx::new(stage, i, i % virtual_workers, attempt, &cancel);
                     let start = Instant::now();
@@ -105,11 +110,14 @@ where
                 };
                 match outcome {
                     Ok(pair) => {
-                        *results[i].lock().expect("result slot lock") = Some(pair);
+                        // Poison-tolerant: a panicking sibling worker must
+                        // not escalate into a lock panic here — panics are
+                        // already routed through StageError.
+                        *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(pair);
                     }
                     Err(error) => {
                         cancel.store(true, Ordering::Relaxed);
-                        let mut first = failure.lock().expect("failure lock");
+                        let mut first = failure.lock().unwrap_or_else(|p| p.into_inner());
                         if first.is_none() {
                             *first = Some(StageError {
                                 stage: stage.to_string(),
@@ -125,18 +133,28 @@ where
         }
     });
 
-    if let Some(err) = failure.into_inner().expect("failure lock") {
+    if let Some(err) = failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
         return Err(err);
     }
     let mut outputs = Vec::with_capacity(n);
     let mut durations = Vec::with_capacity(n);
-    for slot in results {
-        let (out, dt) = slot
-            .into_inner()
-            .expect("result slot lock")
-            .expect("task completed without result or failure");
-        outputs.push(out);
-        durations.push(dt);
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some((out, dt)) => {
+                outputs.push(out);
+                durations.push(dt);
+            }
+            None => {
+                return Err(StageError {
+                    stage: stage.to_string(),
+                    task: i,
+                    attempts: 0,
+                    error: TaskError::new(
+                        "internal: task finished with neither result nor failure",
+                    ),
+                })
+            }
+        }
     }
     Ok(BatchOutput { outputs, durations })
 }

@@ -69,6 +69,7 @@ impl WorkerHeap {
 
     /// Pops the earliest-available worker.
     fn pop(&mut self) -> (f64, usize) {
+        // lint:allow(panic-safety): heap is seeded with >=1 worker and every pop is paired with a push, so it is never empty
         let Reverse((bits, w)) = self.heap.pop().expect("non-empty heap");
         (f64::from_bits(bits), w)
     }

@@ -165,7 +165,7 @@ impl Engine {
             task_durations: durations.clone(),
             network_time: 0.0,
         };
-        let mut state = self.state.lock().expect("engine state lock");
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let clock = state.clock;
         for (task, placement) in schedule.placements.iter().enumerate() {
             state.report.trace.spans.push(TaskSpan {
@@ -201,7 +201,7 @@ impl Engine {
     }
 
     fn charge_network(&self, name: &str, kind: NetworkKind, bytes: u64, seconds: f64) {
-        let mut state = self.state.lock().expect("engine state lock");
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let clock = state.clock;
         state.report.trace.events.push(NetworkEvent {
             name: name.to_string(),
@@ -227,13 +227,17 @@ impl Engine {
 
     /// Snapshot of everything run so far, trace included.
     pub fn report(&self) -> EngineReport {
-        self.state.lock().expect("engine state lock").report.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .report
+            .clone()
     }
 
     /// Clears accumulated metrics and trace (between experiment
     /// repetitions).
     pub fn reset(&self) {
-        let mut state = self.state.lock().expect("engine state lock");
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         state.report.stages.clear();
         state.report.trace.spans.clear();
         state.report.trace.events.clear();

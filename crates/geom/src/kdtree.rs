@@ -198,7 +198,7 @@ fn build_rec(
     slice.select_nth_unstable_by(n / 2, |&a, &b| {
         let va = coords[a as usize * dim + best_axis];
         let vb = coords[b as usize * dim + best_axis];
-        va.partial_cmp(&vb).expect("NaN coordinate in kd-tree")
+        va.total_cmp(&vb)
     });
     let split = coords[idx[mid] as usize * dim + best_axis];
 

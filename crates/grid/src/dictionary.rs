@@ -142,10 +142,14 @@ impl CellDictionary {
         for p in points {
             by_cell.entry(spec.cell_of(p)).or_default().push(p);
         }
-        let entries: Vec<CellEntry> = by_cell
+        // from_entries assigns dictionary indices in entry order, so sort
+        // by coordinate: hash-map iteration order must not decide index
+        // assignment.
+        let mut entries: Vec<CellEntry> = by_cell
             .into_iter()
             .map(|(coord, pts)| CellEntry::from_points(&spec, coord, pts))
             .collect();
+        entries.sort_unstable_by(|a, b| a.coord.cmp(&b.coord));
         Self::from_entries(spec, entries)
     }
 
@@ -353,14 +357,14 @@ impl CellDictionary {
             let i = *self
                 .lookup
                 .get(&coord)
-                .unwrap_or_else(|| panic!("remove_points: cell {coord} not in dictionary"))
+                .unwrap_or_else(|| panic!("remove_points: cell {coord} not in dictionary")) // lint:allow(panic-safety): documented `# Panics` contract — removing a never-inserted point is a caller bug
                 as usize;
             let sub = self.spec.sub_index_of(&coord, p);
             let cell = &mut self.cells[i];
             let j = cell
                 .subs
                 .binary_search_by_key(&sub, |s| s.idx)
-                .unwrap_or_else(|_| panic!("remove_points: sub-cell {sub} of {coord} is empty"));
+                .unwrap_or_else(|_| panic!("remove_points: sub-cell {sub} of {coord} is empty")); // lint:allow(panic-safety): documented `# Panics` contract — removing a never-inserted point is a caller bug
             cell.subs[j].count -= 1;
             if cell.subs[j].count == 0 {
                 cell.subs.remove(j);
@@ -408,22 +412,24 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Takes exactly `N` bytes as an array; `take` guarantees the length.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let bytes = self.take(N)?;
+        let mut buf = [0u8; N];
+        buf.copy_from_slice(bytes);
+        Ok(buf)
+    }
+
     fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     fn get_i64_le(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     fn get_f64_le(&mut self) -> Result<f64, DecodeError> {

@@ -30,7 +30,7 @@ pub mod spec;
 pub mod subdict;
 
 pub use cell::{CellCoord, SubCellIdx};
-pub use dictionary::{CellDictionary, CellEntry, SubCellEntry};
+pub use dictionary::{CellDictionary, CellEntry, DecodeError, SubCellEntry};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use query::{QueryStats, RegionQueryResult};
 pub use spec::GridSpec;

@@ -48,7 +48,7 @@ impl SubDictionary {
         let tree = KdTree::build(dim, coords, cell_ids.clone());
         Self {
             cell_ids,
-            mbr: mbr.expect("non-empty fragment"),
+            mbr: mbr.expect("non-empty fragment"), // lint:allow(panic-safety): fragments are built from at least one cell, so the union is Some
             tree,
             weight,
         }

@@ -49,7 +49,7 @@ impl Value {
             Value::Object(map) => {
                 map.insert(key.into(), value.into());
             }
-            other => panic!("insert on non-object JSON value: {other:?}"),
+            other => panic!("insert on non-object JSON value: {other:?}"), // lint:allow(panic-safety): documented API contract — inserting into a non-object is a programmer error
         }
     }
 

@@ -151,6 +151,7 @@ pub fn normalized_mutual_info(a: &Clustering, b: &Clustering, policy: NoisePolic
         let py = mb[&y] as f64 / n;
         mi += pxy * (pxy / (px * py)).ln();
     }
+    // lint:allow(float-eq): entropy of a single-cluster partition is exactly 0.0; this is the intentional exact case
     if ha + hb == 0.0 {
         return 1.0; // both single-cluster partitions: identical
     }

@@ -231,6 +231,7 @@ impl LineChart {
 }
 
 fn fmt_tick(v: f64) -> String {
+    // lint:allow(float-eq): exact-zero check chooses the "0" tick label; a tolerance would mislabel small ticks
     if v == 0.0 {
         "0".to_string()
     } else if v.abs() >= 1000.0 || v.abs() < 0.01 {

@@ -46,29 +46,26 @@ impl SvgCanvas {
         let stroke = stroke
             .map(|s| format!(" stroke=\"{s}\""))
             .unwrap_or_default();
-        writeln!(
+        let _ = writeln!(
             self.body,
             "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\"{stroke}/>"
-        )
-        .expect("write to string");
+        );
     }
 
     /// A filled circle.
     pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
-        writeln!(
+        let _ = writeln!(
             self.body,
             "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"/>"
-        )
-        .expect("write to string");
+        );
     }
 
     /// A straight line.
     pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
-        writeln!(
+        let _ = writeln!(
             self.body,
             "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>"
-        )
-        .expect("write to string");
+        );
     }
 
     /// An open polyline through the given points.
@@ -80,23 +77,21 @@ impl SvgCanvas {
             .iter()
             .map(|(x, y)| format!("{x:.2},{y:.2}"))
             .collect();
-        writeln!(
+        let _ = writeln!(
             self.body,
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"/>",
             pts.join(" ")
-        )
-        .expect("write to string");
+        );
     }
 
     /// Text anchored at its start (or middle with `centered`).
     pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str, centered: bool) {
         let anchor = if centered { "middle" } else { "start" };
-        writeln!(
+        let _ = writeln!(
             self.body,
             "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\">{}</text>",
             escape(content)
-        )
-        .expect("write to string");
+        );
     }
 
     /// Serialises the document.

@@ -38,8 +38,8 @@ use rpdbscan_core::RpDbscanParams;
 use rpdbscan_engine::{epoch_stage_name, CostModel, Engine, EngineReport, StageError};
 use rpdbscan_geom::{dist2, Dataset};
 use rpdbscan_grid::{
-    CellCoord, CellDictionary, DictionaryIndex, FxHashMap, FxHashSet, GridError, GridSpec,
-    QueryStats, RegionQueryResult, SubCellEntry,
+    CellCoord, CellDictionary, DecodeError, DictionaryIndex, FxHashMap, FxHashSet, GridError,
+    GridSpec, QueryStats, RegionQueryResult, SubCellEntry,
 };
 use rpdbscan_metrics::Clustering;
 
@@ -77,6 +77,17 @@ pub enum StreamError {
     /// retries). The ingest stage runs before any state mutation, so an
     /// ingest failure leaves the stream untouched.
     Stage(StageError),
+    /// A serialized cell dictionary failed to decode (truncated buffer,
+    /// bad magic, corrupt header, or inconsistent densities).
+    Dictionary(DecodeError),
+    /// A decoded cell dictionary was built over a different grid than
+    /// this stream's `(d, ε, ρ)` configuration.
+    DictionaryMismatch {
+        /// This stream's `(dim, eps, rho)`.
+        expected: (usize, f64, f64),
+        /// The decoded dictionary's `(dim, eps, rho)`.
+        got: (usize, f64, f64),
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -95,6 +106,13 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::UnknownPoint(id) => write!(f, "point id {id} is not live"),
             StreamError::Stage(e) => write!(f, "{e}"),
+            StreamError::Dictionary(e) => write!(f, "corrupt dictionary: {e}"),
+            StreamError::DictionaryMismatch { expected, got } => write!(
+                f,
+                "dictionary grid mismatch: stream is (dim={}, eps={}, rho={}), \
+                 dictionary is (dim={}, eps={}, rho={})",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
         }
     }
 }
@@ -110,6 +128,12 @@ impl From<GridError> for StreamError {
 impl From<StageError> for StreamError {
     fn from(e: StageError) -> Self {
         StreamError::Stage(e)
+    }
+}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> Self {
+        StreamError::Dictionary(e)
     }
 }
 
@@ -292,6 +316,38 @@ impl StreamingRpDbscan {
         &self.spec
     }
 
+    /// Serializes the current cell dictionary in the broadcast wire
+    /// format (`CellDictionary::encode`), e.g. to persist alongside the
+    /// labels for a later compatibility check.
+    pub fn encode_dictionary(&self) -> Vec<u8> {
+        self.dict.encode()
+    }
+
+    /// Decodes `bytes` as a broadcast cell dictionary and checks it was
+    /// built over this stream's exact grid.
+    ///
+    /// Corrupt input surfaces as [`StreamError::Dictionary`] (truncated
+    /// buffer, bad magic, corrupt header, inconsistent densities); a
+    /// well-formed dictionary for a different `(d, ε, ρ)` surfaces as
+    /// [`StreamError::DictionaryMismatch`]. On success the decoded
+    /// dictionary is returned for inspection.
+    pub fn check_dictionary(&self, bytes: &[u8]) -> Result<CellDictionary, StreamError> {
+        let dict = CellDictionary::decode(bytes)?;
+        let (ours, theirs) = (&self.spec, dict.spec());
+        // Bitwise float equality on purpose: the wire format round-trips
+        // eps/rho exactly, so any difference means a different grid.
+        let same = ours.dim() == theirs.dim()
+            && ours.eps().to_bits() == theirs.eps().to_bits()
+            && ours.rho().to_bits() == theirs.rho().to_bits();
+        if !same {
+            return Err(StreamError::DictionaryMismatch {
+                expected: (ours.dim(), ours.eps(), ours.rho()),
+                got: (theirs.dim(), theirs.eps(), theirs.rho()),
+            });
+        }
+        Ok(dict)
+    }
+
     /// Number of live points.
     pub fn len(&self) -> usize {
         self.n_live
@@ -444,7 +500,7 @@ impl StreamingRpDbscan {
             let state = self
                 .cells
                 .get_mut(coord)
-                .expect("live point's cell missing from state");
+                .expect("live point's cell missing from state"); // lint:allow(panic-safety): ids were validated live above, and every live point's cell has a CellState by the insert-path invariant
             state.points.retain(|&p| p != s);
             self.live[s as usize] = false;
             self.free.push(s);
@@ -475,7 +531,7 @@ impl StreamingRpDbscan {
                     *self
                         .cluster_of_cell
                         .get(winner)
-                        .expect("border label points at a non-core cell")
+                        .expect("border label points at a non-core cell") // lint:allow(panic-safety): repair only records border winners that are core cells, and every core cell gets a cluster id in the same pass
                 })
             };
             ids.push(StreamPointId(slot));
@@ -499,6 +555,7 @@ impl StreamingRpDbscan {
                 flat.extend_from_slice(&self.coords[s * self.dim..(s + 1) * self.dim]);
             }
         }
+        // lint:allow(panic-safety): flat is built as n_live rows of exactly dim coordinates, and dim >= 1 is checked at construction
         Dataset::from_flat(self.dim, flat).expect("live points form a valid dataset")
     }
 
@@ -584,6 +641,7 @@ impl StreamingRpDbscan {
                 }
             }
             _ => {
+                // lint:allow(unordered-iter): pairs accumulate into dirty, whose values and keys are both sorted before use below
                 for cand in self.cells.keys() {
                     for c in changed {
                         if self.spec.cell_min_dist2(c, cand) <= eps2_bound {
@@ -1010,7 +1068,9 @@ impl StreamingRpDbscan {
                     (Some(a), Some(b)) => a.cmp(b),
                     (Some(_), None) => std::cmp::Ordering::Less,
                     (None, Some(_)) => std::cmp::Ordering::Greater,
-                    (None, None) => unreachable!(),
+                    // Dead under the loop condition (one side is always
+                    // Some); ending the merge beats panicking.
+                    (None, None) => break,
                 };
                 match ord {
                     std::cmp::Ordering::Less => {

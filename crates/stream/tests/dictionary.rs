@@ -1,0 +1,83 @@
+//! Typed error propagation for serialized cell dictionaries: corrupt or
+//! incompatible input must surface as `StreamError` values, never panics.
+
+use rpdbscan_core::RpDbscanParams;
+use rpdbscan_grid::DecodeError;
+use rpdbscan_stream::{StreamError, StreamingRpDbscan};
+
+fn stream_with_points() -> StreamingRpDbscan {
+    let mut s = StreamingRpDbscan::new(2, RpDbscanParams::new(1.0, 3)).unwrap();
+    let mut batch = Vec::new();
+    for i in 0..12 {
+        batch.extend([(i % 4) as f64 * 0.3, (i / 4) as f64 * 0.3]);
+    }
+    s.insert_batch(&batch).unwrap();
+    s
+}
+
+#[test]
+fn encoded_dictionary_round_trips() {
+    let s = stream_with_points();
+    let bytes = s.encode_dictionary();
+    let dict = s.check_dictionary(&bytes).expect("own dictionary is valid");
+    assert!(dict.num_cells() > 0);
+}
+
+#[test]
+fn truncated_dictionary_is_a_typed_error() {
+    let s = stream_with_points();
+    let bytes = s.encode_dictionary();
+    for cut in [1, bytes.len() / 3, bytes.len() - 1] {
+        match s.check_dictionary(&bytes[..cut]) {
+            Err(StreamError::Dictionary(e)) => {
+                assert!(
+                    matches!(e, DecodeError::Truncated | DecodeError::BadMagic),
+                    "cut at {cut}: unexpected decode error {e:?}"
+                );
+            }
+            other => panic!("cut at {cut}: expected Dictionary error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn garbage_dictionary_is_a_typed_error() {
+    let s = stream_with_points();
+    assert!(matches!(
+        s.check_dictionary(b"not a dictionary at all"),
+        Err(StreamError::Dictionary(DecodeError::BadMagic))
+    ));
+    assert!(matches!(
+        s.check_dictionary(&[]),
+        Err(StreamError::Dictionary(DecodeError::Truncated))
+    ));
+}
+
+#[test]
+fn mismatched_grid_is_reported_with_both_specs() {
+    let s = stream_with_points();
+    let other = {
+        let mut o = StreamingRpDbscan::new(2, RpDbscanParams::new(2.0, 3)).unwrap();
+        o.insert_batch(&[0.0, 0.0, 0.1, 0.1, 0.2, 0.0]).unwrap();
+        o.encode_dictionary()
+    };
+    match s.check_dictionary(&other) {
+        Err(StreamError::DictionaryMismatch { expected, got }) => {
+            assert_eq!(expected.0, 2);
+            assert_eq!(got.0, 2);
+            assert!(
+                expected.1 != got.1,
+                "eps should differ: {expected:?} {got:?}"
+            );
+        }
+        other => panic!("expected DictionaryMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_name_the_failure() {
+    let s = stream_with_points();
+    let msg = s.check_dictionary(&[]).unwrap_err().to_string();
+    assert!(msg.contains("corrupt dictionary"), "{msg}");
+    assert!(msg.contains("truncated"), "{msg}");
+}

@@ -1,0 +1,23 @@
+// Rule-engine fixture: lint:allow hygiene.
+
+pub fn justified(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic-safety): fixture invariant documented here
+}
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic-safety)
+}
+
+pub fn standalone(v: Option<u32>) -> u32 {
+    // lint:allow(panic-safety): a standalone allow fires on the next code line
+    v.unwrap()
+}
+
+// lint:allow(float-eq): nothing floaty below, so this allow is unused
+pub fn clean() -> u32 {
+    3
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no-such-rule): not a real rule
+}

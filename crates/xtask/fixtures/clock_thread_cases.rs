@@ -1,0 +1,23 @@
+// Rule-engine fixture: determinism-time and thread-discipline.
+
+use std::time::{Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {}).join().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,23 @@
+// Rule-engine fixture: float-eq positives and tricky negatives.
+// A comment saying x == 0.0 is not a finding, and neither is the
+// string below.
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn bad_ne(x: f64) -> bool {
+    1.5 != x
+}
+
+pub fn tolerance_negative(x: f64) -> bool {
+    (x - 0.5).abs() < 1e-9
+}
+
+pub fn integer_negative(a: u32) -> bool {
+    a == 0
+}
+
+pub fn string_negative() -> &'static str {
+    "x == 0.0 inside a string literal"
+}

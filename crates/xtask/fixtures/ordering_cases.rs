@@ -1,0 +1,33 @@
+// Rule-engine fixture: unordered-iter positives and waived sinks.
+
+use std::collections::HashMap;
+
+pub fn bad_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn bad_for_loop(m: HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _v) in m {
+        out.push(k);
+    }
+    out
+}
+
+pub fn waived_by_sort(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn waived_by_sink(m: &HashMap<u32, u32>) -> usize {
+    m.keys().count()
+}
+
+pub fn undeclared_receiver_negative(v: &[u32]) -> usize {
+    v.iter().len()
+}

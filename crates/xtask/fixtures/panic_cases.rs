@@ -1,0 +1,37 @@
+// Rule-engine fixture: panic-safety positives and tricky negatives.
+// This file is never compiled; the `fixtures` directory is excluded
+// from the workspace walk and only read by crates/xtask/tests.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn string_literal_negative() -> &'static str {
+    "never call .unwrap() or panic!() in library code"
+}
+
+// a comment mentioning .unwrap() and panic!() is not a finding
+pub fn comment_negative() -> u32 {
+    7
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("kaboom");
+}
+
+pub fn bad_unreachable() {
+    unreachable!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap();
+        None::<u32>.expect("tests may panic");
+    }
+}

@@ -1,0 +1,530 @@
+//! A comment- and string-aware Rust token scanner.
+//!
+//! The lint rules need to see *code* tokens only: `unwrap` inside a
+//! string literal or a doc comment is not a finding. A full parser
+//! (`syn`) is unavailable under the vendored-deps policy, so this
+//! module implements the small lexical subset the rules need:
+//!
+//! * line and (nested) block comments are stripped but *collected*, so
+//!   `// lint:allow(...)` suppressions can be parsed from them;
+//! * string, raw-string, byte-string, and char literals are single
+//!   tokens (their contents never match a rule);
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * number literals distinguish integers from floats (the float-safety
+//!   rule keys on float adjacency);
+//! * common multi-char operators (`==`, `!=`, `::`, ...) are single
+//!   punctuation tokens.
+//!
+//! The scanner is intentionally forgiving: on malformed input it
+//! degrades to single-byte punctuation tokens rather than failing, so
+//! the linter never blocks on a file it cannot fully understand.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `for`, `unsafe`, ...).
+    Ident,
+    /// Punctuation; multi-char operators are one token (`::`, `==`).
+    Punct,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"x"`, `r#"x"#`, `b"x"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text (literals keep their quotes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, kept so suppressions can be parsed out of it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when no code token precedes the comment on its line — a
+    /// standalone comment suppresses the *next* code line, a trailing
+    /// comment suppresses its own.
+    pub own_line: bool,
+}
+
+/// Scanner output: code tokens plus collected comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `src` into tokens and comments. Never fails.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_code = false;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line,
+        });
+        self.line_has_code = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: self.src[start..self.i].to_string(),
+            own_line: !self.line_has_code,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let own_line = !self.line_has_code;
+        let mut depth = 1usize;
+        self.i += 2;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            text: self.src[start..self.i].to_string(),
+            own_line,
+        });
+    }
+
+    /// Consumes a plain (escaped) string body starting at the opening
+    /// quote; `self.i` ends just past the closing quote.
+    fn string_body(&mut self) {
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.string_body();
+        self.push(TokenKind::Str, start, self.i, line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `b'..'`, `br#"..."#`.
+    /// Returns false when the `r`/`b` starts a plain identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let start = self.i;
+        let line = self.line;
+        let mut j = self.i + 1;
+        let mut raw = self.b[self.i] == b'r';
+        if self.b[self.i] == b'b' {
+            match self.b.get(j) {
+                Some(b'"') => {
+                    self.i = j;
+                    self.string_body();
+                    self.push(TokenKind::Str, start, self.i, line);
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.i = j;
+                    self.char_literal_body();
+                    self.push(TokenKind::Char, start, self.i, line);
+                    return true;
+                }
+                Some(b'r') => {
+                    raw = true;
+                    j += 1;
+                }
+                _ => return false,
+            }
+        }
+        if !raw {
+            return false;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'"') {
+            return false; // `r` / `br` identifier or raw identifier prefix
+        }
+        // Raw string: scan for `"` followed by `hashes` hash marks.
+        self.i = j + 1;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let close = &self.b[self.i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                    self.i += 1 + hashes;
+                    self.push(TokenKind::Str, start, self.i, line);
+                    return true;
+                }
+            }
+            self.i += 1;
+        }
+        self.push(TokenKind::Str, start, self.i, line);
+        true
+    }
+
+    /// Consumes a char-literal body starting at the opening `'`;
+    /// `self.i` ends just past the closing `'`.
+    fn char_literal_body(&mut self) {
+        self.i += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.i += 2; // the escape introducer and its head char
+                         // `\u{...}` escapes
+            if self.b.get(self.i.wrapping_sub(1)) == Some(&b'u') && self.peek(0) == Some(b'{') {
+                while self.i < self.b.len() && self.b[self.i] != b'}' {
+                    self.i += 1;
+                }
+                self.i += 1;
+            }
+        } else if self.i < self.b.len() {
+            // one (possibly multi-byte) character
+            self.i += utf8_len(self.b[self.i]);
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        // `'ident` is a lifetime unless a closing quote follows the
+        // ident run (then it is a char literal like `'a'`).
+        if let Some(c) = self.peek(1) {
+            if is_ident_start(c) {
+                let mut j = self.i + 2;
+                while self.b.get(j).is_some_and(|&x| is_ident_continue(x)) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') && j == self.i + 2 {
+                    self.i = j + 1;
+                    self.push(TokenKind::Char, start, self.i, line);
+                } else {
+                    self.i = j;
+                    self.push(TokenKind::Lifetime, start, self.i, line);
+                }
+                return;
+            }
+        }
+        self.char_literal_body();
+        self.push(TokenKind::Char, start, self.i, line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut float = false;
+        if self.b[self.i] == b'0' && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'b')) {
+            self.i += 2;
+            while self
+                .b
+                .get(self.i)
+                .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.i += 1;
+            }
+            self.push(TokenKind::Int, start, self.i, line);
+            return;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|&c| c.is_ascii_digit() || c == b'_')
+        {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.i += 1;
+                    while self
+                        .b
+                        .get(self.i)
+                        .is_some_and(|&c| c.is_ascii_digit() || c == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+                // `1.` is a float; `1..x` is a range, `1.max(2)` a call.
+                Some(c) if c == b'.' || is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.i += 1;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let exp_digit = match self.peek(1) {
+                Some(b'+' | b'-') => self.peek(2).is_some_and(|c| c.is_ascii_digit()),
+                Some(c) => c.is_ascii_digit(),
+                None => false,
+            };
+            if exp_digit {
+                float = true;
+                self.i += 1;
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                while self
+                    .b
+                    .get(self.i)
+                    .is_some_and(|&c| c.is_ascii_digit() || c == b'_')
+                {
+                    self.i += 1;
+                }
+            }
+        }
+        // suffix
+        let sfx_start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.i += 1;
+        }
+        if matches!(&self.src[sfx_start..self.i], "f32" | "f64") {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, start, self.i, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.b.get(self.i).is_some_and(|&c| is_ident_continue(c)) {
+            self.i += 1;
+        }
+        self.push(TokenKind::Ident, start, self.i, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let rest = &self.src[self.i..];
+        let len = ["..=", "<<=", ">>="]
+            .iter()
+            .find(|op| rest.starts_with(**op))
+            .map(|op| op.len())
+            .or_else(|| {
+                [
+                    "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "+=", "-=", "*=",
+                    "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+                ]
+                .iter()
+                .find(|op| rest.starts_with(**op))
+                .map(|op| op.len())
+            })
+            .unwrap_or_else(|| utf8_len(self.b[self.i]));
+        self.i += len;
+        self.push(TokenKind::Punct, start, self.i, line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Marks every token that belongs to a `#[cfg(test)]` / `#[test]` item
+/// (the attribute itself, any stacked attributes, and the item body).
+/// Rules skip masked tokens: panics inside unit tests are fine.
+///
+/// An attribute counts as a test attribute when it mentions the `test`
+/// identifier without `not` (`#[cfg(not(test))]` guards *non*-test
+/// code).
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attr(tokens, i + 1);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        let attr_start = i;
+        let mut k = attr_end;
+        // Stacked attributes between the test attribute and the item.
+        while is_punct(tokens, k, "#") && is_punct(tokens, k + 1, "[") {
+            k = scan_attr(tokens, k + 1).0;
+        }
+        // The item: ends at `;` at depth 0, or at the `}` closing the
+        // outermost brace group.
+        let mut depth = 0i32;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        k += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for slot in mask.iter_mut().take(k).skip(attr_start) {
+            *slot = true;
+        }
+        i = k;
+    }
+    mask
+}
+
+fn is_punct(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Scans an attribute starting at its `[` token; returns the index just
+/// past the matching `]` and whether the attribute marks test code.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut k = open;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct if t.text == "[" => depth += 1,
+            TokenKind::Punct if t.text == "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, has_test && !has_not);
+                }
+            }
+            TokenKind::Ident if t.text == "test" => has_test = true,
+            TokenKind::Ident if t.text == "not" => has_not = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    (tokens.len(), has_test && !has_not)
+}

@@ -1,0 +1,136 @@
+//! `offline-deps`: manifest-level checks.
+//!
+//! The build environment has no network, so every dependency must be
+//! path-based or workspace-inherited (which bottoms out in `vendor/`),
+//! and vendored crates must not carry a `build.rs` that could try to
+//! probe or download anything. This module parses the small subset of
+//! TOML the workspace actually uses — line-oriented `[section]` /
+//! `key = value` — which is all we need to tell a registry dependency
+//! (`foo = "1.0"`) from a vendored one (`foo = { path = ".." }`).
+
+use crate::rules::{Finding, RULE_OFFLINE};
+
+/// Sections of a Cargo.toml that declare dependencies.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Lints one `Cargo.toml` (workspace-relative path, file contents).
+pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    // Inline-table deps of the current multi-line entry, e.g.
+    //   [dependencies.foo]
+    //   version = "1.0"
+    let mut table_dep: Option<(String, u32, bool)> = None;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        let lineno = (idx + 1) as u32;
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_table_dep(rel, &mut table_dep, &mut findings);
+            let section = line.trim_matches(['[', ']']).trim().to_string();
+            in_dep_section = DEP_SECTIONS.contains(&section.as_str());
+            // `[dependencies.foo]` style multi-line dependency table.
+            if let Some((sec, name)) = section.rsplit_once('.') {
+                if DEP_SECTIONS.contains(&sec) {
+                    table_dep = Some((name.to_string(), lineno, false));
+                    in_dep_section = false;
+                }
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = table_dep.as_mut() {
+            if line.starts_with("path") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        // `foo = { path = ".." }`, `foo = { workspace = true }`, and
+        // the dotted form `foo.workspace = true` are all offline-safe.
+        let ok = value.contains("path")
+            || value.contains("workspace = true")
+            || value.contains("workspace=true")
+            || (name.ends_with(".workspace") && value.starts_with("true"));
+        if !ok {
+            findings.push(offline(
+                rel,
+                lineno,
+                name,
+                format!(
+                    "dependency `{name}` is not path-based or workspace-inherited — \
+                     registry deps cannot resolve offline"
+                ),
+            ));
+        }
+    }
+    flush_table_dep(rel, &mut table_dep, &mut findings);
+    findings
+}
+
+/// Flags `vendor/<crate>/build.rs` files.
+pub fn check_vendor_build_script(rel: &str) -> Finding {
+    offline(
+        rel,
+        1,
+        "build.rs",
+        "vendored crate carries a build script — vendor/ must build with no code execution at configure time".to_string(),
+    )
+}
+
+fn flush_table_dep(
+    rel: &str,
+    table_dep: &mut Option<(String, u32, bool)>,
+    findings: &mut Vec<Finding>,
+) {
+    if let Some((name, line, ok)) = table_dep.take() {
+        if !ok {
+            findings.push(offline(
+                rel,
+                line,
+                &name,
+                format!(
+                    "dependency table `{name}` has no `path` key — registry deps cannot resolve offline"
+                ),
+            ));
+        }
+    }
+}
+
+fn offline(rel: &str, line: u32, matched: &str, message: String) -> Finding {
+    Finding {
+        rule: RULE_OFFLINE,
+        file: rel.to_string(),
+        line,
+        matched: matched.to_string(),
+        message,
+        reason: String::new(),
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}

@@ -1,0 +1,105 @@
+//! Human-readable and machine-readable (`LINT.json`) lint reports.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rpdbscan_json::Value;
+
+use crate::rules::{Finding, RULE_DESCRIPTIONS, RULE_NAMES};
+
+/// The complete result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survive suppression; nonzero exit if non-empty.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a `lint:allow`, with reasons.
+    pub suppressed: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of manifests checked.
+    pub manifests_checked: usize,
+}
+
+impl LintReport {
+    /// Renders the human-readable report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if !self.findings.is_empty() {
+            let _ = writeln!(out);
+        }
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *by_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        let _ = writeln!(
+            out,
+            "xtask lint: {} file(s), {} manifest(s) scanned",
+            self.files_scanned, self.manifests_checked
+        );
+        let _ = writeln!(
+            out,
+            "  {} finding(s), {} suppressed via lint:allow",
+            self.findings.len(),
+            self.suppressed.len()
+        );
+        for (rule, n) in &by_rule {
+            let _ = writeln!(out, "    {rule}: {n}");
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "  clean.");
+        }
+        out
+    }
+
+    /// Renders the `LINT.json` payload (deterministic key order).
+    pub fn json(&self) -> Value {
+        let finding_value = |f: &Finding| {
+            let mut v = Value::object();
+            v.insert("rule", f.rule);
+            v.insert("file", f.file.as_str());
+            v.insert("line", f.line);
+            v.insert("matched", f.matched.as_str());
+            v.insert("message", f.message.as_str());
+            if !f.reason.is_empty() {
+                v.insert("reason", f.reason.as_str());
+            }
+            v
+        };
+        let mut by_rule: BTreeMap<String, Value> = BTreeMap::new();
+        for name in RULE_NAMES {
+            let n = self.findings.iter().filter(|f| f.rule == name).count();
+            by_rule.insert(name.to_string(), Value::Int(n as i64));
+        }
+        let mut summary = Value::object();
+        summary.insert("files_scanned", self.files_scanned);
+        summary.insert("manifests_checked", self.manifests_checked);
+        summary.insert("findings", self.findings.len());
+        summary.insert("suppressed", self.suppressed.len());
+        summary.insert("by_rule", Value::Object(by_rule));
+
+        let mut root = Value::object();
+        root.insert("tool", "xtask lint");
+        root.insert("summary", summary);
+        root.insert(
+            "findings",
+            Value::Array(self.findings.iter().map(finding_value).collect()),
+        );
+        root.insert(
+            "suppressed",
+            Value::Array(self.suppressed.iter().map(finding_value).collect()),
+        );
+        root
+    }
+}
+
+/// Renders the `xtask rules` listing.
+pub fn rules_listing() -> String {
+    let mut out = String::new();
+    for (name, desc) in RULE_NAMES.iter().zip(RULE_DESCRIPTIONS.iter()) {
+        let _ = writeln!(out, "{name:<18} {desc}");
+    }
+    out
+}

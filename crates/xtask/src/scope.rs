@@ -1,0 +1,138 @@
+//! Maps a workspace-relative path to the rule scope that applies to it.
+//!
+//! The invariants the linter enforces are not uniform across the tree:
+//! a library crate must never panic, but a figure-generating bench
+//! binary printing wall-clock seconds is fine; the engine's timing
+//! layer is the *one* place allowed to read the clock. This module
+//! encodes that policy as data so every rule asks the same questions.
+
+/// What kind of code a file holds; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `src/` of a library crate (or the root `rp-dbscan` lib): full
+    /// rule set — panic-safety, determinism, float-safety.
+    LibrarySrc,
+    /// A binary target (`src/bin/`): determinism rules apply (an
+    /// annotated wall-clock print is acceptable), panic rules do not.
+    Binary,
+    /// `examples/`: like binaries.
+    Example,
+    /// The `rpdbscan-bench` crate (figure generators + criterion
+    /// benches): determinism rules apply, panic rules do not.
+    Bench,
+    /// `tests/` and `benches/` directories: only the unsafe-code scan.
+    Test,
+    /// The `xtask` crate itself: only unsafe/thread rules.
+    Tool,
+}
+
+/// Per-file rule scope derived from its workspace-relative path.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// What kind of target the file belongs to.
+    pub kind: Kind,
+    /// Owning crate (`rp-dbscan` for the workspace root package).
+    pub crate_name: String,
+    /// True for crate roots (`src/lib.rs`) that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+    /// True for the engine's timing layer (`engine::{pool,trace,
+    /// metrics}`), the only code allowed to read the clock.
+    pub timing_layer: bool,
+    /// True for `engine::pool`, the only code allowed to spawn threads.
+    pub pool_file: bool,
+}
+
+/// Crates whose `src/` is held to the full library rule set.
+pub const LIBRARY_CRATES: [&str; 11] = [
+    "rp-dbscan",
+    "geom",
+    "grid",
+    "engine",
+    "core",
+    "baselines",
+    "data",
+    "metrics",
+    "plot",
+    "json",
+    "stream",
+];
+
+/// Crates whose result ordering is part of the paper's determinism
+/// claim: `HashMap`/`HashSet` iteration there must feed an
+/// order-insensitive sink or an explicit sort.
+pub const ORDERED_CRATES: [&str; 3] = ["core", "stream", "grid"];
+
+/// Classifies a workspace-relative path (forward slashes). `None`
+/// means the file is out of scope (vendored code, rule fixtures).
+pub fn classify(rel: &str) -> Option<FileScope> {
+    if rel.starts_with("vendor/") || rel.split('/').any(|seg| seg == "fixtures") {
+        return None;
+    }
+    let segs: Vec<&str> = rel.split('/').collect();
+    let crate_name = if segs.first() == Some(&"crates") {
+        (*segs.get(1)?).to_string()
+    } else {
+        "rp-dbscan".to_string()
+    };
+    let in_dir = |d: &str| segs.contains(&d);
+    let kind = if in_dir("tests") || in_dir("benches") {
+        Kind::Test
+    } else if segs.first() == Some(&"examples") {
+        Kind::Example
+    } else if crate_name == "xtask" {
+        Kind::Tool
+    } else if crate_name == "bench" {
+        Kind::Bench
+    } else if rel.contains("src/bin/") {
+        Kind::Binary
+    } else if in_dir("src") {
+        Kind::LibrarySrc
+    } else {
+        return None;
+    };
+    let is_crate_root = rel == "src/lib.rs"
+        || (segs.first() == Some(&"crates")
+            && segs.get(2) == Some(&"src")
+            && rel.ends_with("/lib.rs")
+            && segs.len() == 4);
+    let timing_layer = matches!(
+        rel,
+        "crates/engine/src/pool.rs" | "crates/engine/src/trace.rs" | "crates/engine/src/metrics.rs"
+    );
+    let pool_file = rel == "crates/engine/src/pool.rs";
+    Some(FileScope {
+        kind,
+        crate_name,
+        is_crate_root,
+        timing_layer,
+        pool_file,
+    })
+}
+
+impl FileScope {
+    /// Is the full panic-safety rule in force here?
+    pub fn panic_safety(&self) -> bool {
+        self.kind == Kind::LibrarySrc && LIBRARY_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Is the clock off-limits here?
+    pub fn determinism_time(&self) -> bool {
+        !matches!(self.kind, Kind::Test | Kind::Tool) && !self.timing_layer
+    }
+
+    /// Is `thread::spawn` off-limits here?
+    pub fn thread_discipline(&self) -> bool {
+        self.kind != Kind::Test && !self.pool_file
+    }
+
+    /// Is bare float `==`/`!=` off-limits here?
+    pub fn float_eq(&self) -> bool {
+        self.kind == Kind::LibrarySrc
+    }
+
+    /// Is unordered hash iteration off-limits here?
+    pub fn unordered_iter(&self) -> bool {
+        self.kind == Kind::LibrarySrc && ORDERED_CRATES.contains(&self.crate_name.as_str())
+    }
+}

@@ -1,0 +1,167 @@
+//! `// lint:allow(<rule>): <reason>` suppression comments.
+//!
+//! A suppression silences findings of the named rule(s) on exactly one
+//! line: its own line for a trailing comment, the next code line for a
+//! standalone comment. The reason is mandatory — an allow without one
+//! is itself a finding — and every suppression must fire: an unused
+//! allow is reported so stale annotations cannot accumulate.
+
+use crate::lexer::{Comment, Token};
+use crate::rules::{Finding, RULE_NAMES, RULE_SUPPRESSION};
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line whose findings this suppression silences.
+    pub target_line: u32,
+    /// Rule names inside the parentheses.
+    pub rules: Vec<String>,
+    /// The mandatory justification after the colon.
+    pub reason: String,
+    /// Whether any finding matched it.
+    pub used: bool,
+}
+
+/// Extracts suppressions from a file's comments. Malformed allows
+/// (missing parens, missing/empty reason, unknown rule) are returned as
+/// findings of the `suppression` rule.
+pub fn parse(
+    file: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // Only plain comments that *are* a directive count — doc
+        // comments and prose that merely mentions lint:allow (this
+        // module's own docs, say) are left alone.
+        let body = if let Some(r) = c.text.strip_prefix("//") {
+            if r.starts_with('/') || r.starts_with('!') {
+                continue;
+            }
+            r
+        } else if let Some(r) = c.text.strip_prefix("/*") {
+            if r.starts_with('*') || r.starts_with('!') {
+                continue;
+            }
+            r.trim_end_matches("*/")
+        } else {
+            c.text.as_str()
+        };
+        let Some(rest) = body.trim_start().strip_prefix("lint:allow") else {
+            continue;
+        };
+        let bad = |msg: &str| Finding {
+            rule: RULE_SUPPRESSION,
+            file: file.to_string(),
+            line: c.line,
+            matched: "lint:allow".to_string(),
+            message: msg.to_string(),
+            reason: String::new(),
+        };
+        let Some(open) = rest.find('(') else {
+            findings.push(bad("malformed lint:allow — expected `(<rule>)`"));
+            continue;
+        };
+        if !rest[..open].trim().is_empty() {
+            findings.push(bad("malformed lint:allow — expected `(<rule>)`"));
+            continue;
+        }
+        let Some(close) = rest.find(')') else {
+            findings.push(bad("malformed lint:allow — unclosed `(`"));
+            continue;
+        };
+        let rules: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            findings.push(bad("lint:allow names no rule"));
+            continue;
+        }
+        let mut ok = true;
+        for r in &rules {
+            if !RULE_NAMES.contains(&r.as_str()) {
+                findings.push(bad(&format!("lint:allow names unknown rule `{r}`")));
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':') else {
+            findings.push(bad(
+                "lint:allow without a `: <reason>` — the reason is mandatory",
+            ));
+            continue;
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            findings.push(bad(
+                "lint:allow with an empty reason — the reason is mandatory",
+            ));
+            continue;
+        }
+        let target_line = if c.own_line {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line + 1)
+        } else {
+            c.line
+        };
+        sups.push(Suppression {
+            line: c.line,
+            target_line,
+            rules,
+            reason: reason.to_string(),
+            used: false,
+        });
+    }
+    (sups, findings)
+}
+
+/// Splits findings into (surviving, suppressed) and appends an
+/// `unused lint:allow` finding for every suppression that never fired.
+pub fn apply(
+    file: &str,
+    sups: &mut [Suppression],
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut surviving = Vec::new();
+    let mut suppressed = Vec::new();
+    for mut f in findings {
+        let hit = sups
+            .iter_mut()
+            .find(|s| s.target_line == f.line && s.rules.iter().any(|r| r == f.rule));
+        match hit {
+            Some(s) => {
+                s.used = true;
+                f.reason = s.reason.clone();
+                suppressed.push(f);
+            }
+            None => surviving.push(f),
+        }
+    }
+    for s in sups.iter().filter(|s| !s.used) {
+        surviving.push(Finding {
+            rule: RULE_SUPPRESSION,
+            file: file.to_string(),
+            line: s.line,
+            matched: "lint:allow".to_string(),
+            message: format!(
+                "unused lint:allow({}) — nothing to suppress on line {}",
+                s.rules.join(", "),
+                s.target_line
+            ),
+            reason: String::new(),
+        });
+    }
+    (surviving, suppressed)
+}

@@ -1,0 +1,174 @@
+//! Rule-engine tests over the fixture files in `crates/xtask/fixtures`.
+//!
+//! The `fixtures` directory is excluded from both the workspace walk
+//! and `scope::classify`, so the deliberately-bad code in it never
+//! pollutes a real `cargo run -p xtask -- lint`. These tests feed each
+//! fixture through `rules::check_file` under a library scope and pin
+//! the exact `(rule, line)` set — including the tricky negatives:
+//! `unwrap` inside a string literal, `==` inside a comment, and
+//! `lint:allow` without a reason.
+
+use xtask::manifest;
+use xtask::rules::{self, Finding};
+use xtask::scope;
+
+/// A scope with every rule active: library source in an ordered crate.
+fn lib_scope() -> scope::FileScope {
+    scope::classify("crates/core/src/fixture.rs").expect("library scope")
+}
+
+fn check(src: &str) -> rules::FileOutcome {
+    rules::check_file("fixture.rs", &lib_scope(), src)
+}
+
+fn pairs(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn panic_rule_flags_real_sites_not_strings_comments_or_tests() {
+    let out = check(include_str!("../fixtures/panic_cases.rs"));
+    assert_eq!(
+        pairs(&out.findings),
+        vec![
+            ("panic-safety", 6),  // v.unwrap()
+            ("panic-safety", 19), // v.expect("present")
+            ("panic-safety", 23), // panic!
+            ("panic-safety", 27), // unreachable!
+        ],
+        "string literals, comments, and #[cfg(test)] must not fire: {:?}",
+        out.findings
+    );
+    assert!(out.suppressed.is_empty());
+}
+
+#[test]
+fn float_rule_flags_literal_comparisons_not_comments_or_ints() {
+    let out = check(include_str!("../fixtures/float_cases.rs"));
+    assert_eq!(
+        pairs(&out.findings),
+        vec![("float-eq", 6), ("float-eq", 10)],
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn allow_hygiene_reason_mandatory_unused_and_unknown_flagged() {
+    let out = check(include_str!("../fixtures/allow_cases.rs"));
+    // Line 8: the allow has no reason, so it is malformed AND the
+    // unwrap it meant to cover survives. Line 16: allow that never
+    // fires. Line 22: allow naming an unknown rule, unwrap survives.
+    assert_eq!(
+        pairs(&out.findings),
+        vec![
+            ("panic-safety", 8),
+            ("suppression", 8),
+            ("suppression", 16),
+            ("panic-safety", 22),
+            ("suppression", 22),
+        ],
+        "{:?}",
+        out.findings
+    );
+    // The two well-formed allows suppress exactly their own targets,
+    // carrying the mandatory reason through to the report.
+    assert_eq!(
+        pairs(&out.suppressed),
+        vec![("panic-safety", 4), ("panic-safety", 13)]
+    );
+    assert!(out.suppressed.iter().all(|f| !f.reason.is_empty()));
+}
+
+#[test]
+fn unordered_rule_flags_hash_iteration_waives_sorts_and_sinks() {
+    let out = check(include_str!("../fixtures/ordering_cases.rs"));
+    assert_eq!(
+        pairs(&out.findings),
+        vec![("unordered-iter", 7), ("unordered-iter", 15)],
+        "sorted bindings and order-insensitive sinks must be waived: {:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn clock_and_thread_rules_fire_in_library_scope() {
+    let out = check(include_str!("../fixtures/clock_thread_cases.rs"));
+    assert_eq!(
+        pairs(&out.findings),
+        vec![
+            ("determinism-time", 6),
+            ("determinism-time", 10),
+            ("thread-discipline", 14),
+        ],
+        "{:?}",
+        out.findings
+    );
+}
+
+#[test]
+fn engine_timing_layer_may_read_clocks_and_spawn_threads() {
+    let pool = scope::classify("crates/engine/src/pool.rs").expect("pool scope");
+    let out = rules::check_file(
+        "crates/engine/src/pool.rs",
+        &pool,
+        include_str!("../fixtures/clock_thread_cases.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn test_scope_only_runs_the_unsafe_scan() {
+    let t = scope::classify("crates/core/tests/t.rs").expect("test scope");
+    let out = rules::check_file(
+        "crates/core/tests/t.rs",
+        &t,
+        include_str!("../fixtures/panic_cases.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn unsafe_flagged_everywhere_and_crate_roots_need_forbid() {
+    let t = scope::classify("crates/core/tests/t.rs").expect("test scope");
+    let out = rules::check_file("t.rs", &t, "pub fn f() {\n    unsafe {}\n}\n");
+    assert_eq!(pairs(&out.findings), vec![("forbid-unsafe", 2)]);
+
+    let root = scope::classify("crates/geom/src/lib.rs").expect("crate root");
+    assert!(root.is_crate_root);
+    let out = rules::check_file("lib.rs", &root, "//! docs\npub fn f() {}\n");
+    assert_eq!(pairs(&out.findings), vec![("forbid-unsafe", 1)]);
+    let out = rules::check_file("lib.rs", &root, "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    assert!(out.findings.is_empty());
+}
+
+#[test]
+fn fixtures_are_out_of_scope_for_the_workspace_walk() {
+    assert!(scope::classify("crates/xtask/fixtures/panic_cases.rs").is_none());
+    assert!(scope::classify("vendor/foo/src/lib.rs").is_none());
+}
+
+#[test]
+fn manifests_registry_deps_flagged_offline_forms_pass() {
+    let good = r#"
+[dependencies]
+foo = { path = "../foo" }
+bar.workspace = true
+baz = { workspace = true }
+
+[dependencies.quux]
+path = "../quux"
+
+[features]
+default = []
+"#;
+    assert!(manifest::check_manifest("Cargo.toml", good).is_empty());
+
+    let bad = "[dependencies]\nserde = \"1.0\"\n\n[dependencies.tokio]\nversion = \"1\"\n";
+    let f = manifest::check_manifest("Cargo.toml", bad);
+    assert_eq!(
+        f.iter().map(|f| (f.rule, f.line)).collect::<Vec<_>>(),
+        vec![("offline-deps", 2), ("offline-deps", 4)],
+        "{f:?}"
+    );
+}

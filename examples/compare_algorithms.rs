@@ -31,7 +31,7 @@ fn main() {
 
     // RP-DBSCAN
     let engine = Engine::new(workers);
-    let wall = Instant::now();
+    let wall = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
     let out = RpDbscan::new(
         RpDbscanParams::new(eps, min_pts)
             .with_rho(rho)
@@ -58,7 +58,7 @@ fn main() {
         ("SPARK-DBSCAN", RegionParams::spark(eps, min_pts, workers)),
     ] {
         let engine = Engine::new(workers);
-        let wall = Instant::now();
+        let wall = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
         let out = RegionDbscan::new(params).run(&data, &engine).unwrap();
         println!(
             "{:<14} {:>10.2} {:>12.3} {:>12} {:>9} {:>9.4}",
@@ -73,7 +73,7 @@ fn main() {
 
     // NG-DBSCAN
     let engine = Engine::new(workers);
-    let wall = Instant::now();
+    let wall = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
     let out = NgDbscan::new(NgParams::new(eps, min_pts))
         .run(&data, &engine)
         .unwrap();

@@ -60,6 +60,8 @@ stream options:
   --batch B        points per insert micro-batch (required)
   --order file|shuffled|locality   arrival order  (default file)
   --seed S         shuffle seed          (default 0)
+  --save-dict F    write the final cell dictionary (wire format) to F
+  --check-dict F   decode F and verify it matches this run's grid
   --rho, --workers, --delim as above
 
 generate kinds: moons blobs chameleon geolife cosmo osm teraclick
@@ -169,7 +171,7 @@ fn cluster(args: &[String]) -> Result<(), String> {
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
     let engine = Engine::new(workers);
-    let start = std::time::Instant::now();
+    let start = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
     let clustering = match algo.as_str() {
         "rp" => {
             let params = RpDbscanParams::new(eps, min_pts)
@@ -232,6 +234,8 @@ fn stream(args: &[String]) -> Result<(), String> {
     let delim: char = parse_flag(args, "--delim", ',')?;
     let order = flag(args, "--order").unwrap_or_else(|| "file".into());
     let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let save_dict = flag(args, "--save-dict").map(PathBuf::from);
+    let check_dict = flag(args, "--check-dict").map(PathBuf::from);
 
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
@@ -245,6 +249,17 @@ fn stream(args: &[String]) -> Result<(), String> {
     let engine = Engine::with_cost_model(workers, CostModel::free());
     let mut s =
         StreamingRpDbscan::with_engine(data.dim(), params, engine).map_err(|e| e.to_string())?;
+    if let Some(p) = &check_dict {
+        let bytes = std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let dict = s
+            .check_dictionary(&bytes)
+            .map_err(|e| format!("{}: {e}", p.display()))?;
+        println!(
+            "checked dictionary {}: {} cells, grid compatible",
+            p.display(),
+            dict.num_cells()
+        );
+    }
     println!(
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
         "epoch", "inserted", "total", "clusters", "changed", "dirty", "sec"
@@ -254,7 +269,7 @@ fn stream(args: &[String]) -> Result<(), String> {
         for &i in chunk {
             flat.extend_from_slice(data.point_at(i as usize));
         }
-        let t = std::time::Instant::now();
+        let t = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
         s.insert_batch(&flat).map_err(|e| e.to_string())?;
         let snap = s.snapshot();
         println!(
@@ -271,6 +286,15 @@ fn stream(args: &[String]) -> Result<(), String> {
     let snap = s.snapshot();
     io::write_labeled_csv(&output, &s.dataset(), &snap.labels, delim).map_err(|e| e.to_string())?;
     println!("wrote labels to {}", output.display());
+    if let Some(p) = &save_dict {
+        let bytes = s.encode_dictionary();
+        std::fs::write(p, &bytes).map_err(|e| format!("{}: {e}", p.display()))?;
+        println!(
+            "wrote dictionary ({} bytes) to {}",
+            bytes.len(),
+            p.display()
+        );
+    }
     Ok(())
 }
 

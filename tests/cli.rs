@@ -99,6 +99,109 @@ fn generate_cluster_metrics_plot_pipeline() {
 }
 
 #[test]
+fn stream_dictionary_round_trip_and_corruption() {
+    let csv = tmp("stream_dict.csv");
+    let out = bin()
+        .args([
+            "generate",
+            "blobs",
+            "600",
+            csv.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Save the final dictionary from a streaming run.
+    let dict = tmp("stream_dict.bin");
+    let stream_args = |extra: &[&str]| {
+        let mut v = vec![
+            "stream".to_string(),
+            csv.to_str().unwrap().to_string(),
+            tmp("stream_dict_out.csv").to_str().unwrap().to_string(),
+            "--eps".into(),
+            "1.0".into(),
+            "--min-pts".into(),
+            "8".into(),
+            "--batch".into(),
+            "200".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let out = bin()
+        .args(stream_args(&["--save-dict", dict.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&dict).unwrap();
+    assert!(!bytes.is_empty());
+
+    // The intact dictionary passes a compatibility check.
+    let out = bin()
+        .args(stream_args(&["--check-dict", dict.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("grid compatible"), "{stdout}");
+
+    // A truncated dictionary fails with a typed decode message and a
+    // nonzero exit code — not a panic.
+    let truncated = tmp("stream_dict_truncated.bin");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+    let out = bin()
+        .args(stream_args(&["--check-dict", truncated.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("corrupt dictionary") && stderr.contains("truncated"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // A dictionary saved under different grid parameters is well-formed
+    // but incompatible: the mismatch is reported, not silently accepted.
+    let other = tmp("stream_dict_other.bin");
+    let out = bin()
+        .args([
+            "stream",
+            csv.to_str().unwrap(),
+            tmp("stream_dict_out2.csv").to_str().unwrap(),
+            "--eps",
+            "2.0",
+            "--min-pts",
+            "8",
+            "--batch",
+            "200",
+            "--save-dict",
+            other.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(stream_args(&["--check-dict", other.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("grid mismatch"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
