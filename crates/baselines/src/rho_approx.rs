@@ -45,7 +45,7 @@ pub fn rho_approx_dbscan(
     let part = Partition { id: 0, cells };
     let dict = CellDictionary::build_from_points(spec, data.iter().map(|(_, p)| p));
     let index = DictionaryIndex::single(dict);
-    let local = build_local_clustering(&part, data, &index, min_pts)?;
+    let local = build_local_clustering(&part, data, &index, min_pts, true)?;
 
     let mut core = vec![false; data.len()];
     for pts in local.core_points.values() {

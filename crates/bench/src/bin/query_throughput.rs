@@ -1,0 +1,179 @@
+//! Planned vs unplanned `(ε,ρ)`-region query throughput.
+//!
+//! The Phase II hot path answers one region query per point. The
+//! cell-level planner (`CellQueryPlan`) amortises the kd-tree candidate
+//! search and sub-cell classification over all points of a cell; this
+//! binary measures what that buys on two workload shapes:
+//!
+//! * **dense** — points packed ≥ 16 per cell, where one plan serves many
+//!   queries (the shape Phase II sees on clustered data);
+//! * **sparse** — a few points per cell, where plan builds amortise
+//!   poorly (the planner's worst case).
+//!
+//! Both paths are timed over identical per-point query sequences, with
+//! densities cross-checked so a divergence fails loudly. Results land in
+//! `BENCH_query.json` (plus the usual CSV under `target/experiments/`).
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin query_throughput
+//! cargo run --release -p rpdbscan-bench --bin query_throughput -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI: same code path, well-formed
+//! JSON, meaningless timings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpdbscan_bench::{scale, write_csv, RHO};
+use rpdbscan_core::partition::group_by_cell;
+use rpdbscan_grid::{CellDictionary, CellQueryPlan, DictionaryIndex, GridSpec, RegionQueryResult};
+use rpdbscan_json::{ToJson, Value};
+use std::io::Write;
+use std::time::Instant;
+
+struct QueryRow {
+    shape: String,
+    points: usize,
+    cells: usize,
+    points_per_cell: f64,
+    planned_sec: f64,
+    unplanned_sec: f64,
+    planned_qps: f64,
+    unplanned_qps: f64,
+    planned_ns_per_point: f64,
+    unplanned_ns_per_point: f64,
+    speedup: f64,
+}
+
+rpdbscan_json::impl_to_json!(QueryRow {
+    shape,
+    points,
+    cells,
+    points_per_cell,
+    planned_sec,
+    unplanned_sec,
+    planned_qps,
+    unplanned_qps,
+    planned_ns_per_point,
+    unplanned_ns_per_point,
+    speedup
+});
+
+/// Uniform points over `[0, extent)²` — cell occupancy is set by the
+/// extent/ε ratio, which is all that matters to the planner.
+fn uniform(n: usize, extent: f64, seed: u64) -> rpdbscan_geom::Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut flat = Vec::with_capacity(n * 2);
+    for _ in 0..n * 2 {
+        flat.push(rng.gen_range(0.0..extent));
+    }
+    rpdbscan_geom::Dataset::from_flat(2, flat).expect("well-formed flat buffer")
+}
+
+fn bench_shape(shape: &str, n: usize, extent: f64, eps: f64, repeats: usize) -> QueryRow {
+    let data = uniform(n, extent, 42);
+    let spec = GridSpec::new(2, eps, RHO).expect("valid grid");
+    let dict = CellDictionary::build_from_points(spec.clone(), data.iter().map(|(_, p)| p));
+    let index = DictionaryIndex::new(dict, 1 << 16);
+    let cells = group_by_cell(&spec, &data);
+    let n_cells = cells.len();
+
+    // Unplanned: the per-point oracle, scratch threaded exactly as the
+    // pre-planner Phase II loop ran it.
+    let mut r = RegionQueryResult::default();
+    let mut scratch = vec![0.0; 2];
+    let mut unplanned_density = 0u64;
+    let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
+    for _ in 0..repeats {
+        unplanned_density = 0;
+        for cell in &cells {
+            for &pid in &cell.points {
+                index.region_query_cells_scratch(data.point(pid), &mut r, &mut scratch);
+                unplanned_density += r.density;
+            }
+        }
+    }
+    let unplanned_sec = t0.elapsed().as_secs_f64() / repeats as f64;
+
+    // Planned: build each cell's plan once (build time included — that is
+    // the real Phase II cost), answer all its points through it.
+    let mut planned_density = 0u64;
+    let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
+    for _ in 0..repeats {
+        planned_density = 0;
+        for cell in &cells {
+            let idx = index.dict().index_of(&cell.coord).expect("occupied cell");
+            let plan = CellQueryPlan::build(&index, idx);
+            for &pid in &cell.points {
+                plan.query_into(data.point(pid), &mut r);
+                planned_density += r.density;
+            }
+        }
+    }
+    let planned_sec = t0.elapsed().as_secs_f64() / repeats as f64;
+
+    assert_eq!(
+        planned_density, unplanned_density,
+        "{shape}: planned path diverged from the oracle"
+    );
+
+    let row = QueryRow {
+        shape: shape.to_string(),
+        points: n,
+        cells: n_cells,
+        points_per_cell: n as f64 / n_cells as f64,
+        planned_sec,
+        unplanned_sec,
+        planned_qps: n as f64 / planned_sec,
+        unplanned_qps: n as f64 / unplanned_sec,
+        planned_ns_per_point: planned_sec * 1e9 / n as f64,
+        unplanned_ns_per_point: unplanned_sec * 1e9 / n as f64,
+        speedup: unplanned_sec / planned_sec,
+    };
+    println!(
+        "{:>7}: {:>8} pts, {:>6} cells ({:>7.1} pts/cell)  planned {:>8.1} ns/pt  unplanned {:>8.1} ns/pt  {:>5.2}x",
+        row.shape,
+        row.points,
+        row.cells,
+        row.points_per_cell,
+        row.planned_ns_per_point,
+        row.unplanned_ns_per_point,
+        row.speedup
+    );
+    row
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, repeats) = if smoke {
+        (4_000, 1)
+    } else {
+        ((60_000.0 * scale()) as usize, 3)
+    };
+    println!(
+        "Region-query throughput (n={n}, rho={RHO}{})",
+        if smoke { " [smoke]" } else { "" }
+    );
+    let rows = vec![
+        // eps=1.6 over [0,8)²: ~7×7 cells of side 1.13 → hundreds of
+        // points per cell (well past the ≥16 pts/cell dense regime).
+        bench_shape("dense", n, 8.0, 1.6, repeats),
+        // eps=0.8 over [0,80)²: ~141×141 cells → a handful per cell.
+        bench_shape("sparse", n, 80.0, 0.8, repeats),
+    ];
+
+    write_csv("query_throughput", &rows);
+    let mut doc = Value::object();
+    doc.insert("workload", "uniform 2d");
+    doc.insert("points", n);
+    doc.insert("rho", RHO);
+    doc.insert("smoke", Value::Bool(smoke));
+    doc.insert(
+        "rows",
+        Value::Array(rows.iter().map(|r| r.to_json()).collect()),
+    );
+    let path = "BENCH_query.json";
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create json"));
+    writeln!(f, "{doc}").expect("write json");
+    println!("wrote {path}");
+}

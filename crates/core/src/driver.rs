@@ -48,6 +48,14 @@ pub struct RunStats {
     pub query_subdicts_visited: u64,
     /// Aggregated region-query counters.
     pub query_cells_candidate: u64,
+    /// Phase II cell query plans built (one per occupied partition cell
+    /// when the planner is enabled; 0 otherwise).
+    pub query_plans_built: u64,
+    /// Region queries answered through a memoized cell plan.
+    pub query_plan_hits: u64,
+    /// Cells answered purely from a plan's precomputed sub-cell sums —
+    /// no per-point distance test at all.
+    pub query_cells_planned_full: u64,
 }
 
 /// A finished clustering plus its statistics.
@@ -163,7 +171,7 @@ impl RpDbscan {
                     // lint:allow(panic-safety): deliberate fault-injection hook; the engine's panic recovery is what is under test
                     panic!("injected fault in partition {}", ctx.index());
                 }
-                build_local_clustering(part, data, &index, p.min_pts)
+                build_local_clustering(part, data, &index, p.min_pts, p.use_query_planner)
             })?;
         let mut query_stats = QueryStats::default();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
@@ -242,6 +250,9 @@ impl RpDbscan {
             query_subdicts_skipped: query_stats.subdicts_skipped as u64,
             query_subdicts_visited: query_stats.subdicts_visited as u64,
             query_cells_candidate: query_stats.cells_candidate as u64,
+            query_plans_built: query_stats.plans_built as u64,
+            query_plan_hits: query_stats.plan_hits as u64,
+            query_cells_planned_full: query_stats.cells_planned_full as u64,
         };
         Ok(RpDbscanOutput { clustering, stats })
     }
@@ -413,6 +424,35 @@ mod tests {
                 rpdbscan_metrics::NoisePolicy::SingleCluster,
             );
             assert_eq!(ri, 1.0, "k={k} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn planner_does_not_change_clustering() {
+        // The planned Phase II path must be output-identical to the
+        // unplanned oracle path, across partitionings and fragmentation.
+        let data = two_blob_data();
+        let engine = Engine::with_cost_model(4, CostModel::free());
+        for (k, cap) in [(1, u64::MAX), (5, 32), (9, 8)] {
+            let base = RpDbscanParams::new(1.0, 5)
+                .with_partitions(k)
+                .with_subdict_capacity(cap);
+            let on = RpDbscan::new(base.with_query_planner(true))
+                .unwrap()
+                .run(&data, &engine)
+                .unwrap();
+            let off = RpDbscan::new(base.with_query_planner(false))
+                .unwrap()
+                .run(&data, &engine)
+                .unwrap();
+            assert_eq!(on.clustering, off.clustering, "k={k} cap={cap}");
+            assert_eq!(on.stats.num_clusters, off.stats.num_clusters);
+            // The planner actually engaged: one plan per occupied cell,
+            // one hit per point.
+            assert_eq!(on.stats.query_plans_built, on.stats.dict_cells as u64);
+            assert_eq!(on.stats.query_plan_hits, data.len() as u64);
+            assert_eq!(off.stats.query_plans_built, 0);
+            assert_eq!(off.stats.query_plan_hits, 0);
         }
     }
 

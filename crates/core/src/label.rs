@@ -186,7 +186,7 @@ mod tests {
         let index = DictionaryIndex::new(dict, 1 << 16);
         let locals: Vec<_> = parts
             .iter()
-            .map(|p| build_local_clustering(p, &data, &index, min_pts).unwrap())
+            .map(|p| build_local_clustering(p, &data, &index, min_pts, true).unwrap())
             .collect();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         let mut graphs = Vec::new();

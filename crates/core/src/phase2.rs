@@ -11,7 +11,7 @@ use crate::graph::{CellSubgraph, CellType};
 use crate::partition::Partition;
 use rpdbscan_engine::TaskError;
 use rpdbscan_geom::{Dataset, PointId};
-use rpdbscan_grid::{DictionaryIndex, FxHashMap, QueryStats};
+use rpdbscan_grid::{CellQueryPlan, DictionaryIndex, FxHashMap, QueryStats};
 
 /// Output of Phase II for one partition.
 #[derive(Debug, Clone)]
@@ -33,6 +33,13 @@ pub struct LocalClustering {
 /// (in the real system the partition physically holds them — ids suffice
 /// here because the dataset is shared read-only memory).
 ///
+/// When `use_planner` is set, a [`CellQueryPlan`] is built once per
+/// partition cell and every point of the cell is answered through it —
+/// the kd-tree candidate search and sub-cell centre materialisation are
+/// amortised over the cell's points. Otherwise each point runs the plain
+/// `region_query` (the correctness oracle); the clustering output is
+/// identical either way.
+///
 /// Runs inside a `run_stage` task; a partition cell absent from the
 /// broadcast dictionary is an internal-consistency violation reported as
 /// a [`TaskError`] so it flows through the engine's failure path.
@@ -41,6 +48,7 @@ pub fn build_local_clustering(
     data: &Dataset,
     index: &DictionaryIndex,
     min_pts: usize,
+    use_planner: bool,
 ) -> Result<LocalClustering, TaskError> {
     let dict = index.dict();
     let mut subgraph = CellSubgraph::new();
@@ -50,6 +58,7 @@ pub fn build_local_clustering(
     // Scratch buffers reused across all points of the partition.
     let mut neighbors: Vec<u32> = Vec::new();
     let mut r = rpdbscan_grid::RegionQueryResult::default();
+    let mut center = vec![0.0; index.spec().dim()];
 
     for cell in &partition.cells {
         let cell_idx = dict.index_of(&cell.coord).ok_or_else(|| {
@@ -60,8 +69,19 @@ pub fn build_local_clustering(
         })?;
         neighbors.clear();
         let mut is_core_cell = false;
+        let plan = if use_planner {
+            let plan = CellQueryPlan::build(index, cell_idx);
+            // Build cost is charged once per cell, not once per point.
+            stats.merge(plan.build_stats());
+            Some(plan)
+        } else {
+            None
+        };
         for &pid in &cell.points {
-            index.region_query_cells_into(data.point(pid), &mut r);
+            match &plan {
+                Some(plan) => plan.query_into(data.point(pid), &mut r),
+                None => index.region_query_cells_scratch(data.point(pid), &mut r, &mut center),
+            }
             stats.merge(&r.stats);
             queries += 1;
             if r.density >= min_pts as u64 {
@@ -127,7 +147,7 @@ mod tests {
     fn dense_line_marks_core_outlier_does_not() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
+        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
         // Some interior cell must be core; the outlier's cell must not be.
         let outlier_cell = index.dict().index_of(&spec.cell_of(&[50.0, 50.0])).unwrap();
         assert_eq!(local.subgraph.cell_type(outlier_cell), CellType::NonCore);
@@ -147,7 +167,7 @@ mod tests {
     fn single_partition_edges_are_all_determined() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
+        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
         assert!(local.subgraph.is_global());
         let (_, _, undet) = local.subgraph.edge_type_counts();
         assert_eq!(undet, 0);
@@ -159,7 +179,7 @@ mod tests {
         let (parts, index) = setup(&spec, &data, 3);
         let mut any_undetermined = false;
         for part in &parts {
-            let local = build_local_clustering(part, &data, &index, 4).unwrap();
+            let local = build_local_clustering(part, &data, &index, 4, true).unwrap();
             let (_, _, undet) = local.subgraph.edge_type_counts();
             if undet > 0 {
                 any_undetermined = true;
@@ -175,7 +195,7 @@ mod tests {
     fn min_pts_one_everything_with_a_point_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1).unwrap();
+        let local = build_local_clustering(&parts[0], &data, &index, 1, true).unwrap();
         for (&cell, &t) in local.subgraph.types().iter() {
             assert_eq!(t, CellType::Core, "cell {cell} not core at minPts=1");
         }
@@ -185,7 +205,7 @@ mod tests {
     fn huge_min_pts_nothing_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1000).unwrap();
+        let local = build_local_clustering(&parts[0], &data, &index, 1000, true).unwrap();
         assert!(local.core_points.is_empty());
         assert_eq!(local.subgraph.num_edges(), 0);
         for &t in local.subgraph.types().values() {
@@ -197,7 +217,7 @@ mod tests {
     fn edges_originate_from_core_cells_only() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4).unwrap();
+        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
         for &(from, _) in local.subgraph.edges() {
             assert_eq!(local.subgraph.cell_type(from), CellType::Core);
         }
@@ -210,12 +230,46 @@ mod tests {
     }
 
     #[test]
+    fn planner_and_oracle_paths_agree_exactly() {
+        let (spec, data) = line_world();
+        for k in [1, 3] {
+            let (parts, index) = setup(&spec, &data, k);
+            for part in &parts {
+                for min_pts in [1, 4, 1000] {
+                    let planned =
+                        build_local_clustering(part, &data, &index, min_pts, true).unwrap();
+                    let oracle =
+                        build_local_clustering(part, &data, &index, min_pts, false).unwrap();
+                    assert_eq!(planned.queries, oracle.queries);
+                    assert_eq!(planned.core_points, oracle.core_points);
+                    assert_eq!(planned.subgraph.types(), oracle.subgraph.types());
+                    assert_eq!(planned.subgraph.edges(), oracle.subgraph.edges());
+                    // Per-point counters are bit-identical; only the
+                    // amortised candidate/sub-dictionary counters differ.
+                    assert_eq!(planned.stats.cells_full, oracle.stats.cells_full);
+                    assert_eq!(planned.stats.cells_partial, oracle.stats.cells_partial);
+                    assert_eq!(
+                        planned.stats.subcells_reported,
+                        oracle.stats.subcells_reported
+                    );
+                    assert_eq!(planned.stats.plan_hits, planned.queries as u32);
+                    assert_eq!(oracle.stats.plan_hits, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn query_counts_match_point_count() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 2);
         let total: u64 = parts
             .iter()
-            .map(|p| build_local_clustering(p, &data, &index, 4).unwrap().queries)
+            .map(|p| {
+                build_local_clustering(p, &data, &index, 4, true)
+                    .unwrap()
+                    .queries
+            })
             .sum();
         assert_eq!(total, data.len() as u64);
     }

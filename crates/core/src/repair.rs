@@ -17,7 +17,8 @@
 
 use rpdbscan_geom::dist2;
 use rpdbscan_grid::{
-    CellCoord, DictionaryIndex, GridSpec, QueryStats, RegionQueryResult, SubCellEntry, SubCellIdx,
+    CellCoord, CellQueryPlan, DictionaryIndex, GridSpec, QueryStats, RegionQueryResult,
+    SubCellEntry, SubCellIdx,
 };
 
 /// Re-derived state of one cell after a mutation epoch: the output of
@@ -58,6 +59,25 @@ pub fn recompute_cell<'a, F>(
 where
     F: Fn(u32) -> &'a [f64],
 {
+    recompute_cell_planned(index, coord, points, point_of, min_pts, None)
+}
+
+/// [`recompute_cell`] with an optional per-cell query plan: when `plan` is
+/// given (a [`CellQueryPlan`] built for `coord` against the same epoch's
+/// `index`), every point query is answered through it instead of the plain
+/// `region_query`. Results are identical; the plan just amortises the
+/// candidate search over the cell's points.
+pub fn recompute_cell_planned<'a, F>(
+    index: &DictionaryIndex,
+    coord: &CellCoord,
+    points: &[u32],
+    point_of: F,
+    min_pts: usize,
+    plan: Option<&CellQueryPlan>,
+) -> CellRepair
+where
+    F: Fn(u32) -> &'a [f64],
+{
     let dict = index.dict();
     let self_idx = dict.index_of(coord);
     let mut core_points = Vec::new();
@@ -65,8 +85,12 @@ where
     let mut neighbor_idx: Vec<u32> = Vec::new();
     let mut stats = QueryStats::default();
     let mut r = RegionQueryResult::default();
+    let mut scratch = vec![0.0; index.spec().dim()];
     for &id in points {
-        index.region_query_cells_into(point_of(id), &mut r);
+        match plan {
+            Some(plan) => plan.query_into(point_of(id), &mut r),
+            None => index.region_query_cells_scratch(point_of(id), &mut r, &mut scratch),
+        }
         stats.merge(&r.stats);
         densities.push(r.density);
         if r.density >= min_pts as u64 {
@@ -275,7 +299,7 @@ mod tests {
             id: 0,
             cells: cells.clone(),
         };
-        let local = build_local_clustering(&part, &data, &index, 4).unwrap();
+        let local = build_local_clustering(&part, &data, &index, 4, true).unwrap();
         for cell in &cells {
             let ids: Vec<u32> = cell.points.iter().map(|p| p.0).collect();
             let rep = recompute_cell(
@@ -307,6 +331,33 @@ mod tests {
                 .collect();
             batch_nbrs.sort_unstable();
             assert_eq!(rep.neighbors, batch_nbrs, "cell {}", cell.coord);
+        }
+    }
+
+    #[test]
+    fn planned_recompute_matches_oracle_recompute() {
+        let (spec, rows) = world();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let dict = CellDictionary::build_from_points(spec.clone(), refs);
+        let index = DictionaryIndex::single(dict);
+        let point_of = |id: u32| rows[id as usize].as_slice();
+        let mut by_cell: Vec<(CellCoord, Vec<u32>)> = Vec::new();
+        for (i, p) in rows.iter().enumerate() {
+            let c = spec.cell_of(p);
+            match by_cell.iter_mut().find(|(cc, _)| *cc == c) {
+                Some((_, v)) => v.push(i as u32),
+                None => by_cell.push((c, vec![i as u32])),
+            }
+        }
+        for (coord, ids) in &by_cell {
+            let idx = index.dict().index_of(coord).unwrap();
+            let plan = CellQueryPlan::build(&index, idx);
+            let planned = recompute_cell_planned(&index, coord, ids, point_of, 4, Some(&plan));
+            let oracle = recompute_cell(&index, coord, ids, point_of, 4);
+            assert_eq!(planned.is_core, oracle.is_core);
+            assert_eq!(planned.core_points, oracle.core_points);
+            assert_eq!(planned.neighbors, oracle.neighbors);
+            assert_eq!(planned.densities, oracle.densities);
         }
     }
 

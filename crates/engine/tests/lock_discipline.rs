@@ -32,7 +32,7 @@ fn poisoned_stage(e: &Engine, round: usize, stride: usize) -> Result<Vec<usize>,
             &format!("poison-{round}"),
             (0..TASKS).collect(),
             |_ctx, i: usize| {
-                if i % stride == 0 {
+                if i.is_multiple_of(stride) {
                     panic!("deliberate poison: task {i} of round {round}");
                 }
                 Ok(i * 2)

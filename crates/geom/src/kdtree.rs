@@ -140,6 +140,70 @@ impl KdTree {
         }
     }
 
+    /// Visits every indexed point within `radius` of the axis-aligned box
+    /// `[lo, hi]` (inclusive): points whose squared distance to the box
+    /// ([`crate::Aabb::min_dist2`] semantics) is at most `radius²`.
+    ///
+    /// The visitor receives `(payload, squared_distance_to_box)`. This is
+    /// the build-time candidate search of the grid crate's cell query
+    /// planner: one box query from a cell's AABB replaces one point query
+    /// per member point (any point of the box is within `radius` of a
+    /// reported candidate whenever it is within `radius − diam(box)` of
+    /// it, so the result is a superset of every per-point search).
+    pub fn for_each_near_box<F: FnMut(u32, f64)>(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        radius: f64,
+        mut f: F,
+    ) {
+        debug_assert_eq!(lo.len(), self.dim);
+        debug_assert_eq!(hi.len(), self.dim);
+        if self.nodes.is_empty() {
+            return;
+        }
+        let r2 = radius * radius;
+        // Same traversal shape as `for_each_within`, with the query point
+        // generalised to an interval per axis: crossing a split plane costs
+        // the gap between the plane and the nearer interval endpoint.
+        let mut stack: Vec<(u32, f64)> = vec![(0, 0.0)];
+        while let Some((ni, acc)) = stack.pop() {
+            if acc > r2 {
+                continue;
+            }
+            match &self.nodes[ni as usize] {
+                Node::Leaf { start, end } => {
+                    for i in *start as usize..*end as usize {
+                        let p = self.pt(i);
+                        let mut d2 = 0.0;
+                        for a in 0..self.dim {
+                            let d = if p[a] < lo[a] {
+                                lo[a] - p[a]
+                            } else if p[a] > hi[a] {
+                                p[a] - hi[a]
+                            } else {
+                                0.0
+                            };
+                            d2 += d * d;
+                        }
+                        if d2 <= r2 {
+                            f(self.payload[i], d2);
+                        }
+                    }
+                }
+                Node::Internal { axis, split, right } => {
+                    let a = *axis as usize;
+                    // Entering the left half-space costs nothing unless the
+                    // whole interval sits right of the plane, and vice versa.
+                    let dl = if lo[a] > *split { lo[a] - *split } else { 0.0 };
+                    let dr = if hi[a] < *split { *split - hi[a] } else { 0.0 };
+                    stack.push((*right, acc.max(dr * dr)));
+                    stack.push((ni + 1, acc.max(dl * dl)));
+                }
+            }
+        }
+    }
+
     /// Collects payloads within `radius` of `q`.
     pub fn within(&self, q: &[f64], radius: f64) -> Vec<u32> {
         let mut out = Vec::new();
@@ -310,6 +374,61 @@ mod tests {
         let t = KdTree::build(1, coords, vec![100, 200, 300, 400]);
         let got = t.within(&[20.0], 0.5);
         assert_eq!(got, vec![300]);
+    }
+
+    #[test]
+    fn box_query_matches_brute_force() {
+        use crate::bbox::Aabb;
+        let mut rng = StdRng::seed_from_u64(21);
+        for dim in [1usize, 2, 3, 4] {
+            let n = 400;
+            let coords = random_coords(&mut rng, n, dim);
+            let t = KdTree::build(dim, coords.clone(), (0..n as u32).collect());
+            for _ in 0..25 {
+                let lo: Vec<f64> = (0..dim).map(|_| rng.gen_range(-11.0..9.0)).collect();
+                let hi: Vec<f64> = lo.iter().map(|v| v + rng.gen_range(0.0..4.0)).collect();
+                let r = rng.gen_range(0.0..5.0);
+                let bb = Aabb::new(lo.clone(), hi.clone());
+                let mut expected: Vec<u32> = (0..n)
+                    .filter(|&i| bb.min_dist2(&coords[i * dim..(i + 1) * dim]) <= r * r)
+                    .map(|i| i as u32)
+                    .collect();
+                expected.sort_unstable();
+                let mut got = Vec::new();
+                t.for_each_near_box(&lo, &hi, r, |p, d2| {
+                    assert!(d2 <= r * r + 1e-12);
+                    got.push(p);
+                });
+                got.sort_unstable();
+                assert_eq!(got, expected, "dim={dim} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_box_equals_point_query() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 300;
+        let coords = random_coords(&mut rng, n, 3);
+        let t = KdTree::build(3, coords.clone(), (0..n as u32).collect());
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            let r = rng.gen_range(0.0..6.0);
+            let mut a = t.within(&q, r);
+            a.sort_unstable();
+            let mut b = Vec::new();
+            t.for_each_near_box(&q, &q, r, |p, _| b.push(p));
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn box_query_on_empty_tree() {
+        let t = KdTree::build(2, vec![], vec![]);
+        t.for_each_near_box(&[0.0, 0.0], &[1.0, 1.0], 5.0, |_, _| {
+            panic!("empty tree reported a point")
+        });
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod cell;
 pub mod dictionary;
 pub mod fxhash;
+pub mod plan;
 pub mod query;
 pub mod spec;
 pub mod subdict;
@@ -32,6 +33,7 @@ pub mod subdict;
 pub use cell::{CellCoord, SubCellIdx};
 pub use dictionary::{CellDictionary, CellEntry, DecodeError, SubCellEntry};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use plan::{CellQueryPlan, PlanCache, PlanCacheStats};
 pub use query::{QueryStats, RegionQueryResult};
 pub use spec::GridSpec;
 pub use subdict::DictionaryIndex;

@@ -1,0 +1,487 @@
+//! Cell-level query planning for the Phase II hot path.
+//!
+//! All points of one cell run nearly the same `(ε,ρ)`-region query: the
+//! sub-dictionary scan, the kd-tree candidate search, and most of the
+//! distance decisions depend only on the *cell*, not on the individual
+//! point. A [`CellQueryPlan`] hoists that shared work out of the
+//! per-point loop:
+//!
+//! 1. **Candidate search once per cell.** The kd-trees are searched once
+//!    from the query cell's box with radius `ε + diag` — a guaranteed
+//!    superset of every per-point search (per-point radius is
+//!    `ε + diag/2` and every point lies inside the box).
+//! 2. **Cell- and sub-cell-level classification.** Each candidate cell is
+//!    classified by the box-to-box bounds of
+//!    [`GridSpec::cell_box_dist2_bounds`]: *never* (min² > ε² plus slack:
+//!    no point of the query cell can reach it — pruned from the plan
+//!    entirely) or *planned*. Within a planned cell, each sub-cell whose
+//!    centre is within ε of **every** point of the query cell box
+//!    (point-to-box max² ≤ ε² minus slack) is *always-qualifying*: its
+//!    density is folded into a per-cell precomputed sum and it is never
+//!    distance-tested again. Note that an entire *cell* can never be
+//!    always-qualifying — the cell diagonal is exactly ε (Definition
+//!    3.1), so even the query cell's own far corner is at distance ε —
+//!    but its *sub-cells* routinely are, because a sub-centre sits at
+//!    least `sub_side/2` inside the box, leaving a real margin.
+//! 3. **SoA centre layout.** The remaining *tested* sub-cell centres are
+//!    materialised into one flat `Vec<f64>` with parallel
+//!    `counts`/prefix arrays, so the per-point inner loop is a
+//!    branch-light linear scan over contiguous memory instead of
+//!    pointer-chasing `CellEntry::subs` and recomputing
+//!    `sub_center_into` per sub-cell per point.
+//!
+//! Classification uses a conservative relative slack ([`PLAN_SLACK`]):
+//! near the ε boundary a sub-cell stays in the tested set, where
+//! [`CellQueryPlan::query_into`] replicates the unplanned
+//! [`DictionaryIndex::region_query`] arithmetic bit for bit (same box
+//! origins, same bound formulas, same centre coordinates, same `dist2`).
+//! Misclassification towards *tested* therefore costs a few extra
+//! per-point distance tests but can never change a result; the
+//! *always-qualifying* and *never* buckets only fire with a margin that
+//! per-point rounding cannot cross. Lemma 5.6 (kd-tree candidate
+//! completeness) and Lemma 5.10 (MBR skipping) are preserved because both
+//! are applied with the query cell's whole box substituted for the query
+//! point.
+
+use crate::cell::CellCoord;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::query::{QueryStats, RegionQueryResult};
+use crate::subdict::DictionaryIndex;
+use rpdbscan_geom::dist2;
+
+/// Relative slack applied to ε² before a sub-cell may be classified
+/// *always-qualifying* (max² ≤ ε²·(1−slack)) or a cell *never*
+/// (min² > ε²·(1+slack)).
+///
+/// Box-level bounds and per-point bounds are evaluated with different
+/// (though mirrored) floating-point expressions; the slack guarantees a
+/// classification can only differ from the per-point decision for
+/// sub-cells left in the *tested* set, where the per-point oracle
+/// arithmetic is replicated exactly.
+pub const PLAN_SLACK: f64 = 1e-9;
+
+/// A memoized `(ε,ρ)`-region query plan for one occupied cell.
+///
+/// Build once per cell with [`CellQueryPlan::build`], then answer every
+/// point of that cell through [`CellQueryPlan::query_into`]. Results are
+/// identical to [`DictionaryIndex::region_query_cells`] (density,
+/// neighbour-cell set, and the `cells_full`/`cells_partial`/
+/// `subcells_reported` counters); only candidate/sub-dictionary counters
+/// differ because that work is amortised into
+/// [`CellQueryPlan::build_stats`].
+#[derive(Debug, Clone)]
+pub struct CellQueryPlan {
+    dim: usize,
+    eps2: f64,
+    side: f64,
+    /// Planned cells: dictionary index per cell.
+    cell_idx: Vec<u32>,
+    /// Planned cells: box origin per cell, `dim` values each, computed
+    /// exactly as `cell_dist2_bounds` does (`coord · side`).
+    lo: Vec<f64>,
+    /// Planned cells: Σ densities of **all** sub-cells (full-containment
+    /// case).
+    total: Vec<u64>,
+    /// Planned cells: number of *always-qualifying* sub-cells.
+    always_subs: Vec<u32>,
+    /// Planned cells: Σ densities of the always-qualifying sub-cells.
+    always_total: Vec<u64>,
+    /// Planned cells: prefix offsets into `centers`/`counts` for the
+    /// *tested* sub-cells (`len = cells + 1`).
+    sub_start: Vec<u32>,
+    /// Tested sub-cell centres, SoA: `dim` values per sub-cell.
+    centers: Vec<f64>,
+    /// Tested sub-cell densities, parallel to `centers`.
+    counts: Vec<u32>,
+    /// One-off build cost: kd-search and skip counters plus
+    /// `plans_built = 1`. Merge once per plan, not once per point.
+    build_stats: QueryStats,
+}
+
+impl CellQueryPlan {
+    /// Plans the region query for the cell at dictionary index `idx`.
+    pub fn build(index: &DictionaryIndex, idx: u32) -> Self {
+        let spec = index.spec();
+        let dict = index.dict();
+        let dim = spec.dim();
+        let eps = spec.eps();
+        let eps2 = eps * eps;
+        let side = spec.side();
+        let qcoord = dict.entry(idx).coord.clone();
+        let qlo = spec.cell_origin(&qcoord);
+        let qhi: Vec<f64> = qlo.iter().map(|v| v + side).collect();
+        // Per-point searches use radius ε + diag/2 from a point inside the
+        // box; ε + diag from the box itself is a strict superset with a
+        // diag/2 safety margin, so no float edge can lose a candidate.
+        let kd_radius = eps + spec.cell_diag();
+        let mut build_stats = QueryStats {
+            plans_built: 1,
+            ..QueryStats::default()
+        };
+
+        let mut candidates: Vec<u32> = Vec::new();
+        for sd in index.subdicts() {
+            // Box-level Lemma 5.10: qualifying sub-cell centres lie inside
+            // the fragment MBR, so the fragment is irrelevant to every
+            // point of the query box when the box-to-MBR distance exceeds
+            // ε (checked with the conservative slack).
+            let mut mbr_min2 = 0.0;
+            for a in 0..dim {
+                let g = if qhi[a] < sd.mbr().min()[a] {
+                    sd.mbr().min()[a] - qhi[a]
+                } else if qlo[a] > sd.mbr().max()[a] {
+                    qlo[a] - sd.mbr().max()[a]
+                } else {
+                    0.0
+                };
+                mbr_min2 += g * g;
+            }
+            if mbr_min2 > eps2 * (1.0 + PLAN_SLACK) {
+                build_stats.subdicts_skipped += 1;
+                continue;
+            }
+            build_stats.subdicts_visited += 1;
+            sd.tree().for_each_near_box(&qlo, &qhi, kd_radius, |ci, _| {
+                build_stats.cells_candidate += 1;
+                candidates.push(ci);
+            });
+        }
+        // Fragments partition the cells, so each candidate appears once;
+        // sort so the plan layout is independent of fragmentation.
+        candidates.sort_unstable();
+
+        let mut plan = Self {
+            dim,
+            eps2,
+            side,
+            cell_idx: Vec::new(),
+            lo: Vec::new(),
+            total: Vec::new(),
+            always_subs: Vec::new(),
+            always_total: Vec::new(),
+            sub_start: vec![0],
+            centers: Vec::new(),
+            counts: Vec::new(),
+            build_stats,
+        };
+        let never_bound = eps2 * (1.0 + PLAN_SLACK);
+        let always_bound = eps2 * (1.0 - PLAN_SLACK);
+        let mut center = vec![0.0; dim];
+        for ci in candidates {
+            let entry = dict.entry(ci);
+            let (min2, _) = spec.cell_box_dist2_bounds(&qcoord, &entry.coord);
+            if min2 > never_bound {
+                continue; // *never*: out of reach for every point in the cell
+            }
+            plan.cell_idx.push(ci);
+            for &c in entry.coord.coords() {
+                plan.lo.push(c as f64 * side);
+            }
+            let mut total = 0u64;
+            let mut n_always = 0u32;
+            let mut t_always = 0u64;
+            for sub in &entry.subs {
+                spec.sub_center_into(&entry.coord, sub.idx, &mut center);
+                total += sub.count as u64;
+                // Point-to-box max bound with the roles swapped: the
+                // farthest query-cell point from this centre.
+                let (_, cmax2) = spec.cell_dist2_bounds(&qcoord, &center);
+                if cmax2 <= always_bound {
+                    n_always += 1;
+                    t_always += sub.count as u64;
+                } else {
+                    plan.centers.extend_from_slice(&center);
+                    plan.counts.push(sub.count);
+                }
+            }
+            plan.total.push(total);
+            plan.always_subs.push(n_always);
+            plan.always_total.push(t_always);
+            plan.sub_start.push(plan.counts.len() as u32);
+        }
+        plan
+    }
+
+    /// Answers the region query for `p` (a point of the planned cell),
+    /// clearing and refilling `result` exactly like
+    /// [`DictionaryIndex::region_query_cells_into`].
+    // lint:hot
+    pub fn query_into(&self, p: &[f64], result: &mut RegionQueryResult) {
+        debug_assert_eq!(p.len(), self.dim);
+        result.neighbor_cells.clear();
+        result.density = 0;
+        let mut stats = QueryStats {
+            plan_hits: 1,
+            cells_candidate: self.cell_idx.len() as u32,
+            ..QueryStats::default()
+        };
+        let eps2 = self.eps2;
+        let dim = self.dim;
+        for j in 0..self.cell_idx.len() {
+            // Per-point box bounds, bit-identical to
+            // `GridSpec::cell_dist2_bounds` (same origins, same formulas).
+            let lo = &self.lo[j * dim..(j + 1) * dim];
+            let mut min_acc = 0.0;
+            let mut max_acc = 0.0;
+            for (&l, &v) in lo.iter().zip(p.iter()) {
+                let hi = l + self.side;
+                let dmin = if v < l {
+                    l - v
+                } else if v > hi {
+                    v - hi
+                } else {
+                    0.0
+                };
+                let dmax = (v - l).abs().max((v - hi).abs());
+                min_acc += dmin * dmin;
+                max_acc += dmax * dmax;
+            }
+            if min_acc > eps2 {
+                continue; // cannot contain any qualifying centre
+            }
+            let start = self.sub_start[j] as usize;
+            let end = self.sub_start[j + 1] as usize;
+            if max_acc <= eps2 {
+                // Fully contained for this particular point: every
+                // sub-cell qualifies, tested or not.
+                stats.cells_full += 1;
+                stats.subcells_reported += self.always_subs[j] + (end - start) as u32;
+                result.density += self.total[j];
+                result.neighbor_cells.push(self.cell_idx[j]);
+            } else {
+                // Always-qualifying sub-cells need no distance test; the
+                // rest is a branch-light SoA scan over flattened centres.
+                let mut reported = self.always_subs[j];
+                result.density += self.always_total[j];
+                for k in start..end {
+                    let c = &self.centers[k * dim..(k + 1) * dim];
+                    if dist2(p, c) <= eps2 {
+                        reported += 1;
+                        result.density += self.counts[k] as u64;
+                    }
+                }
+                if reported > 0 {
+                    stats.cells_partial += 1;
+                    stats.subcells_reported += reported;
+                    result.neighbor_cells.push(self.cell_idx[j]);
+                    if start == end {
+                        // Answered purely from precomputed data.
+                        stats.cells_planned_full += 1;
+                    }
+                }
+            }
+        }
+        result.stats = stats;
+    }
+
+    /// Number of planned (non-pruned) candidate cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_idx.len()
+    }
+
+    /// Number of *always-qualifying* sub-cells across all planned cells —
+    /// answered from precomputed density sums, never distance-tested.
+    pub fn num_always_subcells(&self) -> u64 {
+        self.always_subs.iter().map(|&n| n as u64).sum()
+    }
+
+    /// Number of *tested* sub-cell centres materialised in the SoA layout.
+    pub fn num_tested_subcells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// One-off build counters (`plans_built = 1`, kd-search and skip
+    /// figures). Merge once per plan so aggregate stats stay meaningful.
+    pub fn build_stats(&self) -> &QueryStats {
+        &self.build_stats
+    }
+}
+
+/// Per-run cache counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans built (cache misses).
+    pub built: u64,
+    /// Queries served by an already-built plan of the current epoch.
+    pub hits: u64,
+    /// Previously planned cells whose plan was dropped because the cell
+    /// was dirtied by an update.
+    pub invalidated: u64,
+}
+
+/// Coordinate-keyed plan memo for the streaming repair path.
+///
+/// Dictionary indices — and therefore every index stored inside a
+/// [`CellQueryPlan`] — are *epoch-scoped*: the streaming engine compacts
+/// the dictionary and rebuilds its [`DictionaryIndex`] on every repair
+/// epoch, so a plan must never be applied across epochs. The cache
+/// enforces that rule structurally: [`PlanCache::begin_epoch`] drops all
+/// cached plans and records, per dirty cell that had a plan, an
+/// invalidation. Within an epoch, plans are shared by every query point
+/// of the same cell.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Plans of the current epoch only.
+    epoch_plans: FxHashMap<CellCoord, CellQueryPlan>,
+    /// Coordinates planned in any epoch — the set invalidations are
+    /// charged against.
+    planned: FxHashSet<CellCoord>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a repair epoch: drops every cached plan (indices from the
+    /// previous epoch are invalid) and counts an invalidation for each
+    /// `dirty` cell that had been planned before.
+    pub fn begin_epoch<'a>(&mut self, dirty: impl IntoIterator<Item = &'a CellCoord>) {
+        for c in dirty {
+            if self.planned.remove(c) {
+                self.stats.invalidated += 1;
+            }
+        }
+        self.epoch_plans.clear();
+    }
+
+    /// Returns the current epoch's plan for `coord`, building it on first
+    /// use. `None` when `coord` is not an occupied cell of the index.
+    pub fn get_or_build(
+        &mut self,
+        index: &DictionaryIndex,
+        coord: &CellCoord,
+    ) -> Option<&CellQueryPlan> {
+        let idx = index.dict().index_of(coord)?;
+        if self.epoch_plans.contains_key(coord) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.built += 1;
+            self.planned.insert(coord.clone());
+            self.epoch_plans
+                .insert(coord.clone(), CellQueryPlan::build(index, idx));
+        }
+        self.epoch_plans.get(coord)
+    }
+
+    /// Read-only lookup into the current epoch (for parallel stages that
+    /// share a prebuilt cache).
+    pub fn get(&self, coord: &CellCoord) -> Option<&CellQueryPlan> {
+        self.epoch_plans.get(coord)
+    }
+
+    /// Number of plans held for the current epoch.
+    pub fn len(&self) -> usize {
+        self.epoch_plans.len()
+    }
+
+    /// True when no plan is cached for the current epoch.
+    pub fn is_empty(&self) -> bool {
+        self.epoch_plans.is_empty()
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::CellDictionary;
+    use crate::spec::GridSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dict(seed: u64, n: usize, dim: usize, eps: f64, rho: f64) -> CellDictionary {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        CellDictionary::build_from_points(GridSpec::new(dim, eps, rho).unwrap(), refs)
+    }
+
+    #[test]
+    fn planned_query_matches_oracle_for_cell_points() {
+        let dict = random_dict(21, 900, 2, 0.9, 0.25);
+        let idx = DictionaryIndex::new(dict, 64);
+        let spec = idx.spec().clone();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut planned = RegionQueryResult::default();
+        for ci in 0..idx.dict().num_cells() as u32 {
+            let plan = CellQueryPlan::build(&idx, ci);
+            let bb = spec.cell_aabb(&idx.dict().entry(ci).coord);
+            for _ in 0..5 {
+                let p: Vec<f64> = (0..2)
+                    .map(|a| rng.gen_range(bb.min()[a]..bb.max()[a]))
+                    .collect();
+                plan.query_into(&p, &mut planned);
+                let oracle = idx.region_query_cells(&p);
+                assert_eq!(planned.density, oracle.density);
+                let mut a = planned.neighbor_cells.clone();
+                let mut b = oracle.neighbor_cells.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                b.dedup();
+                assert_eq!(a, b);
+                assert_eq!(planned.stats.cells_full, oracle.stats.cells_full);
+                assert_eq!(planned.stats.cells_partial, oracle.stats.cells_partial);
+                assert_eq!(
+                    planned.stats.subcells_reported,
+                    oracle.stats.subcells_reported
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_cells_produce_always_qualifying_subcells() {
+        // A tight blob: the own cell's sub-cell centres are within ε of
+        // every point of the cell, so the plan must fold them into the
+        // precomputed per-cell sums.
+        let spec = GridSpec::new(2, 4.0, 0.5).unwrap();
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(vec![i as f64 * 0.2, j as f64 * 0.2]);
+            }
+        }
+        let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+        let dict = CellDictionary::build_from_points(spec, refs);
+        let idx = DictionaryIndex::single(dict);
+        for ci in 0..idx.dict().num_cells() as u32 {
+            let plan = CellQueryPlan::build(&idx, ci);
+            assert!(
+                plan.num_always_subcells() > 0,
+                "cell {ci}: no always-qualifying sub-cell in a dense blob"
+            );
+            assert_eq!(plan.build_stats().plans_built, 1);
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_within_epoch_and_invalidates_dirty_cells() {
+        let dict = random_dict(31, 200, 2, 1.0, 0.5);
+        let idx = DictionaryIndex::new(dict, 64);
+        let coord = idx.dict().entry(0).coord.clone();
+        let mut cache = PlanCache::new();
+        assert!(cache.get_or_build(&idx, &coord).is_some());
+        assert!(cache.get_or_build(&idx, &coord).is_some());
+        assert_eq!(cache.stats().built, 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Next epoch dirties that cell: its plan counts as invalidated and
+        // is rebuilt on next use.
+        cache.begin_epoch([&coord]);
+        assert!(cache.get(&coord).is_none());
+        assert_eq!(cache.stats().invalidated, 1);
+        assert!(cache.get_or_build(&idx, &coord).is_some());
+        assert_eq!(cache.stats().built, 2);
+        // A coordinate outside the dictionary has no plan.
+        let missing = CellCoord::new([1_000, 1_000]);
+        assert!(cache.get_or_build(&idx, &missing).is_none());
+    }
+}

@@ -34,6 +34,13 @@ pub struct QueryStats {
     pub cells_partial: u32,
     /// Sub-cells reported to the visitor.
     pub subcells_reported: u32,
+    /// Query plans built (cell-level planner; one per planned cell).
+    pub plans_built: u32,
+    /// Queries answered through a memoized [`crate::plan::CellQueryPlan`].
+    pub plan_hits: u32,
+    /// Cells answered from a plan's precomputed *always-full* set without
+    /// any per-point distance test (subset of `cells_full`).
+    pub cells_planned_full: u32,
 }
 
 impl QueryStats {
@@ -45,6 +52,9 @@ impl QueryStats {
         self.cells_full += other.cells_full;
         self.cells_partial += other.cells_partial;
         self.subcells_reported += other.subcells_reported;
+        self.plans_built += other.plans_built;
+        self.plan_hits += other.plan_hits;
+        self.cells_planned_full += other.cells_planned_full;
     }
 }
 
@@ -66,21 +76,31 @@ pub struct RegionQueryResult {
 impl DictionaryIndex {
     /// Runs an `(ε,ρ)`-region query, invoking `visit(cell_idx, sub)` for
     /// every qualifying sub-cell. Returns instrumentation counters.
-    pub fn region_query<F>(&self, p: &[f64], mut visit: F) -> QueryStats
+    pub fn region_query<F>(&self, p: &[f64], visit: F) -> QueryStats
+    where
+        F: FnMut(u32, &SubCellEntry),
+    {
+        let mut center = vec![0.0; self.spec().dim()];
+        self.region_query_scratch(p, &mut center, visit)
+    }
+
+    /// Scratch-threaded form of [`Self::region_query`]: the caller owns
+    /// the `dim`-sized centre buffer, so per-point callers (Phase II runs
+    /// one query per point) stay allocation-free across queries.
+    // lint:hot
+    pub fn region_query_scratch<F>(&self, p: &[f64], center: &mut [f64], mut visit: F) -> QueryStats
     where
         F: FnMut(u32, &SubCellEntry),
     {
         let spec = self.spec();
         debug_assert_eq!(p.len(), spec.dim());
+        debug_assert_eq!(center.len(), spec.dim());
         let eps = spec.eps();
         let eps2 = eps * eps;
         // A cell can hold a qualifying sub-cell centre only if its own
         // centre lies within ε + diag/2 of p (centres sit inside cells).
         let cell_radius = eps + spec.cell_diag() * 0.5;
         let mut stats = QueryStats::default();
-        // Scratch buffer for sub-cell centres: the hot loop runs
-        // allocation-free.
-        let mut center = vec![0.0; spec.dim()];
 
         for sd in self.subdicts() {
             if sd.mbr().lemma_5_10_skippable(p, eps) {
@@ -106,8 +126,8 @@ impl DictionaryIndex {
                     // Partially contained: test each sub-cell centre.
                     let mut any = false;
                     for sub in &entry.subs {
-                        spec.sub_center_into(&entry.coord, sub.idx, &mut center);
-                        if dist2(p, &center) <= eps2 {
+                        spec.sub_center_into(&entry.coord, sub.idx, center);
+                        if dist2(p, center) <= eps2 {
                             stats.subcells_reported += 1;
                             any = true;
                             visit(cell_idx, sub);
@@ -134,13 +154,25 @@ impl DictionaryIndex {
     /// refills `result` so per-point callers (core marking runs one query
     /// per point) avoid an allocation per query.
     pub fn region_query_cells_into(&self, p: &[f64], result: &mut RegionQueryResult) {
+        let mut center = vec![0.0; self.spec().dim()];
+        self.region_query_cells_scratch(p, result, &mut center);
+    }
+
+    /// Scratch-threaded form of [`Self::region_query_cells_into`]; see
+    /// [`Self::region_query_scratch`] for the buffer contract.
+    pub fn region_query_cells_scratch(
+        &self,
+        p: &[f64],
+        result: &mut RegionQueryResult,
+        center: &mut [f64],
+    ) {
         result.neighbor_cells.clear();
         result.density = 0;
         let mut last: Option<u32> = None;
         // Split borrows: the closure mutates fields, not the whole struct.
         let cells = &mut result.neighbor_cells;
         let density = &mut result.density;
-        let stats = self.region_query(p, |cell_idx, sub| {
+        let stats = self.region_query_scratch(p, center, |cell_idx, sub| {
             *density += sub.count as u64;
             // Sub-cells of one cell arrive contiguously, so dedup is a
             // constant-time check against the previous id.

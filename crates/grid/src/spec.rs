@@ -238,6 +238,43 @@ impl GridSpec {
         acc
     }
 
+    /// Squared distance bounds between the boxes of two cells:
+    /// `(min², max²)` over all point pairs `(p, q)` with `p` in `a`'s box
+    /// and `q` in `b`'s box.
+    ///
+    /// This is the cell-to-cell generalisation of
+    /// [`Self::cell_dist2_bounds`], and it deliberately mirrors that
+    /// method's arithmetic (`lo = coord·side`, `hi = lo + side`, absolute
+    /// differences, squares summed per dimension) so the query planner can
+    /// classify candidate cells consistently with the per-point bounds the
+    /// unplanned query computes: for every `p` in `a`'s box,
+    /// `min² ≤ cell_dist2_bounds(b, p).0` and
+    /// `cell_dist2_bounds(b, p).1 ≤ max²` up to f64 rounding (the planner
+    /// adds a relative slack before acting on either bound).
+    #[inline]
+    pub fn cell_box_dist2_bounds(&self, a: &CellCoord, b: &CellCoord) -> (f64, f64) {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mut min_acc = 0.0;
+        let mut max_acc = 0.0;
+        for (&x, &y) in a.coords().iter().zip(b.coords().iter()) {
+            let alo = x as f64 * self.side;
+            let ahi = alo + self.side;
+            let blo = y as f64 * self.side;
+            let bhi = blo + self.side;
+            let dmin = if ahi < blo {
+                blo - ahi
+            } else if bhi < alo {
+                alo - bhi
+            } else {
+                0.0
+            };
+            let dmax = (ahi - blo).max(bhi - alo);
+            min_acc += dmin * dmin;
+            max_acc += dmax * dmax;
+        }
+        (min_acc, max_acc)
+    }
+
     /// Decomposes a packed sub-cell index into per-dimension locals.
     pub fn sub_locals(&self, sub: SubCellIdx) -> Vec<u32> {
         let bits = self.h - 1;

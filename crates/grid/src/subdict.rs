@@ -87,12 +87,20 @@ impl DictionaryIndex {
     /// Defragments `dict` into sub-dictionaries of at most
     /// `max_entries_per_subdict` root+leaf entries each (the "available
     /// main memory" budget of §4.2.2) and indexes each fragment.
+    ///
+    /// A zero capacity is meaningless — every fragment must hold at least
+    /// one cell's root+leaf entries — so it is clamped to 1, which
+    /// degenerates to one fragment per cell (queries still return the
+    /// exact same results, just without batching).
     pub fn new(dict: CellDictionary, max_entries_per_subdict: u64) -> Self {
+        // Clamp before anything else so `new(d, 0)` and `new(d, 1)` are
+        // the same index by construction (regression: the clamp used to
+        // sit inside the non-empty branch only).
+        let cap = max_entries_per_subdict.max(1);
         let spec = dict.spec().clone();
         let n = dict.num_cells();
         let mut subdicts = Vec::new();
         if n > 0 {
-            let cap = max_entries_per_subdict.max(1);
             let mut items: Vec<u32> = (0..n as u32).collect();
             let mut out: Vec<Vec<u32>> = Vec::new();
             bsp_split(&spec, &dict, &mut items, cap, &mut out);
@@ -105,7 +113,8 @@ impl DictionaryIndex {
     }
 
     /// Ablation helper: a single un-defragmented sub-dictionary covering
-    /// everything (what §5.2 compares against).
+    /// everything (what §5.2 compares against). Same construction path as
+    /// [`Self::new`], just with an unbounded memory budget.
     pub fn single(dict: CellDictionary) -> Self {
         Self::new(dict, u64::MAX)
     }
@@ -266,6 +275,33 @@ mod tests {
         let idx = DictionaryIndex::single(dict);
         assert_eq!(idx.num_subdicts(), 1);
         assert_eq!(idx.subdicts()[0].cell_ids().len(), 25);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_not_degenerate() {
+        // Regression: a zero budget used to reach bsp_split unclamped in
+        // some constructions; it must behave exactly like capacity 1
+        // (one fragment per cell) and answer queries identically to the
+        // single-fragment ablation index.
+        let dict = dict_grid(4, 4);
+        let zero = DictionaryIndex::new(dict.clone(), 0);
+        let one = DictionaryIndex::new(dict.clone(), 1);
+        let single = DictionaryIndex::single(dict);
+        assert_eq!(zero.num_subdicts(), 16, "expected one fragment per cell");
+        assert_eq!(zero.num_subdicts(), one.num_subdicts());
+        for x in 0..5 {
+            for y in 0..5 {
+                let p = [x as f64 + 0.3, y as f64 + 0.7];
+                let a = zero.region_query_cells(&p);
+                let b = single.region_query_cells(&p);
+                assert_eq!(a.density, b.density);
+                let mut ca = a.neighbor_cells.clone();
+                let mut cb = b.neighbor_cells.clone();
+                ca.sort_unstable();
+                cb.sort_unstable();
+                assert_eq!(ca, cb);
+            }
+        }
     }
 
     #[test]

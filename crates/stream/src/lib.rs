@@ -31,7 +31,7 @@
 #![warn(missing_docs)]
 
 use rpdbscan_core::repair::{
-    assign_border_point, cell_contribution, contribution_delta, recompute_cell, sub_diff,
+    assign_border_point, cell_contribution, contribution_delta, recompute_cell_planned, sub_diff,
     CellRepair, SubDiff,
 };
 use rpdbscan_core::RpDbscanParams;
@@ -39,7 +39,7 @@ use rpdbscan_engine::{epoch_stage_name, CostModel, Engine, EngineReport, StageEr
 use rpdbscan_geom::{dist2, Dataset};
 use rpdbscan_grid::{
     CellCoord, CellDictionary, DecodeError, DictionaryIndex, FxHashMap, FxHashSet, GridError,
-    GridSpec, QueryStats, RegionQueryResult, SubCellEntry,
+    GridSpec, PlanCache, QueryStats, RegionQueryResult, SubCellEntry,
 };
 use rpdbscan_metrics::Clustering;
 
@@ -160,6 +160,16 @@ pub struct StreamStats {
     pub total_inserted: u64,
     /// Total points ever removed.
     pub total_removed: u64,
+    /// Query plans built across all epochs (changed cells queried through
+    /// the Phase II planner; zero when `use_query_planner` is off).
+    pub plans_built: u64,
+    /// Plan-cache hits across all epochs (a cell planned more than once
+    /// within the same epoch).
+    pub plan_hits: u64,
+    /// Plans dropped because their cell was dirtied by a later epoch
+    /// (dictionary indices are epoch-scoped, so a dirtied cell's plan must
+    /// be rebuilt before reuse).
+    pub plans_invalidated: u64,
 }
 
 /// A consistent view of the clustering at one epoch.
@@ -255,6 +265,10 @@ pub struct StreamingRpDbscan {
     /// Stored as a coordinate so cluster renumbering between epochs never
     /// invalidates it; resolved to a cluster id at snapshot time.
     border_label: FxHashMap<u32, CellCoord>,
+    /// Memoized per-cell query plans for the repair stage. Plans embed
+    /// epoch-scoped dictionary indices, so the cache is flushed (and dirty
+    /// cells' plans counted as invalidated) at the start of every epoch.
+    plan_cache: PlanCache,
     epoch: u64,
     stats: StreamStats,
 }
@@ -301,6 +315,7 @@ impl StreamingRpDbscan {
             cluster_of_cell: FxHashMap::default(),
             num_clusters: 0,
             border_label: FxHashMap::default(),
+            plan_cache: PlanCache::new(),
             epoch: 0,
             stats: StreamStats::default(),
         })
@@ -691,6 +706,25 @@ impl StreamingRpDbscan {
         self.dict.compact();
         let index = DictionaryIndex::single(self.dict.clone());
 
+        // Plans embed this epoch's dictionary indices: drop every cached
+        // plan (counting invalidations for dirtied cells), then prebuild a
+        // plan for each changed cell that will run full region queries —
+        // the cells holding this batch's new points. The parallel repair
+        // stage reads the cache through `PlanCache::get` only.
+        // lint:allow(unordered-iter): dirty is a sorted Vec here (the name shadows dirty_region's map), and begin_epoch only removes coords from a set and counts — order-insensitive
+        self.plan_cache.begin_epoch(dirty.iter().map(|(c, _)| c));
+        if self.params.use_query_planner {
+            for c in &changed {
+                let has_new = self
+                    .cells
+                    .get(c)
+                    .is_some_and(|s| s.points.iter().any(|p| new_slots.contains(p)));
+                if has_new {
+                    let _ = self.plan_cache.get_or_build(&index, c);
+                }
+            }
+        }
+
         // One sub-cell diff per changed cell: cached densities then move by
         // `contribution_delta` over these few entries instead of two full
         // sub-list passes per (point, changed cell) pair.
@@ -714,6 +748,7 @@ impl StreamingRpDbscan {
             let changed_set = &changed_set;
             let sub_diffs = &sub_diffs;
             let new_slots = &new_slots;
+            let plans = &self.plan_cache;
             let name = epoch_stage_name(self.epoch, "repair");
             let empty: &[u32] = &[];
             let no_cells: &[CellCoord] = &[];
@@ -777,6 +812,10 @@ impl StreamingRpDbscan {
                                 // is static), and the sub-cell diffs of
                                 // changed cells.
                                 let self_idx = index.dict().index_of(&c);
+                                // Prebuilt plan for this cell's full
+                                // queries (None when the planner is off or
+                                // the cell holds no new point).
+                                let plan = plans.get(&c);
                                 let (old_core_list, state_nbrs) =
                                     cells.get(&c).map_or((empty, no_cells), |s| {
                                         (s.core_points.as_slice(), s.neighbors.as_slice())
@@ -789,7 +828,10 @@ impl StreamingRpDbscan {
                                 for &p in pts {
                                     let q = point_of(p);
                                     if new_slots.contains(&p) {
-                                        index.region_query_cells_into(q, &mut query);
+                                        match plan {
+                                            Some(plan) => plan.query_into(q, &mut query),
+                                            None => index.region_query_cells_into(q, &mut query),
+                                        }
                                         stats.merge(&query.stats);
                                         densities.push(query.density);
                                         if query.density >= min_pts {
@@ -822,7 +864,11 @@ impl StreamingRpDbscan {
                                         && !new_slots.contains(&p)
                                         && !old_core_set.contains(&p)
                                     {
-                                        index.region_query_cells_into(point_of(p), &mut query);
+                                        match plan {
+                                            Some(plan) => plan.query_into(point_of(p), &mut query),
+                                            None => index
+                                                .region_query_cells_into(point_of(p), &mut query),
+                                        }
                                         stats.merge(&query.stats);
                                         for &nc in &query.neighbor_cells {
                                             if Some(nc) != self_idx {
@@ -935,8 +981,18 @@ impl StreamingRpDbscan {
                                     (d >= min_pts) != ((d as i64 + dlt) as u64 >= min_pts)
                                 });
                                 if crossed {
-                                    let rep =
-                                        recompute_cell(&index, &c, pts, point_of, min_pts as usize);
+                                    // Unchanged cells are never prebuilt, so
+                                    // the plan lookup misses and this runs
+                                    // the oracle path — the planned variant
+                                    // keeps one code path either way.
+                                    let rep = recompute_cell_planned(
+                                        &index,
+                                        &c,
+                                        pts,
+                                        point_of,
+                                        min_pts as usize,
+                                        plans.get(&c),
+                                    );
                                     out.push((c, Repair::Full(rep)));
                                     continue;
                                 }
@@ -1185,6 +1241,10 @@ impl StreamingRpDbscan {
         self.stats.live_points = self.n_live;
         self.stats.num_cells = self.cells.len();
         self.stats.num_clusters = self.num_clusters;
+        let plan_stats = self.plan_cache.stats();
+        self.stats.plans_built = plan_stats.built;
+        self.stats.plan_hits = plan_stats.hits;
+        self.stats.plans_invalidated = plan_stats.invalidated;
         Ok(())
     }
 

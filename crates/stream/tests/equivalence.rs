@@ -156,11 +156,11 @@ fn drain_and_refill() {
     let params = RpDbscanParams::new(1.0, 4);
     let data = blobs(SynthConfig::new(120).with_seed(9), 2, 0.8, 20.0);
     let mut s = StreamingRpDbscan::new(2, params).unwrap();
-    let ids = s.insert_batch(&data.flat().to_vec()).unwrap();
+    let ids = s.insert_batch(data.flat()).unwrap();
     s.remove_batch(&ids).unwrap();
     assert!(s.is_empty());
     assert_eq!(s.snapshot().labels.len(), 0);
-    let ids2 = s.insert_batch(&data.flat().to_vec()).unwrap();
+    let ids2 = s.insert_batch(data.flat()).unwrap();
     assert_eq!(ids2.len(), data.len());
     let batch = RpDbscan::new(params)
         .unwrap()
@@ -207,4 +207,41 @@ fn invalid_batches_are_rejected() {
         StreamingRpDbscan::new(2, RpDbscanParams::new(1.0, 0)),
         Err(StreamError::InvalidMinPts(0))
     ));
+}
+
+/// Query-plan lifecycle across epochs: a cell's plan is built when the
+/// cell first runs full region queries, dropped (counted as invalidated)
+/// when a later batch dirties the cell, and rebuilt against the new
+/// dictionary on next use.
+#[test]
+fn dirtied_cell_plan_is_invalidated_and_rebuilt() {
+    let params = RpDbscanParams::new(1.0, 3);
+    let mut s = StreamingRpDbscan::new(2, params).unwrap();
+    // Batch 1: a tight clump inside one cell (side = 1/√2 ≈ 0.707).
+    let b1: Vec<f64> = (0..5).flat_map(|i| [i as f64 * 0.05, 0.0]).collect();
+    s.insert_batch(&b1).unwrap();
+    let after1 = s.snapshot().stats;
+    assert!(after1.plans_built >= 1, "first batch must plan its cell");
+    assert_eq!(after1.plans_invalidated, 0);
+    // Batch 2 dirties the same cell: the epoch-1 plan embeds stale
+    // dictionary indices, so it must be invalidated and a fresh plan
+    // built for the new epoch.
+    s.insert_batch(&[0.02, 0.01]).unwrap();
+    let after2 = s.snapshot().stats;
+    assert!(after2.plans_invalidated >= 1, "dirtied cell keeps its plan");
+    assert!(after2.plans_built > after1.plans_built, "plan not rebuilt");
+    // With the planner off the repair path never builds a plan — and the
+    // clustering is identical either way.
+    let mut off = StreamingRpDbscan::new(2, params.with_query_planner(false)).unwrap();
+    off.insert_batch(&b1).unwrap();
+    off.insert_batch(&[0.02, 0.01]).unwrap();
+    let stats = off.snapshot().stats;
+    assert_eq!(stats.plans_built, 0);
+    assert_eq!(stats.plans_invalidated, 0);
+    let ri = rand_index(
+        &s.snapshot().labels,
+        &off.snapshot().labels,
+        NoisePolicy::SingleCluster,
+    );
+    assert_eq!(ri, 1.0);
 }

@@ -32,12 +32,11 @@ fn epochs_appear_as_named_recurring_stages() {
             .unwrap_or_else(|| panic!("stage `{}` is not epoch-scoped", stage.name));
         steps_by_epoch[epoch as usize].push(step.to_string());
     }
-    for epoch in 1..=3usize {
+    for (epoch, steps) in steps_by_epoch.iter().enumerate().skip(1) {
         for step in ["ingest", "repair", "relabel"] {
             assert!(
-                steps_by_epoch[epoch].iter().any(|s| s == step),
-                "epoch {epoch} missing step `{step}`: {:?}",
-                steps_by_epoch[epoch]
+                steps.iter().any(|s| s == step),
+                "epoch {epoch} missing step `{step}`: {steps:?}"
             );
         }
     }

@@ -1,0 +1,28 @@
+//! Fixture: hot-path-alloc cases.
+
+// lint:hot
+pub fn hot_allocates() -> Vec<u32> {
+    let mut v = Vec::new();
+    let w = vec![0.0f64; 4];
+    let s = [1u8, 2].to_vec();
+    v.push(w.len() as u32 + s.len() as u32);
+    v
+}
+
+pub fn cold_allocates() -> Vec<u32> {
+    let v = Vec::new();
+    v
+}
+
+// lint:hot
+pub fn hot_clean(buf: &mut [f64]) {
+    buf[0] = 1.0;
+    // Vec::new() mentioned in a comment, vec![] in a string: no findings.
+    let _ = "Vec::new() vec![]";
+}
+
+// lint:hot
+pub fn hot_suppressed() {
+    // lint:allow(hot-path-alloc): fixture demonstrates a justified one-off allocation
+    let _v: Vec<u8> = Vec::new();
+}

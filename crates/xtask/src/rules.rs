@@ -26,9 +26,11 @@ pub const RULE_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_OFFLINE: &str = "offline-deps";
 /// Rule: `lint:allow` hygiene (mandatory reason, must fire).
 pub const RULE_SUPPRESSION: &str = "suppression";
+/// Rule: no per-call allocation inside functions marked `// lint:hot`.
+pub const RULE_HOT_ALLOC: &str = "hot-path-alloc";
 
 /// All rule names, for suppression validation and `xtask rules`.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     RULE_PANIC,
     RULE_TIME,
     RULE_UNORDERED,
@@ -37,10 +39,11 @@ pub const RULE_NAMES: [&str; 8] = [
     RULE_UNSAFE,
     RULE_OFFLINE,
     RULE_SUPPRESSION,
+    RULE_HOT_ALLOC,
 ];
 
 /// One-line description per rule, aligned with [`RULE_NAMES`].
-pub const RULE_DESCRIPTIONS: [&str; 8] = [
+pub const RULE_DESCRIPTIONS: [&str; 9] = [
     "library code must return errors, not panic: no unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside tests",
     "no Instant::now/SystemTime::now outside engine::{pool,trace,metrics} — clocks feed nothing result-shaped",
     "no HashMap/HashSet iteration on result-ordering paths in core/stream/grid without a sort or order-insensitive sink",
@@ -49,6 +52,7 @@ pub const RULE_DESCRIPTIONS: [&str; 8] = [
     "no unsafe code anywhere; every crate root carries #![forbid(unsafe_code)]",
     "every Cargo.toml dependency is path-based or workspace-inherited; vendored crates carry no build.rs",
     "lint:allow(<rule>): <reason> — reason mandatory, unknown rules and unused allows are findings",
+    "no Vec::new/vec![..]/.to_vec inside a function marked // lint:hot — hoist scratch buffers to the caller",
 ];
 
 /// One lint finding (or, with `reason` set, one suppressed finding).
@@ -100,6 +104,8 @@ pub fn check_file(rel: &str, scope: &FileScope, src: &str) -> FileOutcome {
         unordered_iter(rel, t, &mask, &mut findings);
     }
     unsafe_code(rel, t, scope, &mut findings);
+    // Opt-in via the `// lint:hot` marker, so it runs in every scope.
+    hot_path_alloc(rel, t, &mask, &lexed.comments, &mut findings);
 
     let (mut findings, suppressed) = suppress::apply(rel, &mut sups, findings);
     findings.sort_by_key(|f| (f.line, f.rule));
@@ -490,6 +496,83 @@ fn sink_waived(t: &[Token], i: usize) -> bool {
         m += 1;
     }
     false
+}
+
+/// `hot-path-alloc`: per-call heap allocation (`Vec::new`, `vec![..]`,
+/// `.to_vec()`) inside a function whose preceding own-line comment is
+/// exactly `// lint:hot`. The marker is the opt-in: unmarked functions
+/// allocate freely, marked ones are the per-point loops (region queries,
+/// planned queries) where an allocation per call dominates the profile.
+fn hot_path_alloc(
+    file: &str,
+    t: &[Token],
+    mask: &[bool],
+    comments: &[lexer::Comment],
+    out: &mut Vec<Finding>,
+) {
+    for c in comments {
+        if !c.own_line {
+            continue;
+        }
+        let body = match c.text.strip_prefix("//") {
+            Some(r) if !r.starts_with('/') && !r.starts_with('!') => r,
+            _ => continue,
+        };
+        if body.trim() != "lint:hot" {
+            continue;
+        }
+        // The marked item starts at the first token after the comment;
+        // its body is the first brace-balanced block from there.
+        let Some(start) = t.iter().position(|tok| tok.line > c.line) else {
+            continue;
+        };
+        let Some(open) = (start..t.len()).find(|&j| punct_at(t, j, "{")) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end = t.len();
+        for (j, tok) in t.iter().enumerate().skip(open) {
+            if tok.kind == TokenKind::Punct {
+                match tok.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for j in open..end {
+            if mask[j] {
+                continue;
+            }
+            let tok = &t[j];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let matched = match tok.text.as_str() {
+                "Vec" if punct_at(t, j + 1, "::") && ident_at(t, j + 2, "new") => "Vec::new",
+                "vec" if punct_at(t, j + 1, "!") => "vec!",
+                "to_vec" if punct_at(t, j.wrapping_sub(1), ".") && punct_at(t, j + 1, "(") => {
+                    ".to_vec()"
+                }
+                _ => continue,
+            };
+            out.push(finding(
+                RULE_HOT_ALLOC,
+                file,
+                tok.line,
+                matched,
+                format!(
+                    "`{matched}` allocates inside a `lint:hot` function — hoist the buffer to the caller or reuse scratch"
+                ),
+            ));
+        }
+    }
 }
 
 /// `forbid-unsafe`: any `unsafe` token (tests included), and a missing

@@ -172,3 +172,19 @@ default = []
         "{f:?}"
     );
 }
+
+#[test]
+fn hot_alloc_rule_is_marker_scoped_and_suppressible() {
+    let out = check(include_str!("../fixtures/hot_alloc_cases.rs"));
+    assert_eq!(
+        pairs(&out.findings),
+        vec![
+            ("hot-path-alloc", 5), // Vec::new in a marked fn
+            ("hot-path-alloc", 6), // vec![..] in a marked fn
+            ("hot-path-alloc", 7), // .to_vec() in a marked fn
+        ],
+        "unmarked functions, comments, and strings must not fire: {:?}",
+        out.findings
+    );
+    assert_eq!(pairs(&out.suppressed), vec![("hot-path-alloc", 27)]);
+}
