@@ -1,0 +1,284 @@
+//! Serving-layer throughput, latency percentiles, and hot-swap safety.
+//!
+//! Three measurements over a Cosmo-like workload:
+//!
+//! 1. `label_of` throughput + p50/p95/p99 per-task latency at shard
+//!    counts {1, 4, num_cpus};
+//! 2. `classify` the same way (every query resolves through the
+//!    Phase III border rules and the plan LRU);
+//! 3. a mixed read + epoch-swap run: one publisher task hot-swaps a
+//!    sequence of streaming epoch indices through the shared
+//!    [`IndexSlot`] while reader tasks classify concurrently, counting
+//!    torn-generation observations (must be zero) and generation
+//!    regressions (must be zero).
+//!
+//! Results land in `BENCH_serve.json` (plus the usual CSV under
+//! `target/experiments/`).
+//!
+//! ```sh
+//! cargo run --release -p rpdbscan-bench --bin serve_throughput
+//! cargo run --release -p rpdbscan-bench --bin serve_throughput -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI: same code paths, same JSON
+//! shape, meaningless timings.
+
+use rpdbscan_bench::{scale, write_csv, MIN_PTS, RHO};
+use rpdbscan_core::{RpDbscan, RpDbscanParams};
+use rpdbscan_data::synth::cosmo_like;
+use rpdbscan_data::SynthConfig;
+use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_json::{ToJson, Value};
+use rpdbscan_serve::{IndexSlot, Request, Server, ServerConfig, ServingIndex};
+use rpdbscan_stream::StreamingRpDbscan;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct ServeRow {
+    kind: String,
+    shards: usize,
+    queries: usize,
+    seconds: f64,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+rpdbscan_json::impl_to_json!(ServeRow {
+    kind,
+    shards,
+    queries,
+    seconds,
+    qps,
+    p50_us,
+    p95_us,
+    p99_us
+});
+
+fn to_us(v: Option<f64>) -> f64 {
+    v.unwrap_or(0.0) * 1e6
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke {
+        8_000
+    } else {
+        (50_000.0 * scale()) as usize
+    };
+    let eps = 0.8;
+    let params = RpDbscanParams::new(eps, MIN_PTS).with_rho(RHO);
+    let data = cosmo_like(SynthConfig::new(n).with_seed(42));
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let batch = if smoke { 256 } else { 512 };
+    println!(
+        "Serving throughput on Cosmo-like (n={n}), eps={eps}, minPts={MIN_PTS}, rho={RHO}, \
+         {workers} workers{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let out = RpDbscan::new(params)
+        .expect("valid params")
+        .run_local(&data)
+        .expect("batch run succeeds");
+    println!("clustered: {} clusters", out.clustering.num_clusters());
+
+    // ---- 1+2: read throughput across shard counts --------------------
+    let mut rows = Vec::new();
+    let mut shard_counts = vec![1usize, 4];
+    if !shard_counts.contains(&workers) {
+        shard_counts.push(workers);
+    }
+    println!(
+        "{:>9} {:>7} {:>9} {:>11} {:>9} {:>9} {:>9}",
+        "kind", "shards", "queries", "qps", "p50(us)", "p95(us)", "p99(us)"
+    );
+    for &shards in &shard_counts {
+        let index = Arc::new(
+            ServingIndex::from_batch(&data, &out, &params, shards, 1).expect("index build"),
+        );
+        let server = Server::new(
+            Engine::with_cost_model(workers, CostModel::free()),
+            Arc::clone(&index),
+            ServerConfig {
+                queue_capacity: batch,
+                cache_capacity: 4096,
+            },
+        );
+        for kind in ["label_of", "classify"] {
+            let t0 = Instant::now(); // lint:allow(determinism-time): wall-clock qps is printed for the user, not fed into clustering results
+            let mut served = 0usize;
+            for lo in (0..n).step_by(batch) {
+                let hi = (lo + batch).min(n);
+                for i in lo..hi {
+                    let req = if kind == "label_of" {
+                        Request::LabelOf(i as u32)
+                    } else {
+                        Request::Classify(data.point_at(i).to_vec())
+                    };
+                    server.submit(req).expect("queue sized to the batch");
+                }
+                served += server.drain().expect("drain succeeds").len();
+            }
+            let seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(served, n, "every query answered");
+            let stats = server.stats();
+            let hist = if kind == "label_of" {
+                &stats.label_of
+            } else {
+                &stats.classify
+            };
+            let row = ServeRow {
+                kind: kind.to_string(),
+                shards,
+                queries: n,
+                seconds,
+                qps: n as f64 / seconds.max(1e-9),
+                p50_us: to_us(hist.p50()),
+                p95_us: to_us(hist.p95()),
+                p99_us: to_us(hist.p99()),
+            };
+            println!(
+                "{:>9} {:>7} {:>9} {:>11.0} {:>9.1} {:>9.1} {:>9.1}",
+                row.kind, row.shards, row.queries, row.qps, row.p50_us, row.p95_us, row.p99_us
+            );
+            rows.push(row);
+        }
+    }
+
+    // ---- 3: mixed reads + epoch hot-swap -----------------------------
+    // Build one serving index per streaming epoch, then replay the
+    // publications against concurrent readers.
+    let num_epochs = 6usize;
+    let swap_shards = 4usize;
+    let mut stream = StreamingRpDbscan::new(data.dim(), params).expect("valid stream params");
+    let mut epochs: Vec<Arc<ServingIndex>> = Vec::with_capacity(num_epochs);
+    for chunk in 0..num_epochs {
+        let lo = chunk * n / num_epochs;
+        let hi = (chunk + 1) * n / num_epochs;
+        let mut flat = Vec::with_capacity((hi - lo) * data.dim());
+        for i in lo..hi {
+            flat.extend_from_slice(data.point_at(i));
+        }
+        stream.insert_batch(&flat).expect("insert succeeds");
+        epochs.push(Arc::new(ServingIndex::from_stream(&stream, swap_shards)));
+    }
+    let slot = Arc::new(IndexSlot::new(Arc::clone(&epochs[0])));
+    // Same-generation publications are skipped, not replayed.
+    assert!(
+        !slot.publish_if_newer(Arc::clone(&epochs[0])),
+        "same-or-older generations never displace the current index"
+    );
+    let queries: Vec<Vec<f64>> = (0..256.min(n))
+        .map(|i| data.point_at(i * (n / 256.min(n)).max(1) % n).to_vec())
+        .collect();
+    let done = AtomicBool::new(false);
+    let readers = workers.max(2);
+    let min_reads = 200u64;
+    let max_reads: u64 = if smoke { 2_000 } else { 50_000 };
+
+    let engine = Engine::with_cost_model(readers + 1, CostModel::free());
+    let tasks: Vec<usize> = (0..=readers).collect();
+    let result = engine
+        .run_stage("serve:swap-mix", tasks, |_ctx, task| {
+            if task == 0 {
+                // Publisher: walk the epoch sequence, interleaving a read
+                // between swaps so the schedule mixes with the readers.
+                let mut swaps = 0u64;
+                for e in &epochs[1..] {
+                    if slot.publish_if_newer(Arc::clone(e)) {
+                        swaps += 1;
+                    }
+                    let idx = slot.load();
+                    for q in queries.iter().take(8) {
+                        std::hint::black_box(
+                            idx.classify(q)
+                                .map_err(|e| rpdbscan_engine::TaskError::new(e.to_string()))?,
+                        );
+                    }
+                }
+                done.store(true, Ordering::Release);
+                Ok((swaps, 0u64, 0u64, 0u64))
+            } else {
+                // Reader: load → verify generation → classify, until the
+                // publisher finishes (with a floor so serialized schedules
+                // still measure, and a cap so nothing spins forever).
+                let mut reads = 0u64;
+                let mut torn = 0u64;
+                let mut regressions = 0u64;
+                let mut last_gen = 0u64;
+                while reads < min_reads || (!done.load(Ordering::Acquire) && reads < max_reads) {
+                    let idx = slot.load();
+                    match idx.verify_generation() {
+                        Some(g) => {
+                            if g < last_gen {
+                                regressions += 1;
+                            }
+                            last_gen = g;
+                        }
+                        None => torn += 1,
+                    }
+                    let q = &queries[reads as usize % queries.len()];
+                    std::hint::black_box(
+                        idx.classify(q)
+                            .map_err(|e| rpdbscan_engine::TaskError::new(e.to_string()))?,
+                    );
+                    reads += 1;
+                }
+                Ok((0u64, reads, torn, regressions))
+            }
+        })
+        .expect("swap-mix stage succeeds");
+    let swaps: u64 = result.outputs.iter().map(|r| r.0).sum();
+    let reads: u64 = result.outputs.iter().map(|r| r.1).sum();
+    let torn: u64 = result.outputs.iter().map(|r| r.2).sum();
+    let regressions: u64 = result.outputs.iter().map(|r| r.3).sum();
+    println!(
+        "hot-swap mix: {readers} readers, {swaps} swaps over {} epochs, {reads} reads, \
+         {torn} torn generations, {regressions} generation regressions",
+        num_epochs
+    );
+    assert_eq!(torn, 0, "a reader observed a torn index generation");
+    assert_eq!(
+        regressions, 0,
+        "a reader observed the generation move backwards"
+    );
+    assert_eq!(
+        swaps,
+        num_epochs as u64 - 1,
+        "every newer epoch published once"
+    );
+    assert_eq!(slot.generation(), num_epochs as u64);
+
+    write_csv("serve_throughput", &rows);
+    let mut doc = Value::object();
+    doc.insert("workload", "Cosmo-like");
+    doc.insert("total_points", n);
+    doc.insert("eps", eps);
+    doc.insert("min_pts", MIN_PTS);
+    doc.insert("rho", RHO);
+    doc.insert("workers", workers);
+    doc.insert("smoke", Value::Bool(smoke));
+    doc.insert(
+        "rows",
+        Value::Array(rows.iter().map(|r| r.to_json()).collect()),
+    );
+    let mut swap = Value::object();
+    swap.insert("readers", readers);
+    swap.insert("epochs", num_epochs);
+    swap.insert("shards", swap_shards);
+    swap.insert("swaps", swaps);
+    swap.insert("reads", reads);
+    swap.insert("torn_generations", torn);
+    swap.insert("generation_regressions", regressions);
+    doc.insert("hot_swap", swap);
+    let path = "BENCH_serve.json";
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create json"));
+    writeln!(f, "{doc}").expect("write json");
+    println!("wrote {path}");
+}

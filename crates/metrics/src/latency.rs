@@ -1,0 +1,253 @@
+//! Fixed-bucket latency histograms for the serving layer.
+//!
+//! The serving benches report p50/p95/p99 request latencies. A histogram
+//! with logarithmically spaced fixed buckets keeps recording O(1),
+//! merging trivial, and memory constant regardless of request count —
+//! the same trade HdrHistogram makes, reduced to what the benches need.
+//!
+//! The histogram never reads a clock: callers feed it durations they
+//! already hold (the engine's per-task measurements, a bench's own
+//! timers), so the determinism-time rule — no wall-clock reads inside
+//! clustering paths — is preserved by construction.
+
+/// Smallest representable latency, seconds (1 µs). Everything below
+/// lands in bucket 0.
+const MIN_LATENCY: f64 = 1e-6;
+/// Buckets per factor of 10 — resolution is ~12% per bucket.
+const BUCKETS_PER_DECADE: usize = 20;
+/// Decades covered: 1 µs .. 1000 s.
+const DECADES: usize = 9;
+/// Total bucket count (one extra catch-all at the top).
+const NUM_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES + 1;
+
+/// A fixed-bucket histogram of latencies in seconds, with percentile
+/// readout.
+///
+/// ```
+/// use rpdbscan_metrics::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=100u32 {
+///     h.record(i as f64 * 1e-3); // 1ms..100ms
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!(p50 > 0.040 && p50 < 0.065, "{p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a latency: log-spaced above [`MIN_LATENCY`], clamped
+/// to the catch-all ends.
+fn bucket_of(seconds: f64) -> usize {
+    if seconds <= MIN_LATENCY || seconds.is_nan() {
+        // NaN and negatives land in bucket 0 too.
+        return 0;
+    }
+    let pos = (seconds / MIN_LATENCY).log10() * BUCKETS_PER_DECADE as f64;
+    (pos.ceil() as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Upper bound of a bucket, seconds.
+fn bucket_upper(i: usize) -> f64 {
+    MIN_LATENCY * 10f64.powf(i as f64 / BUCKETS_PER_DECADE as f64)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Records one latency in seconds. Non-finite or negative values
+    /// count into the lowest bucket rather than being dropped, so
+    /// `count()` always equals the number of `record` calls.
+    pub fn record(&mut self, seconds: f64) {
+        self.buckets[bucket_of(seconds)] += 1;
+        self.count += 1;
+        if seconds.is_finite() && seconds > 0.0 {
+            self.sum += seconds;
+            if seconds > self.max {
+                self.max = seconds;
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded latencies, seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean latency, seconds (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Largest recorded latency, seconds.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The latency at percentile `p` (0..=100): the upper bound of the
+    /// bucket holding the `ceil(p% · count)`-th sample. `None` when the
+    /// histogram is empty. Resolution is one bucket (~12%).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i + 1 == NUM_BUCKETS {
+                    // The catch-all bucket has no meaningful upper bound;
+                    // the recorded max is the honest answer there.
+                    return Some(self.max.max(MIN_LATENCY));
+                }
+                // Clamp to the true max so the headline numbers never
+                // exceed an observed latency.
+                return Some(bucket_upper(i).min(self.max.max(MIN_LATENCY)));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median latency, seconds.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency, seconds.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency, seconds.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_percentiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.005);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!((v - 0.005).abs() / 0.005 < 0.15, "p{p}: {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_data() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u32 {
+            h.record(i as f64 * 1e-4); // 0.1ms .. 100ms
+        }
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((p50 - 0.05).abs() / 0.05 < 0.15, "{p50}");
+        assert!((p99 - 0.099).abs() / 0.099 < 0.15, "{p99}");
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn extremes_clamp_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1e9);
+        assert_eq!(h.count(), 4);
+        assert!(h.percentile(100.0).unwrap() >= 1e9 - 1.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut both = LatencyHistogram::new();
+        for i in 1..=50u32 {
+            a.record(i as f64 * 1e-3);
+            both.record(i as f64 * 1e-3);
+        }
+        for i in 51..=100u32 {
+            b.record(i as f64 * 1e-3);
+            both.record(i as f64 * 1e-3);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, both.buckets);
+        assert_eq!(a.count(), both.count());
+        // Addition order differs between merging and direct recording, so
+        // the sums agree only up to rounding.
+        assert!((a.sum() - both.sum()).abs() < 1e-9);
+        assert_eq!(a.max().to_bits(), both.max().to_bits());
+        for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), both.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn mean_and_sum_track_finite_samples() {
+        let mut h = LatencyHistogram::new();
+        h.record(1.0);
+        h.record(3.0);
+        assert!((h.sum() - 4.0).abs() < 1e-12);
+        assert!((h.mean().unwrap() - 2.0).abs() < 1e-12);
+        assert!((h.max() - 3.0).abs() < 1e-12);
+    }
+}

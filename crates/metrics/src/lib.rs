@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod clustering;
+pub mod latency;
 pub mod pair_counting;
 
 pub use clustering::Clustering;
+pub use latency::LatencyHistogram;
 pub use pair_counting::{adjusted_rand_index, normalized_mutual_info, rand_index, NoisePolicy};

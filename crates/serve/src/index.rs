@@ -1,0 +1,676 @@
+//! The immutable, sharded serving index.
+//!
+//! A [`ServingIndex`] is a frozen read-optimised copy of one clustering
+//! epoch. Cells are hash-partitioned into `K` shards; each shard holds
+//! its cells' records — cluster label, sorted predecessor core cells,
+//! flat core-point coordinates, and a structure-of-arrays copy of the
+//! sub-cell centres and densities (the same SoA layout the Phase II
+//! query planner uses) — plus the point-id → label rows routed to it.
+//!
+//! Label resolution in [`ServingIndex::classify`] reproduces Phase III
+//! exactly (Algorithm 4, Lines 10–23): a query in a core cell takes the
+//! cell's cluster; a query in an occupied non-core cell is tested
+//! against the core points of the cell's *stored* predecessor cells in
+//! coordinate order, first hit wins — the same candidates in the same
+//! order as `label_partition`, so indexed points classify to their
+//! stored labels bit for bit. A query in an unoccupied cell (a
+//! coordinate the clustering never saw) falls back to every core cell
+//! whose box is within ε, still visited in coordinate order.
+
+use crate::ServeError;
+use rpdbscan_core::label::{extract_clusters, predecessor_map};
+use rpdbscan_core::partition::group_by_cell;
+use rpdbscan_core::phase2::build_local_clustering;
+use rpdbscan_core::{Partition, RpDbscanOutput, RpDbscanParams};
+use rpdbscan_engine::TaskError;
+use rpdbscan_geom::{dist2, Dataset};
+use rpdbscan_grid::{
+    CellCoord, CellDictionary, DictionaryIndex, FxHashMap, GridSpec, SubCellEntry,
+};
+use rpdbscan_stream::StreamingRpDbscan;
+
+/// Relative slack on squared-distance cell bounds, absorbing the
+/// round-off of `side = eps/√d`: candidate cells are kept when their box
+/// is within `ε²(1+EPS_SLACK)`, so boundary cells are never missed.
+const EPS_SLACK: f64 = 1e-9;
+
+/// Per-cluster size summary served by [`ServingIndex::cluster_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// The dense cluster id.
+    pub cluster: u32,
+    /// Points labeled with the cluster (core and border).
+    pub points: usize,
+    /// Core points across the cluster's core cells.
+    pub core_points: usize,
+    /// Core cells forming the cluster.
+    pub core_cells: usize,
+}
+
+/// Result of classifying a coordinate against a served clustering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// The cluster the coordinate joins (`None` = noise).
+    pub label: Option<u32>,
+    /// Approximate ε-neighbourhood size, estimated from the sub-cell
+    /// summaries exactly as the paper's ρ-approximate region query
+    /// counts density (Definition 5.1).
+    pub density: u64,
+}
+
+/// Location of one cell record: `(shard, row)` into the index's shards.
+type CellRef = (u32, u32);
+
+/// A memoised classify plan for one grid cell: every shard lookup a
+/// query landing in the cell will need, resolved once. Plans are bound
+/// to the generation of the index that built them — the server's LRU
+/// drops them on hot-swap.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// The query's own cell, when occupied.
+    pub(crate) home: Option<CellRef>,
+    /// Core-cell candidates for label resolution, in coordinate order:
+    /// the home cell's stored predecessors when the home cell is an
+    /// occupied non-core cell, or the ε-window core cells when the home
+    /// cell is unoccupied. Empty when the home cell is core.
+    pub(crate) sources: Vec<CellRef>,
+    /// Cells whose box is within ε of the home cell — the candidate set
+    /// of the density estimate.
+    pub(crate) density: Vec<CellRef>,
+}
+
+impl CellPlan {
+    /// Number of cell lookups the plan resolved.
+    pub fn num_candidates(&self) -> usize {
+        self.sources.len() + self.density.len()
+    }
+}
+
+/// One cell's frozen record.
+#[derive(Debug, Clone)]
+struct CellRecord {
+    /// The cell's lattice coordinate.
+    coord: CellCoord,
+    /// Cluster id when the cell is core; `None` for non-core cells.
+    cluster: Option<u32>,
+    /// For non-core cells: predecessor core cells, coordinate-sorted.
+    preds: Vec<CellCoord>,
+    /// Flat coordinates of the cell's core points.
+    core: Vec<f64>,
+    /// SoA sub-cell centres (`dim` values per sub-cell).
+    sub_centers: Vec<f64>,
+    /// Sub-cell densities, parallel to `sub_centers`.
+    sub_counts: Vec<u64>,
+    /// Total points in the cell (= sum of `sub_counts`).
+    count: u64,
+}
+
+/// One shard: the cells hashed to it plus the point rows routed to it.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Cell coordinate → row in `records`.
+    cells: FxHashMap<CellCoord, u32>,
+    /// Cell records, in coordinate order within the shard.
+    records: Vec<CellRecord>,
+    /// Point id → stored label.
+    labels: FxHashMap<u32, Option<u32>>,
+}
+
+/// Construction-time per-cell input, shared by the batch and stream
+/// builders.
+struct CellSeed {
+    coord: CellCoord,
+    cluster: Option<u32>,
+    preds: Vec<CellCoord>,
+    core: Vec<f64>,
+    subs: Vec<SubCellEntry>,
+}
+
+/// An immutable, sharded, read-optimised copy of one clustering epoch.
+///
+/// Built either from a batch run ([`ServingIndex::from_batch`]) or from
+/// the streaming clusterer's current epoch
+/// ([`ServingIndex::from_stream`]); queried lock-free through shared
+/// references (all methods take `&self` and mutate nothing).
+#[derive(Debug)]
+pub struct ServingIndex {
+    spec: GridSpec,
+    eps2: f64,
+    /// Head generation counter, written first at construction.
+    generation: u64,
+    shards: Vec<Shard>,
+    clusters: Vec<ClusterStats>,
+    num_points: usize,
+    /// Tail generation counter, written last at construction; equal to
+    /// `generation` in any fully constructed index, so a reader seeing
+    /// the pair disagree would have caught a torn publication.
+    generation_tail: u64,
+}
+
+/// FNV-1a over a cell's lattice coordinates: the shard routing hash.
+fn shard_of_cell(coord: &CellCoord, num_shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in coord.coords() {
+        for b in c.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % num_shards as u64) as usize
+}
+
+/// Multiplicative hash routing a point id to its shard.
+fn shard_of_point(id: u32, num_shards: usize) -> usize {
+    let h = u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((h >> 32) % num_shards as u64) as usize
+}
+
+impl ServingIndex {
+    /// Builds an index from a finished batch run.
+    ///
+    /// The cell-level structure (core cells, predecessor sets, core
+    /// points) is rebuilt from the dataset with a single-partition
+    /// Phase II pass under the same parameters, which reproduces the
+    /// run's global cell graph exactly: the graph is
+    /// partition-independent, and `extract_clusters` assigns dense ids
+    /// by first appearance over coordinate-sorted core cells, so the
+    /// rebuilt ids equal the stored labels' ids.
+    pub fn from_batch(
+        data: &Dataset,
+        output: &RpDbscanOutput,
+        params: &RpDbscanParams,
+        num_shards: usize,
+        generation: u64,
+    ) -> Result<Self, ServeError> {
+        let stored_labels = output.clustering.labels();
+        if stored_labels.len() != data.len() {
+            return Err(ServeError::LabelMismatch {
+                points: data.len(),
+                labels: stored_labels.len(),
+            });
+        }
+        let spec = GridSpec::new(data.dim(), params.eps, params.rho)?;
+        let cells = group_by_cell(&spec, data);
+        let partition = Partition { id: 0, cells };
+        let dict = CellDictionary::build_from_points(spec.clone(), data.iter().map(|(_, p)| p));
+        let index = DictionaryIndex::new(dict, params.subdict_capacity);
+        let local = build_local_clustering(
+            &partition,
+            data,
+            &index,
+            params.min_pts,
+            params.use_query_planner,
+        )?;
+        let clusters = extract_clusters(&local.subgraph);
+        let preds = predecessor_map(&local.subgraph);
+        let dict = index.dict();
+
+        // `extract_clusters` numbers clusters by first appearance over
+        // dictionary indices, and index order differs between this 1-way
+        // rebuild (coordinate-sorted) and the original k-way run
+        // (partition order) — the partitions of ids differ only by a
+        // permutation. Pin each rebuilt id to the stored one through any
+        // core point: Phase III gives every core point its cell's
+        // cluster id, so one lookup per cluster fixes the bijection.
+        let disagree = || {
+            ServeError::Task(TaskError::new(
+                "stored stored_labels disagree with rebuilt clustering",
+            ))
+        };
+        let mut remap: Vec<Option<u32>> = vec![None; clusters.num_clusters];
+        let mut taken = vec![false; clusters.num_clusters];
+        for i in 0..dict.num_cells() as u32 {
+            let Some(&cid) = clusters.cluster_of_cell.get(&i) else {
+                continue;
+            };
+            let Some(&p) = local.core_points.get(&i).and_then(|v| v.first()) else {
+                continue;
+            };
+            let stored = stored_labels[p.index()].ok_or_else(disagree)?;
+            match remap[cid as usize] {
+                None => {
+                    if taken.get(stored as usize).copied() != Some(false) {
+                        return Err(disagree());
+                    }
+                    taken[stored as usize] = true;
+                    remap[cid as usize] = Some(stored);
+                }
+                Some(prev) if prev != stored => return Err(disagree()),
+                Some(_) => {}
+            }
+        }
+        let remap: Vec<u32> = remap
+            .into_iter()
+            .map(|m| m.ok_or_else(disagree))
+            .collect::<Result<_, _>>()?;
+
+        let dim = data.dim();
+        let mut seeds = Vec::with_capacity(dict.num_cells());
+        for (i, entry) in dict.cells().iter().enumerate() {
+            let i = i as u32;
+            let cluster = clusters.cluster_of_cell.get(&i).map(|&c| remap[c as usize]);
+            let pred_coords = if cluster.is_some() {
+                Vec::new()
+            } else {
+                let mut pc: Vec<CellCoord> = preds
+                    .get(&i)
+                    .map(|v| v.iter().map(|&p| dict.entry(p).coord.clone()).collect())
+                    .unwrap_or_default();
+                pc.sort_unstable();
+                pc
+            };
+            let mut core = Vec::new();
+            if let Some(pts) = local.core_points.get(&i) {
+                core.reserve(pts.len() * dim);
+                for &p in pts {
+                    core.extend_from_slice(data.point(p));
+                }
+            }
+            seeds.push(CellSeed {
+                coord: entry.coord.clone(),
+                cluster,
+                preds: pred_coords,
+                core,
+                subs: entry.subs.clone(),
+            });
+        }
+        let rows: Vec<(u32, Option<u32>)> = stored_labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as u32, l))
+            .collect();
+        Ok(Self::build(spec, generation, num_shards, seeds, rows))
+    }
+
+    /// Builds an index from the streaming clusterer's current epoch.
+    /// The index generation is the snapshot's epoch, so
+    /// [`IndexSlot::publish_if_newer`](crate::IndexSlot::publish_if_newer)
+    /// can skip republishing unchanged epochs.
+    pub fn from_stream(stream: &StreamingRpDbscan, num_shards: usize) -> Self {
+        let snap = stream.snapshot();
+        let dict = stream.dictionary();
+        let seeds: Vec<CellSeed> = stream
+            .export_cells()
+            .into_iter()
+            .map(|e| {
+                let subs = dict
+                    .get(&e.coord)
+                    .map(|c| c.subs.clone())
+                    .unwrap_or_default();
+                CellSeed {
+                    coord: e.coord,
+                    cluster: e.cluster,
+                    preds: e.preds,
+                    core: e.core_coords,
+                    subs,
+                }
+            })
+            .collect();
+        let rows: Vec<(u32, Option<u32>)> = snap
+            .ids
+            .iter()
+            .zip(snap.labels.labels().iter())
+            .map(|(id, &l)| (id.0, l))
+            .collect();
+        Self::build(stream.spec().clone(), snap.epoch(), num_shards, seeds, rows)
+    }
+
+    /// Assembles the sharded structure from per-cell seeds (coordinate
+    /// order) and point rows.
+    fn build(
+        spec: GridSpec,
+        generation: u64,
+        num_shards: usize,
+        seeds: Vec<CellSeed>,
+        rows: Vec<(u32, Option<u32>)>,
+    ) -> Self {
+        let k = num_shards.max(1);
+        let dim = spec.dim();
+        let eps2 = spec.eps() * spec.eps();
+
+        // Per-cluster summaries, folded over the plain vectors so the
+        // totals never depend on hash-map iteration order.
+        let num_clusters = seeds
+            .iter()
+            .filter_map(|s| s.cluster)
+            .chain(rows.iter().filter_map(|&(_, l)| l))
+            .map(|c| c as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut clusters: Vec<ClusterStats> = (0..num_clusters)
+            .map(|c| ClusterStats {
+                cluster: c as u32,
+                points: 0,
+                core_points: 0,
+                core_cells: 0,
+            })
+            .collect();
+        for s in &seeds {
+            if let Some(c) = s.cluster {
+                clusters[c as usize].core_cells += 1;
+                clusters[c as usize].core_points += s.core.len() / dim;
+            }
+        }
+        for &(_, label) in &rows {
+            if let Some(c) = label {
+                clusters[c as usize].points += 1;
+            }
+        }
+
+        let mut shards: Vec<Shard> = (0..k).map(|_| Shard::default()).collect();
+        let mut scratch = vec![0.0; dim];
+        for seed in seeds {
+            let mut sub_centers = Vec::with_capacity(seed.subs.len() * dim);
+            let mut sub_counts = Vec::with_capacity(seed.subs.len());
+            let mut count = 0u64;
+            for sub in &seed.subs {
+                spec.sub_center_into(&seed.coord, sub.idx, &mut scratch);
+                sub_centers.extend_from_slice(&scratch);
+                sub_counts.push(u64::from(sub.count));
+                count += u64::from(sub.count);
+            }
+            let shard = &mut shards[shard_of_cell(&seed.coord, k)];
+            shard
+                .cells
+                .insert(seed.coord.clone(), shard.records.len() as u32);
+            shard.records.push(CellRecord {
+                coord: seed.coord,
+                cluster: seed.cluster,
+                preds: seed.preds,
+                core: seed.core,
+                sub_centers,
+                sub_counts,
+                count,
+            });
+        }
+        let num_points = rows.len();
+        for (id, label) in rows {
+            shards[shard_of_point(id, k)].labels.insert(id, label);
+        }
+
+        Self {
+            spec,
+            eps2,
+            generation,
+            shards,
+            clusters,
+            num_points,
+            generation_tail: generation,
+        }
+    }
+
+    /// The grid the index serves over.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Dimensionality of served coordinates.
+    pub fn dim(&self) -> usize {
+        self.spec.dim()
+    }
+
+    /// The epoch this index was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reads both generation counters and returns the generation only if
+    /// they agree. The head is written first and the tail last during
+    /// construction, so `None` would mean a reader observed a partially
+    /// constructed index — the torn-read detector the hot-swap bench
+    /// asserts never fires.
+    pub fn verify_generation(&self) -> Option<u64> {
+        (self.generation == self.generation_tail).then_some(self.generation)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Number of occupied cells.
+    pub fn num_cells(&self) -> usize {
+        self.shards.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The shard serving queries that land in `coord`'s cell.
+    pub fn shard_of_coord(&self, coord: &CellCoord) -> u32 {
+        shard_of_cell(coord, self.shards.len()) as u32
+    }
+
+    /// The shard holding point `id`'s label row.
+    pub fn shard_of_id(&self, id: u32) -> u32 {
+        shard_of_point(id, self.shards.len()) as u32
+    }
+
+    /// The stored label of indexed point `id`: `Some(label)` when the
+    /// point is indexed (`label` itself is `None` for noise), `None` for
+    /// unknown ids.
+    pub fn label_of(&self, id: u32) -> Option<Option<u32>> {
+        self.shards[shard_of_point(id, self.shards.len())]
+            .labels
+            .get(&id)
+            .copied()
+    }
+
+    /// Size summary of cluster `cluster`, if it exists.
+    pub fn cluster_stats(&self, cluster: u32) -> Option<&ClusterStats> {
+        self.clusters.get(cluster as usize)
+    }
+
+    /// Checks a query coordinate's shape.
+    fn validate(&self, q: &[f64]) -> Result<(), ServeError> {
+        if q.len() != self.spec.dim() {
+            return Err(ServeError::DimensionMismatch {
+                expected: self.spec.dim(),
+                got: q.len(),
+            });
+        }
+        if q.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Looks a cell up across the shards.
+    fn find_cell(&self, coord: &CellCoord) -> Option<CellRef> {
+        let s = shard_of_cell(coord, self.shards.len());
+        self.shards[s].cells.get(coord).map(|&r| (s as u32, r))
+    }
+
+    fn record(&self, (s, r): CellRef) -> &CellRecord {
+        &self.shards[s as usize].records[r as usize]
+    }
+
+    /// Builds the classify plan for one grid cell: resolves every shard
+    /// lookup a query landing in `coord` will need. Plans are pure
+    /// functions of the index, so the server memoises them per cell.
+    pub fn plan_for(&self, coord: &CellCoord) -> CellPlan {
+        let home = self.find_cell(coord);
+        let candidates = self.window_candidates(coord);
+        let sources = match home {
+            // Core home cell: the label is the cell's cluster, no
+            // per-point checks needed.
+            Some(h) if self.record(h).cluster.is_some() => Vec::new(),
+            // Occupied non-core cell: Phase III's exact candidate list —
+            // the stored predecessors, already coordinate-sorted.
+            Some(h) => self
+                .record(h)
+                .preds
+                .iter()
+                .filter_map(|c| self.find_cell(c))
+                .collect(),
+            // Unoccupied cell (a coordinate the clustering never saw):
+            // fall back to every core cell within ε, coordinate-sorted —
+            // the same candidates Phase II's region query would visit.
+            None => candidates
+                .iter()
+                .copied()
+                .filter(|&c| self.record(c).cluster.is_some())
+                .collect(),
+        };
+        CellPlan {
+            home,
+            sources,
+            density: candidates,
+        }
+    }
+
+    /// Occupied cells whose box is within ε of `coord`'s box, in
+    /// coordinate order. Enumerates the `(2b+1)^d` window when that is
+    /// cheaper than scanning the cell table, mirroring the streaming
+    /// subsystem's dirty-region fallback for high dimensions.
+    fn window_candidates(&self, coord: &CellCoord) -> Vec<CellRef> {
+        let dim = self.spec.dim();
+        let bound = self.eps2 * (1.0 + EPS_SLACK);
+        let b = 1 + (dim as f64).sqrt().ceil() as i64;
+        let width = (2 * b + 1) as usize;
+        let box_cost = width.checked_pow(dim as u32);
+        let table_cost = self.num_cells();
+        if box_cost.is_some_and(|c| c <= table_cost.saturating_mul(4)) {
+            // Enumerate offsets with dimension 0 as the outermost digit,
+            // so candidates come out in lattice-coordinate order.
+            let mut out = Vec::new();
+            let mut offs = vec![-b; dim];
+            let mut cand = Vec::with_capacity(dim);
+            loop {
+                cand.clear();
+                cand.extend(coord.coords().iter().zip(offs.iter()).map(|(&c, &o)| c + o));
+                let cc = CellCoord::new(cand.iter().copied());
+                if self.spec.cell_min_dist2(coord, &cc) <= bound {
+                    if let Some(r) = self.find_cell(&cc) {
+                        out.push(r);
+                    }
+                }
+                // Increment the mixed-radix counter, last dimension
+                // fastest.
+                let mut d = dim;
+                loop {
+                    if d == 0 {
+                        return out;
+                    }
+                    d -= 1;
+                    if offs[d] < b {
+                        offs[d] += 1;
+                        break;
+                    }
+                    offs[d] = -b;
+                }
+            }
+        } else {
+            // High dimension: the window would dwarf the table — scan
+            // every record instead and sort by coordinate.
+            let mut hits: Vec<(CellCoord, CellRef)> = Vec::new();
+            for (s, shard) in self.shards.iter().enumerate() {
+                for (r, rec) in shard.records.iter().enumerate() {
+                    if self.spec.cell_min_dist2(coord, &rec.coord) <= bound {
+                        hits.push((rec.coord.clone(), (s as u32, r as u32)));
+                    }
+                }
+            }
+            hits.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            hits.into_iter().map(|(_, r)| r).collect()
+        }
+    }
+
+    /// Classifies a coordinate against the served clustering: the label
+    /// a new point at `q` would receive under Phase III's rules, plus a
+    /// ρ-approximate density estimate. See [`Self::classify_with`] for
+    /// the plan-reusing form the server's cache drives.
+    pub fn classify(&self, q: &[f64]) -> Result<Classification, ServeError> {
+        self.validate(q)?;
+        let plan = self.plan_for(&self.spec.cell_of(q));
+        self.classify_with(&plan, q)
+    }
+
+    /// Classifies a coordinate using a memoised [`CellPlan`] built by
+    /// [`Self::plan_for`] on this same index (plans do not survive a
+    /// hot-swap; the server's LRU is flushed on generation change).
+    pub fn classify_with(&self, plan: &CellPlan, q: &[f64]) -> Result<Classification, ServeError> {
+        self.validate(q)?;
+        let label = match plan.home {
+            Some(h) if self.record(h).cluster.is_some() => self.record(h).cluster,
+            _ => {
+                // First candidate core cell (coordinate order) holding a
+                // core point within ε wins — Algorithm 4, Lines 18–23.
+                let mut label = None;
+                'search: for &c in &plan.sources {
+                    let rec = self.record(c);
+                    for p in rec.core.chunks_exact(self.spec.dim()) {
+                        if dist2(p, q) <= self.eps2 {
+                            label = rec.cluster;
+                            break 'search;
+                        }
+                    }
+                }
+                label
+            }
+        };
+        let mut density = 0u64;
+        for &c in &plan.density {
+            let rec = self.record(c);
+            let (lo, hi) = self.spec.cell_dist2_bounds(&rec.coord, q);
+            if lo > self.eps2 {
+                continue;
+            }
+            if hi <= self.eps2 {
+                // Fully contained cell: every sub-cell counts.
+                density += rec.count;
+            } else {
+                // Partially contained: per-sub-centre ρ-approximate test.
+                for (center, &n) in rec
+                    .sub_centers
+                    .chunks_exact(self.spec.dim())
+                    .zip(rec.sub_counts.iter())
+                {
+                    if dist2(center, q) <= self.eps2 {
+                        density += n;
+                    }
+                }
+            }
+        }
+        Ok(Classification { label, density })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_hashes_are_stable_and_in_range() {
+        for k in [1usize, 2, 4, 7] {
+            for i in 0..64u32 {
+                assert!(shard_of_point(i, k) < k);
+            }
+            for x in -8i64..8 {
+                for y in -8i64..8 {
+                    let c = CellCoord::new([x, y]);
+                    assert!(shard_of_cell(&c, k) < k);
+                    assert_eq!(shard_of_cell(&c, k), shard_of_cell(&c.clone(), k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_spread_over_shards() {
+        let coords: Vec<CellCoord> = (0..100)
+            .map(|i| CellCoord::new([i as i64 % 10, i as i64 / 10]))
+            .collect();
+        let mut used = vec![false; 4];
+        for c in &coords {
+            used[shard_of_cell(c, 4)] = true;
+        }
+        assert!(used.iter().all(|&u| u), "all 4 shards take cells");
+    }
+}

@@ -1,0 +1,65 @@
+//! Epoch hot-swap: atomic publication of new index generations.
+//!
+//! Readers and the publisher share one [`IndexSlot`]. A reader clones
+//! the current `Arc<ServingIndex>` out of the slot and then works
+//! against an immutable object — a concurrent publication can never
+//! mutate what the reader holds, only replace what the *next* reader
+//! will get. The slot therefore gives each request a consistent epoch
+//! for its whole lifetime, and
+//! [`ServingIndex::verify_generation`] lets the hot-swap bench prove
+//! the absence of torn reads outright.
+
+use crate::index::ServingIndex;
+use std::sync::{Arc, RwLock};
+
+/// A shared slot holding the currently served index generation.
+#[derive(Debug)]
+pub struct IndexSlot {
+    inner: RwLock<Arc<ServingIndex>>,
+}
+
+impl IndexSlot {
+    /// A slot initially serving `index`.
+    pub fn new(index: Arc<ServingIndex>) -> Self {
+        Self {
+            inner: RwLock::new(index),
+        }
+    }
+
+    /// The currently published index. The returned `Arc` pins that
+    /// generation for as long as the caller holds it, regardless of
+    /// later publications.
+    pub fn load(&self) -> Arc<ServingIndex> {
+        Arc::clone(&self.inner.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Publishes a new generation unconditionally and returns its
+    /// generation number. In-flight readers keep the generation they
+    /// already loaded.
+    pub fn publish(&self, index: Arc<ServingIndex>) -> u64 {
+        let generation = index.generation();
+        *self.inner.write().unwrap_or_else(|p| p.into_inner()) = index;
+        generation
+    }
+
+    /// Publishes `index` only if its generation is strictly newer than
+    /// the published one; returns whether the swap happened. This is the
+    /// streaming publisher's idempotence guard: snapshots of an
+    /// unchanged epoch carry the same version
+    /// ([`Snapshot::epoch`](rpdbscan_stream::Snapshot::epoch)), so
+    /// republishing them is skipped.
+    pub fn publish_if_newer(&self, index: Arc<ServingIndex>) -> bool {
+        let mut slot = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        if index.generation() > slot.generation() {
+            *slot = index;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Generation of the currently published index.
+    pub fn generation(&self) -> u64 {
+        self.load().generation()
+    }
+}

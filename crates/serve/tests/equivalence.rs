@@ -1,0 +1,188 @@
+//! Bit-exactness of the serving read path.
+//!
+//! `classify(coords)` on an indexed point must return exactly the label
+//! the Phase III pipeline stored for it — across ρ ∈ {1.0, 0.1},
+//! dimensions 1–3, shard counts, and both index sources (batch run and
+//! streaming snapshot).
+
+use std::f64::consts::TAU;
+
+use rpdbscan_core::{RpDbscan, RpDbscanParams};
+use rpdbscan_geom::{Dataset, PointId};
+use rpdbscan_serve::ServingIndex;
+use rpdbscan_stream::StreamingRpDbscan;
+
+/// Deterministic golden-angle blob around `center`.
+fn blob(dim: usize, center: &[f64], n: usize, spread: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * 0.618_033_988_75 * TAU;
+            let r = spread * ((i % 10) as f64 / 10.0);
+            (0..dim)
+                .map(|d| {
+                    center[d]
+                        + match d {
+                            0 => r * a.cos(),
+                            1 => r * a.sin(),
+                            _ => 0.3 * r * (a * d as f64).sin(),
+                        }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Two blobs, a border point, and two far outliers.
+fn test_rows(dim: usize) -> Vec<Vec<f64>> {
+    let c1 = vec![0.0; dim];
+    let mut c2 = vec![3.0; dim];
+    c2[0] = 9.0;
+    let mut rows = blob(dim, &c1, 60, 0.4);
+    rows.extend(blob(dim, &c2, 60, 0.4));
+    let mut border = vec![0.0; dim];
+    border[0] = 0.9; // within eps=1.0 of blob 1's rim, too sparse to be core
+    rows.push(border);
+    rows.push(vec![50.0; dim]);
+    rows.push(vec![-40.0; dim]);
+    rows
+}
+
+#[test]
+fn classify_matches_batch_labels_exactly() {
+    for dim in 1..=3usize {
+        for rho in [1.0, 0.1] {
+            let rows = test_rows(dim);
+            let data = Dataset::from_rows(dim, &rows).unwrap();
+            let params = RpDbscanParams::new(1.0, 5).with_rho(rho);
+            let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+            assert!(out.clustering.num_clusters() >= 1, "dim={dim} rho={rho}");
+            for shards in [1usize, 4] {
+                let index = ServingIndex::from_batch(&data, &out, &params, shards, 7).unwrap();
+                assert_eq!(index.num_shards(), shards);
+                assert_eq!(index.num_points(), data.len());
+                for i in 0..data.len() {
+                    let stored = out.clustering.labels()[i];
+                    let q = data.point(PointId(i as u32));
+                    let c = index.classify(q).unwrap();
+                    assert_eq!(
+                        c.label, stored,
+                        "dim={dim} rho={rho} shards={shards} point={i}"
+                    );
+                    assert!(c.density >= 1, "an indexed point sees itself");
+                    assert_eq!(index.label_of(i as u32), Some(stored));
+                }
+                // Unknown ids are distinguishable from noise labels.
+                assert_eq!(index.label_of(data.len() as u32 + 10), None);
+            }
+        }
+    }
+}
+
+#[test]
+fn classify_matches_streaming_snapshot_exactly() {
+    for dim in [2usize, 3] {
+        for rho in [1.0, 0.1] {
+            let rows = test_rows(dim);
+            let params = RpDbscanParams::new(1.0, 5).with_rho(rho);
+            let mut s = StreamingRpDbscan::new(dim, params).unwrap();
+            // Three micro-batches, so the index reflects epoch 3.
+            for chunk in rows.chunks(rows.len().div_ceil(3)) {
+                s.insert_rows(chunk).unwrap();
+            }
+            let snap = s.snapshot();
+            let data = s.dataset();
+            let index = ServingIndex::from_stream(&s, 4);
+            assert_eq!(index.generation(), snap.epoch());
+            assert_eq!(index.num_points(), snap.ids.len());
+            for (row, (id, &stored)) in snap.ids.iter().zip(snap.labels.labels().iter()).enumerate()
+            {
+                let q = data.point(PointId(row as u32));
+                let c = index.classify(q).unwrap();
+                assert_eq!(c.label, stored, "dim={dim} rho={rho} id={}", id.0);
+                assert_eq!(index.label_of(id.0), Some(stored));
+            }
+        }
+    }
+}
+
+#[test]
+fn unoccupied_cells_resolve_against_nearby_core_cells() {
+    // dim 1: cell side = eps, so x=1.3 sits in an unoccupied cell while
+    // still within eps of blob 1's rim (the dense rim point at x=0.9).
+    let rows = test_rows(1);
+    let data = Dataset::from_rows(1, &rows).unwrap();
+    let params = RpDbscanParams::new(1.0, 5);
+    let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+    let index = ServingIndex::from_batch(&data, &out, &params, 4, 1).unwrap();
+    let near = index.classify(&[1.3]).unwrap();
+    assert_eq!(near.label, out.clustering.labels()[0], "joins blob 1");
+    // Far away: no label, zero density.
+    let far = index.classify(&[1234.5]).unwrap();
+    assert_eq!(far.label, None);
+    assert_eq!(far.density, 0);
+}
+
+#[test]
+fn query_validation_rejects_bad_coordinates() {
+    let rows = test_rows(2);
+    let data = Dataset::from_rows(2, &rows).unwrap();
+    let params = RpDbscanParams::new(1.0, 5);
+    let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+    let index = ServingIndex::from_batch(&data, &out, &params, 2, 1).unwrap();
+    assert!(matches!(
+        index.classify(&[1.0]),
+        Err(rpdbscan_serve::ServeError::DimensionMismatch {
+            expected: 2,
+            got: 1
+        })
+    ));
+    assert!(matches!(
+        index.classify(&[f64::NAN, 0.0]),
+        Err(rpdbscan_serve::ServeError::NonFinite)
+    ));
+}
+
+#[test]
+fn cluster_stats_are_consistent_with_labels() {
+    let rows = test_rows(2);
+    let data = Dataset::from_rows(2, &rows).unwrap();
+    let params = RpDbscanParams::new(1.0, 5);
+    let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+    let index = ServingIndex::from_batch(&data, &out, &params, 4, 1).unwrap();
+    assert_eq!(index.num_clusters(), out.clustering.num_clusters());
+    let mut labeled = 0usize;
+    for c in 0..index.num_clusters() as u32 {
+        let cs = index.cluster_stats(c).expect("dense cluster ids");
+        assert_eq!(cs.cluster, c);
+        assert!(cs.points >= 1);
+        assert!(cs.core_cells >= 1);
+        assert!(cs.core_points >= 1);
+        assert!(
+            cs.core_points <= cs.points,
+            "core points are labeled points"
+        );
+        let by_count = out
+            .clustering
+            .labels()
+            .iter()
+            .filter(|&&l| l == Some(c))
+            .count();
+        assert_eq!(cs.points, by_count);
+        labeled += cs.points;
+    }
+    assert_eq!(labeled + out.clustering.noise_count(), data.len());
+    assert!(index.cluster_stats(index.num_clusters() as u32).is_none());
+}
+
+#[test]
+fn torn_generation_detector_holds_on_any_built_index() {
+    let rows = test_rows(2);
+    let data = Dataset::from_rows(2, &rows).unwrap();
+    let params = RpDbscanParams::new(1.0, 5);
+    let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+    for g in [0u64, 1, 42, u64::MAX] {
+        let index = ServingIndex::from_batch(&data, &out, &params, 3, g).unwrap();
+        assert_eq!(index.verify_generation(), Some(g));
+        assert_eq!(index.generation(), g);
+    }
+}

@@ -186,6 +186,35 @@ pub struct Snapshot {
     pub stats: StreamStats,
 }
 
+impl Snapshot {
+    /// The snapshot's version: the epoch it reflects. Two snapshots taken
+    /// without an intervening batch share one version, so a hot-swap
+    /// publisher can compare versions and skip republishing an unchanged
+    /// epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Read-only per-cell state exported for downstream index builders (the
+/// serving layer's [`Snapshot`]→index handoff): everything an external
+/// reader needs to reproduce Phase III's label resolution for this
+/// epoch, keyed by stable cell coordinates.
+#[derive(Debug, Clone)]
+pub struct CellExport {
+    /// The cell's coordinate.
+    pub coord: CellCoord,
+    /// Cluster id when the cell is core, `None` for non-core cells.
+    pub cluster: Option<u32>,
+    /// For non-core cells: the predecessor core cells of the cell graph's
+    /// partial edges, sorted by coordinate (the deterministic border
+    /// tie-break order). Empty for core cells.
+    pub preds: Vec<CellCoord>,
+    /// Flat coordinates of the cell's core points (`dim` values per
+    /// point) — the operands of the exact ε border checks.
+    pub core_coords: Vec<f64>,
+}
+
 /// Per-cell incremental state: the streaming equivalent of one vertex of
 /// the batch pipeline's cell graph, keyed by coordinate rather than
 /// dictionary index (indices shift across epochs; coordinates do not).
@@ -572,6 +601,50 @@ impl StreamingRpDbscan {
         }
         // lint:allow(panic-safety): flat is built as n_live rows of exactly dim coordinates, and dim >= 1 is checked at construction
         Dataset::from_flat(self.dim, flat).expect("live points form a valid dataset")
+    }
+
+    /// The incrementally maintained cell dictionary (always equal to a
+    /// fresh build over the live points).
+    pub fn dictionary(&self) -> &CellDictionary {
+        &self.dict
+    }
+
+    /// Exports the per-cell clustering state for the current epoch,
+    /// sorted by cell coordinate. This is the handoff an external index
+    /// builder (the serving layer) needs to resolve labels exactly as
+    /// Phase III does: core cells carry their cluster id, non-core cells
+    /// carry their sorted predecessor core cells, and every cell carries
+    /// its core points' coordinates for the exact ε border checks.
+    pub fn export_cells(&self) -> Vec<CellExport> {
+        let mut coords: Vec<&CellCoord> = self.cells.keys().collect();
+        coords.sort_unstable();
+        let mut out = Vec::with_capacity(coords.len());
+        for coord in coords {
+            let state = &self.cells[coord];
+            let cluster = if state.is_core {
+                self.cluster_of_cell.get(coord).copied()
+            } else {
+                None
+            };
+            let preds = if state.is_core {
+                Vec::new()
+            } else {
+                self.preds.get(coord).cloned().unwrap_or_default()
+            };
+            let mut core_coords = Vec::with_capacity(state.core_points.len() * self.dim);
+            for &s in &state.core_points {
+                core_coords.extend_from_slice(
+                    &self.coords[s as usize * self.dim..(s as usize + 1) * self.dim],
+                );
+            }
+            out.push(CellExport {
+                coord: coord.clone(),
+                cluster,
+                preds,
+                core_coords,
+            });
+        }
+        out
     }
 
     /// Splits `items` into at most `2 × physical threads` chunks for stage

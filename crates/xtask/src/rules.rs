@@ -46,7 +46,7 @@ pub const RULE_NAMES: [&str; 9] = [
 pub const RULE_DESCRIPTIONS: [&str; 9] = [
     "library code must return errors, not panic: no unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside tests",
     "no Instant::now/SystemTime::now outside engine::{pool,trace,metrics} — clocks feed nothing result-shaped",
-    "no HashMap/HashSet iteration on result-ordering paths in core/stream/grid without a sort or order-insensitive sink",
+    "no HashMap/HashSet iteration on result-ordering paths in core/stream/grid/serve without a sort or order-insensitive sink",
     "no thread::spawn/scope outside engine::pool — all parallelism goes through run_stage",
     "no bare ==/!= against float literals — compare with a tolerance or restructure",
     "no unsafe code anywhere; every crate root carries #![forbid(unsafe_code)]",

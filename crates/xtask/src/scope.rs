@@ -44,7 +44,7 @@ pub struct FileScope {
 }
 
 /// Crates whose `src/` is held to the full library rule set.
-pub const LIBRARY_CRATES: [&str; 11] = [
+pub const LIBRARY_CRATES: [&str; 12] = [
     "rp-dbscan",
     "geom",
     "grid",
@@ -56,12 +56,13 @@ pub const LIBRARY_CRATES: [&str; 11] = [
     "plot",
     "json",
     "stream",
+    "serve",
 ];
 
 /// Crates whose result ordering is part of the paper's determinism
 /// claim: `HashMap`/`HashSet` iteration there must feed an
 /// order-insensitive sink or an explicit sort.
-pub const ORDERED_CRATES: [&str; 3] = ["core", "stream", "grid"];
+pub const ORDERED_CRATES: [&str; 4] = ["core", "stream", "grid", "serve"];
 
 /// Classifies a workspace-relative path (forward slashes). `None`
 /// means the file is out of scope (vendored code, rule fixtures).

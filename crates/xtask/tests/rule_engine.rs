@@ -143,6 +143,34 @@ fn unsafe_flagged_everywhere_and_crate_roots_need_forbid() {
 }
 
 #[test]
+fn serve_is_a_full_library_and_ordered_crate() {
+    // The serving layer sits on the read path of published clusterings:
+    // it gets the complete rule set (panic-safety, thread discipline,
+    // clock bans) plus the ordered-iteration rule, like core/stream/grid.
+    let s = scope::classify("crates/serve/src/index.rs").expect("library scope");
+    assert!(s.panic_safety());
+    assert!(s.determinism_time());
+    assert!(s.thread_discipline());
+    assert!(s.unordered_iter());
+    let out = rules::check_file(
+        "crates/serve/src/index.rs",
+        &s,
+        "pub fn f() {\n    let x: Option<u32> = None;\n    x.unwrap();\n    \
+         std::thread::spawn(|| {});\n    let _ = std::time::Instant::now();\n}\n",
+    );
+    let names: Vec<&str> = out.findings.iter().map(|f| f.rule).collect();
+    assert!(names.contains(&"panic-safety"), "{names:?}");
+    assert!(names.contains(&"thread-discipline"), "{names:?}");
+    assert!(names.contains(&"determinism-time"), "{names:?}");
+
+    let root = scope::classify("crates/serve/src/lib.rs").expect("crate root");
+    assert!(
+        root.is_crate_root,
+        "serve lib.rs must carry forbid(unsafe_code)"
+    );
+}
+
+#[test]
 fn fixtures_are_out_of_scope_for_the_workspace_walk() {
     assert!(scope::classify("crates/xtask/fixtures/panic_cases.rs").is_none());
     assert!(scope::classify("vendor/foo/src/lib.rs").is_none());

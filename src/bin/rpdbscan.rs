@@ -8,6 +8,9 @@
 //! rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B
 //!                   [--rho R] [--workers W] [--order file|shuffled|locality]
 //!                   [--seed S] [--delim C]
+//! rpdbscan serve    <in.csv> --eps E --min-pts M [--queries q.csv]
+//!                   [--out labels.csv] [--shards K] [--workers W]
+//!                   [--rho R] [--queue CAP] [--delim C]
 //! rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
 //! rpdbscan metrics  <a.csv> <b.csv>
 //! rpdbscan plot     <labeled.csv> <out.svg>
@@ -17,6 +20,12 @@
 //! through [`StreamingRpDbscan`], printing one line per epoch, and writes
 //! the final labels — byte-for-byte the clustering `cluster --algo rp`
 //! would produce on the same points.
+//!
+//! `serve` clusters the input once, builds a sharded [`ServingIndex`],
+//! and classifies query coordinates through the micro-batched [`Server`]
+//! read path. Without `--queries` it re-serves the input points and
+//! reports agreement with the stored labels (always 100% — classification
+//! replays Phase III exactly).
 //!
 //! `generate` kinds: `moons`, `blobs`, `chameleon`, `geolife`, `cosmo`,
 //! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
@@ -45,6 +54,7 @@ const USAGE: &str = "usage:
   rpdbscan generate <kind> <n> <out.csv> [--seed S]
   rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M [options]
   rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B [options]
+  rpdbscan serve    <in.csv> --eps E --min-pts M [options]
   rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
   rpdbscan metrics  <a.csv> <b.csv>
   rpdbscan plot     <labeled.csv> <out.svg>
@@ -62,6 +72,13 @@ stream options:
   --seed S         shuffle seed          (default 0)
   --save-dict F    write the final cell dictionary (wire format) to F
   --check-dict F   decode F and verify it matches this run's grid
+  --rho, --workers, --delim as above
+
+serve options:
+  --queries F      CSV of coordinates to classify (default: the input)
+  --out F          write classified queries as a labeled CSV to F
+  --shards K       index shards         (default 4)
+  --queue CAP      admission queue capacity / micro-batch size (default 1024)
   --rho, --workers, --delim as above
 
 generate kinds: moons blobs chameleon geolife cosmo osm teraclick
@@ -97,6 +114,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&args[1..]),
         "cluster" => cluster(&args[1..]),
         "stream" => stream(&args[1..]),
+        "serve" => serve(&args[1..]),
         "compare" => compare(&args[1..]),
         "metrics" => metrics(&args[1..]),
         "plot" => plot(&args[1..]),
@@ -294,6 +312,115 @@ fn stream(args: &[String]) -> Result<(), String> {
             bytes.len(),
             p.display()
         );
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("serve: missing <in.csv>")?);
+    let eps: f64 = require(args, "--eps")?;
+    let min_pts: usize = require(args, "--min-pts")?;
+    let rho: f64 = parse_flag(args, "--rho", 0.01)?;
+    let shards: usize = parse_flag(args, "--shards", 4)?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+    let queue: usize = parse_flag(args, "--queue", 1024)?;
+    let delim: char = parse_flag(args, "--delim", ',')?;
+    if shards == 0 || queue == 0 {
+        return Err("serve: --shards and --queue must be >= 1".into());
+    }
+    let queries_path = flag(args, "--queries").map(PathBuf::from);
+    let out_path = flag(args, "--out").map(PathBuf::from);
+
+    let data = load(&input, delim)?;
+    println!("loaded {} points ({}d)", data.len(), data.dim());
+    let params = RpDbscanParams::new(eps, min_pts).with_rho(rho);
+    let out = RpDbscan::new(params)
+        .map_err(|e| e.to_string())?
+        .run_local(&data)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "clustered: {} clusters, {} noise",
+        out.clustering.num_clusters(),
+        out.clustering.noise_count()
+    );
+    let index =
+        ServingIndex::from_batch(&data, &out, &params, shards, 1).map_err(|e| e.to_string())?;
+    println!(
+        "serving index: {} shards, {} cells, {} points, generation {}",
+        index.num_shards(),
+        index.num_cells(),
+        index.num_points(),
+        index.generation()
+    );
+    let server = Server::new(
+        Engine::with_cost_model(workers, CostModel::free()),
+        std::sync::Arc::new(index),
+        ServerConfig {
+            queue_capacity: queue,
+            cache_capacity: 4096,
+        },
+    );
+
+    let self_serve = queries_path.is_none();
+    let qdata = match &queries_path {
+        Some(p) => load(p, delim)?,
+        None => data,
+    };
+    if qdata.dim() != server.index().spec().dim() {
+        return Err(format!(
+            "serve: query dimension {} does not match data dimension {}",
+            qdata.dim(),
+            server.index().spec().dim()
+        ));
+    }
+    let mut labels: Vec<Option<u32>> = Vec::with_capacity(qdata.len());
+    for chunk_start in (0..qdata.len()).step_by(queue) {
+        let chunk_end = (chunk_start + queue).min(qdata.len());
+        let reqs: Vec<rp_dbscan::serve::Request> = (chunk_start..chunk_end)
+            .map(|i| rp_dbscan::serve::Request::Classify(qdata.point_at(i).to_vec()))
+            .collect();
+        for resp in server.execute(reqs).map_err(|e| e.to_string())? {
+            match resp {
+                rp_dbscan::serve::Response::Classified(c) => labels.push(c.label),
+                other => return Err(format!("serve: unexpected response {other:?}")),
+            }
+        }
+    }
+    let clustered = labels.iter().filter(|l| l.is_some()).count();
+    println!(
+        "served {} classify queries: {} in clusters, {} noise",
+        labels.len(),
+        clustered,
+        labels.len() - clustered
+    );
+    if self_serve {
+        let agree = labels
+            .iter()
+            .zip(out.clustering.labels())
+            .filter(|(a, b)| a == b)
+            .count();
+        println!(
+            "agreement with stored labels: {}/{} ({:.1}%)",
+            agree,
+            labels.len(),
+            100.0 * agree as f64 / labels.len().max(1) as f64
+        );
+    }
+    let stats = server.stats();
+    let us = |v: Option<f64>| v.unwrap_or(0.0) * 1e6;
+    println!(
+        "classify latency: p50 {:.1}us p95 {:.1}us p99 {:.1}us ({} batches, {} plan cache hits / {} misses)",
+        us(stats.classify.p50()),
+        us(stats.classify.p95()),
+        us(stats.classify.p99()),
+        stats.batches,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+    if let Some(p) = &out_path {
+        let clustering = Clustering::new(labels);
+        io::write_labeled_csv(p, &qdata, &clustering, delim).map_err(|e| e.to_string())?;
+        println!("wrote labels to {}", p.display());
     }
     Ok(())
 }

@@ -31,6 +31,8 @@
 //!   NG-DBSCAN.
 //! * [`stream`] — incremental micro-batch clustering over long-lived
 //!   state (insert/remove batches, dirty-region repair, epoch snapshots).
+//! * [`serve`] — sharded read-path serving layer (point lookups, exact
+//!   Phase III classification of new coordinates, epoch hot-swap).
 //! * [`data`] — synthetic workload generators and IO.
 //! * [`metrics`] — Rand index / ARI / NMI.
 //! * [`geom`] — points, boxes, kd-trees.
@@ -45,6 +47,7 @@ pub use rpdbscan_geom as geom;
 pub use rpdbscan_grid as grid;
 pub use rpdbscan_metrics as metrics;
 pub use rpdbscan_plot as plot;
+pub use rpdbscan_serve as serve;
 pub use rpdbscan_stream as stream;
 
 /// The most commonly used items in one import.
@@ -62,5 +65,9 @@ pub mod prelude {
     pub use rpdbscan_geom::{Dataset, DatasetBuilder, PointId};
     pub use rpdbscan_grid::GridSpec;
     pub use rpdbscan_metrics::{rand_index, Clustering, NoisePolicy};
+    pub use rpdbscan_serve::{
+        Classification, IndexSlot, Request, Response, ServeError, Server, ServerConfig,
+        ServingIndex,
+    };
     pub use rpdbscan_stream::{StreamPointId, StreamingRpDbscan};
 }

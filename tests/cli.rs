@@ -202,6 +202,103 @@ fn stream_dictionary_round_trip_and_corruption() {
 }
 
 #[test]
+fn serve_self_agreement_and_query_file() {
+    let csv = tmp("serve_moons.csv");
+    let out = bin()
+        .args([
+            "generate",
+            "moons",
+            "1500",
+            csv.to_str().unwrap(),
+            "--seed",
+            "11",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Self-serve: classifying the clustered points must reproduce the
+    // stored labels exactly.
+    let out = bin()
+        .args([
+            "serve",
+            csv.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--shards",
+            "4",
+            "--workers",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(100.0%)"), "{stdout}");
+    assert!(stdout.contains("classify latency"), "{stdout}");
+
+    // An explicit query file lands in a labeled CSV with one trailing
+    // label column per query row.
+    let queries = tmp("serve_queries.csv");
+    std::fs::write(&queries, "0.0,0.0\n1.0,-0.4\n50.0,50.0\n").unwrap();
+    let labeled = tmp("serve_labeled.csv");
+    let out = bin()
+        .args([
+            "serve",
+            csv.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--queries",
+            queries.to_str().unwrap(),
+            "--out",
+            labeled.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let content = std::fs::read_to_string(&labeled).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(
+        lines[2].ends_with(",-1"),
+        "far-away query must be noise: {content}"
+    );
+
+    // Dimension mismatches are reported, not panicked on.
+    let bad = tmp("serve_bad_queries.csv");
+    std::fs::write(&bad, "1.0,2.0,3.0\n").unwrap();
+    let out = bin()
+        .args([
+            "serve",
+            csv.to_str().unwrap(),
+            "--eps",
+            "0.15",
+            "--min-pts",
+            "5",
+            "--queries",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dimension"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
