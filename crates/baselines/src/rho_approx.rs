@@ -12,7 +12,7 @@ use rpdbscan_core::label::{
     assemble_clustering, extract_clusters, label_partition, predecessor_map,
 };
 use rpdbscan_core::partition::{group_by_cell, Partition};
-use rpdbscan_core::phase2::build_local_clustering;
+use rpdbscan_core::phase2::{build_local_clustering, QueryRouting};
 use rpdbscan_engine::TaskError;
 use rpdbscan_geom::Dataset;
 use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
@@ -45,7 +45,7 @@ pub fn rho_approx_dbscan(
     let part = Partition { id: 0, cells };
     let dict = CellDictionary::build_from_points(spec, data.iter().map(|(_, p)| p));
     let index = DictionaryIndex::single(dict);
-    let local = build_local_clustering(&part, data, &index, min_pts, true)?;
+    let local = build_local_clustering(&part, data, &index, min_pts, QueryRouting::auto(&index))?;
 
     let mut core = vec![false; data.len()];
     for pts in local.core_points.values() {

@@ -10,7 +10,7 @@ use crate::label::{assemble_clustering, extract_clusters, label_partition, prede
 use crate::merge::merge_pair;
 use crate::params::RpDbscanParams;
 use crate::partition::{pseudo_random_partition, CellPoints, Partition};
-use crate::phase2::build_local_clustering;
+use crate::phase2::{build_local_clustering, QueryRouting};
 use crate::CoreError;
 use rpdbscan_engine::Engine;
 use rpdbscan_geom::{Dataset, PointId};
@@ -48,14 +48,23 @@ pub struct RunStats {
     pub query_subdicts_visited: u64,
     /// Aggregated region-query counters.
     pub query_cells_candidate: u64,
-    /// Phase II cell query plans built (one per occupied partition cell
-    /// when the planner is enabled; 0 otherwise).
+    /// Phase II cell query plans built (one per partition cell the cost
+    /// model routed through the planner).
     pub query_plans_built: u64,
     /// Region queries answered through a memoized cell plan.
     pub query_plan_hits: u64,
     /// Cells answered purely from a plan's precomputed sub-cell sums —
     /// no per-point distance test at all.
     pub query_cells_planned_full: u64,
+    /// Partition cells the cost model routed through the memoized
+    /// planner (occupancy at or above the break-even threshold).
+    pub query_cells_routed_planned: u64,
+    /// Partition cells the cost model routed through the per-point kd
+    /// path.
+    pub query_cells_routed_kd: u64,
+    /// The cost model's break-even occupancy for this run — cells below
+    /// it can never be planned (calibrated once per dictionary build).
+    pub route_min_occupancy: u32,
 }
 
 /// A finished clustering plus its statistics.
@@ -165,13 +174,16 @@ impl RpDbscan {
         let index = DictionaryIndex::new(dict, p.subdict_capacity);
 
         // ---- Phase II: cell graph construction ------------------------
+        // Calibrated once per dictionary build; each partition cell then
+        // routes itself between the memoized planner and the kd path.
+        let routing = QueryRouting::auto(&index);
         let locals =
             engine.run_stage("phase2:local-clustering", part_refs.clone(), |ctx, part| {
                 if Some(ctx.index()) == p.inject_fault {
                     // lint:allow(panic-safety): deliberate fault-injection hook; the engine's panic recovery is what is under test
                     panic!("injected fault in partition {}", ctx.index());
                 }
-                build_local_clustering(part, data, &index, p.min_pts, p.use_query_planner)
+                build_local_clustering(part, data, &index, p.min_pts, routing)
             })?;
         let mut query_stats = QueryStats::default();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
@@ -253,6 +265,9 @@ impl RpDbscan {
             query_plans_built: query_stats.plans_built as u64,
             query_plan_hits: query_stats.plan_hits as u64,
             query_cells_planned_full: query_stats.cells_planned_full as u64,
+            query_cells_routed_planned: query_stats.cells_routed_planned as u64,
+            query_cells_routed_kd: query_stats.cells_routed_kd as u64,
+            route_min_occupancy: routing.min_occupancy().unwrap_or(0),
         };
         Ok(RpDbscanOutput { clustering, stats })
     }
@@ -428,31 +443,44 @@ mod tests {
     }
 
     #[test]
-    fn planner_does_not_change_clustering() {
-        // The planned Phase II path must be output-identical to the
-        // unplanned oracle path, across partitionings and fragmentation.
+    fn routed_planner_engages_and_accounts_every_cell() {
+        // The always-on routed planner: dense blob cells amortise a plan,
+        // the lone outlier's cell takes the kd path, and the routing
+        // counters account for every occupied cell exactly once. (The
+        // bit-exactness of planned vs kd output is pinned by the phase2
+        // and planned-equivalence suites; here we check the driver's
+        // routing bookkeeping end to end.)
         let data = two_blob_data();
         let engine = Engine::with_cost_model(4, CostModel::free());
+        let mut first: Option<rpdbscan_metrics::Clustering> = None;
         for (k, cap) in [(1, u64::MAX), (5, 32), (9, 8)] {
-            let base = RpDbscanParams::new(1.0, 5)
+            let params = RpDbscanParams::new(1.0, 5)
                 .with_partitions(k)
                 .with_subdict_capacity(cap);
-            let on = RpDbscan::new(base.with_query_planner(true))
-                .unwrap()
-                .run(&data, &engine)
-                .unwrap();
-            let off = RpDbscan::new(base.with_query_planner(false))
-                .unwrap()
-                .run(&data, &engine)
-                .unwrap();
-            assert_eq!(on.clustering, off.clustering, "k={k} cap={cap}");
-            assert_eq!(on.stats.num_clusters, off.stats.num_clusters);
-            // The planner actually engaged: one plan per occupied cell,
-            // one hit per point.
-            assert_eq!(on.stats.query_plans_built, on.stats.dict_cells as u64);
-            assert_eq!(on.stats.query_plan_hits, data.len() as u64);
-            assert_eq!(off.stats.query_plans_built, 0);
-            assert_eq!(off.stats.query_plan_hits, 0);
+            let out = RpDbscan::new(params).unwrap().run(&data, &engine).unwrap();
+            let s = &out.stats;
+            // Every occupied cell got exactly one routing decision
+            // (partitions hold disjoint cell sets).
+            assert_eq!(
+                s.query_cells_routed_planned + s.query_cells_routed_kd,
+                s.dict_cells as u64,
+                "k={k} cap={cap}"
+            );
+            // One plan per planned-routed cell, none elsewhere.
+            assert_eq!(s.query_plans_built, s.query_cells_routed_planned);
+            // The dense blobs clear the break-even threshold; the
+            // outlier's singleton cell cannot (floor is ≥ 8).
+            assert!(s.query_cells_routed_planned >= 1, "k={k} cap={cap}");
+            assert!(s.query_cells_routed_kd >= 1, "k={k} cap={cap}");
+            assert_eq!(
+                s.route_min_occupancy,
+                rpdbscan_grid::PlannerCostModel::from_dim(2).min_occupancy
+            );
+            // Routing never changes the output.
+            match &first {
+                None => first = Some(out.clustering.clone()),
+                Some(c) => assert_eq!(&out.clustering, c, "k={k} cap={cap}"),
+            }
         }
     }
 

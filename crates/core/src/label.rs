@@ -167,7 +167,7 @@ mod tests {
     use super::*;
     use crate::merge::tournament;
     use crate::partition::{group_by_cell, pseudo_random_partition};
-    use crate::phase2::build_local_clustering;
+    use crate::phase2::{build_local_clustering, QueryRouting};
     use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec};
 
     /// End-to-end mini pipeline (partition → phase2 → merge → label) used
@@ -186,7 +186,10 @@ mod tests {
         let index = DictionaryIndex::new(dict, 1 << 16);
         let locals: Vec<_> = parts
             .iter()
-            .map(|p| build_local_clustering(p, &data, &index, min_pts, true).unwrap())
+            .map(|p| {
+                build_local_clustering(p, &data, &index, min_pts, QueryRouting::auto(&index))
+                    .unwrap()
+            })
             .collect();
         let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         let mut graphs = Vec::new();

@@ -22,12 +22,6 @@ pub struct RpDbscanParams {
     /// RNG seed for the random cell-to-partition assignment; fixed so runs
     /// are reproducible.
     pub seed: u64,
-    /// Use the per-cell query planner in Phase II (memoized candidate
-    /// search + SoA sub-cell centres shared by all points of a cell).
-    /// Results are identical either way; `false` keeps the straight
-    /// per-point `region_query` path, which serves as the correctness
-    /// oracle in tests and ablations.
-    pub use_query_planner: bool,
     /// Testing support: the Phase II task for this partition index panics,
     /// exercising task-failure propagation end to end (a poisoned
     /// partition must surface as an `Err`, not a process abort).
@@ -45,7 +39,6 @@ impl RpDbscanParams {
             num_partitions: 8,
             subdict_capacity: 1 << 20,
             seed: 0,
-            use_query_planner: true,
             inject_fault: None,
         }
     }
@@ -74,13 +67,6 @@ impl RpDbscanParams {
         self
     }
 
-    /// Enables or disables the Phase II query planner (ablation knob; the
-    /// clustering output is identical either way).
-    pub fn with_query_planner(mut self, on: bool) -> Self {
-        self.use_query_planner = on;
-        self
-    }
-
     /// Makes the Phase II task for partition `index` panic (testing
     /// support for failure-propagation coverage).
     pub fn with_injected_fault(mut self, index: usize) -> Self {
@@ -99,20 +85,13 @@ mod tests {
             .with_rho(0.05)
             .with_partitions(16)
             .with_subdict_capacity(128)
-            .with_seed(9)
-            .with_query_planner(false);
+            .with_seed(9);
         assert_eq!(p.eps, 0.5);
         assert_eq!(p.min_pts, 10);
         assert_eq!(p.rho, 0.05);
         assert_eq!(p.num_partitions, 16);
         assert_eq!(p.subdict_capacity, 128);
         assert_eq!(p.seed, 9);
-        assert!(!p.use_query_planner);
-    }
-
-    #[test]
-    fn planner_defaults_on() {
-        assert!(RpDbscanParams::new(1.0, 100).use_query_planner);
     }
 
     #[test]

@@ -11,7 +11,54 @@ use crate::graph::{CellSubgraph, CellType};
 use crate::partition::Partition;
 use rpdbscan_engine::TaskError;
 use rpdbscan_geom::{Dataset, PointId};
-use rpdbscan_grid::{CellQueryPlan, DictionaryIndex, FxHashMap, QueryStats};
+use rpdbscan_grid::{
+    CellQueryPlan, DictionaryIndex, FxHashMap, PlannerCostModel, QueryRoute, QueryStats,
+};
+
+/// How Phase II routes each cell's region queries.
+///
+/// Production code uses [`QueryRouting::Auto`]: the cost model routes each
+/// cell by occupancy, so dense cells amortise a [`CellQueryPlan`] while
+/// sparse cells take the cheaper per-point kd path. The forced variants
+/// exist for the equivalence suites and ablations — all three produce
+/// bit-identical clustering output; routing is purely a performance
+/// decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRouting {
+    /// Per-cell cost-model routing (the production default).
+    Auto(PlannerCostModel),
+    /// Force a plan for every cell regardless of occupancy.
+    Planned,
+    /// Force the per-point kd path everywhere — the correctness oracle
+    /// the planned path is pinned against.
+    Oracle,
+}
+
+impl QueryRouting {
+    /// Cost-model routing calibrated for `index` — what `driver`, `stream`
+    /// and `serve` all use.
+    pub fn auto(index: &DictionaryIndex) -> Self {
+        QueryRouting::Auto(PlannerCostModel::calibrate(index))
+    }
+
+    /// Decides the route for one cell holding `occupancy` query points.
+    #[inline]
+    pub fn route(&self, occupancy: usize) -> QueryRoute {
+        match self {
+            QueryRouting::Auto(model) => model.route(occupancy),
+            QueryRouting::Planned => QueryRoute::Planned,
+            QueryRouting::Oracle => QueryRoute::Kd,
+        }
+    }
+
+    /// The cost-model threshold in effect (`None` for the forced modes).
+    pub fn min_occupancy(&self) -> Option<u32> {
+        match self {
+            QueryRouting::Auto(model) => Some(model.min_occupancy),
+            _ => None,
+        }
+    }
+}
 
 /// Output of Phase II for one partition.
 #[derive(Debug, Clone)]
@@ -33,12 +80,13 @@ pub struct LocalClustering {
 /// (in the real system the partition physically holds them — ids suffice
 /// here because the dataset is shared read-only memory).
 ///
-/// When `use_planner` is set, a [`CellQueryPlan`] is built once per
-/// partition cell and every point of the cell is answered through it —
-/// the kd-tree candidate search and sub-cell centre materialisation are
-/// amortised over the cell's points. Otherwise each point runs the plain
-/// `region_query` (the correctness oracle); the clustering output is
-/// identical either way.
+/// `routing` decides per cell whether a [`CellQueryPlan`] is built (and
+/// every point of the cell answered through it — the kd-tree candidate
+/// search and sub-cell centre materialisation amortised over the cell's
+/// points) or each point runs the plain per-point `region_query`. The
+/// clustering output is identical on every route; the decision is
+/// recorded in the returned stats (`cells_routed_planned` /
+/// `cells_routed_kd`).
 ///
 /// Runs inside a `run_stage` task; a partition cell absent from the
 /// broadcast dictionary is an internal-consistency violation reported as
@@ -48,7 +96,7 @@ pub fn build_local_clustering(
     data: &Dataset,
     index: &DictionaryIndex,
     min_pts: usize,
-    use_planner: bool,
+    routing: QueryRouting,
 ) -> Result<LocalClustering, TaskError> {
     let dict = index.dict();
     let mut subgraph = CellSubgraph::new();
@@ -69,13 +117,18 @@ pub fn build_local_clustering(
         })?;
         neighbors.clear();
         let mut is_core_cell = false;
-        let plan = if use_planner {
-            let plan = CellQueryPlan::build(index, cell_idx);
-            // Build cost is charged once per cell, not once per point.
-            stats.merge(plan.build_stats());
-            Some(plan)
-        } else {
-            None
+        let plan = match routing.route(cell.points.len()) {
+            QueryRoute::Planned => {
+                stats.cells_routed_planned += 1;
+                let plan = CellQueryPlan::build(index, cell_idx);
+                // Build cost is charged once per cell, not once per point.
+                stats.merge(plan.build_stats());
+                Some(plan)
+            }
+            QueryRoute::Kd => {
+                stats.cells_routed_kd += 1;
+                None
+            }
         };
         for &pid in &cell.points {
             match &plan {
@@ -147,7 +200,8 @@ mod tests {
     fn dense_line_marks_core_outlier_does_not() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
+        let local =
+            build_local_clustering(&parts[0], &data, &index, 4, QueryRouting::Planned).unwrap();
         // Some interior cell must be core; the outlier's cell must not be.
         let outlier_cell = index.dict().index_of(&spec.cell_of(&[50.0, 50.0])).unwrap();
         assert_eq!(local.subgraph.cell_type(outlier_cell), CellType::NonCore);
@@ -167,7 +221,8 @@ mod tests {
     fn single_partition_edges_are_all_determined() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
+        let local =
+            build_local_clustering(&parts[0], &data, &index, 4, QueryRouting::Planned).unwrap();
         assert!(local.subgraph.is_global());
         let (_, _, undet) = local.subgraph.edge_type_counts();
         assert_eq!(undet, 0);
@@ -179,7 +234,8 @@ mod tests {
         let (parts, index) = setup(&spec, &data, 3);
         let mut any_undetermined = false;
         for part in &parts {
-            let local = build_local_clustering(part, &data, &index, 4, true).unwrap();
+            let local =
+                build_local_clustering(part, &data, &index, 4, QueryRouting::Planned).unwrap();
             let (_, _, undet) = local.subgraph.edge_type_counts();
             if undet > 0 {
                 any_undetermined = true;
@@ -195,7 +251,8 @@ mod tests {
     fn min_pts_one_everything_with_a_point_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1, true).unwrap();
+        let local =
+            build_local_clustering(&parts[0], &data, &index, 1, QueryRouting::Planned).unwrap();
         for (&cell, &t) in local.subgraph.types().iter() {
             assert_eq!(t, CellType::Core, "cell {cell} not core at minPts=1");
         }
@@ -205,7 +262,8 @@ mod tests {
     fn huge_min_pts_nothing_is_core() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 1000, true).unwrap();
+        let local =
+            build_local_clustering(&parts[0], &data, &index, 1000, QueryRouting::Planned).unwrap();
         assert!(local.core_points.is_empty());
         assert_eq!(local.subgraph.num_edges(), 0);
         for &t in local.subgraph.types().values() {
@@ -217,7 +275,8 @@ mod tests {
     fn edges_originate_from_core_cells_only() {
         let (spec, data) = line_world();
         let (parts, index) = setup(&spec, &data, 1);
-        let local = build_local_clustering(&parts[0], &data, &index, 4, true).unwrap();
+        let local =
+            build_local_clustering(&parts[0], &data, &index, 4, QueryRouting::Planned).unwrap();
         for &(from, _) in local.subgraph.edges() {
             assert_eq!(local.subgraph.cell_type(from), CellType::Core);
         }
@@ -236,24 +295,46 @@ mod tests {
             let (parts, index) = setup(&spec, &data, k);
             for part in &parts {
                 for min_pts in [1, 4, 1000] {
-                    let planned =
-                        build_local_clustering(part, &data, &index, min_pts, true).unwrap();
                     let oracle =
-                        build_local_clustering(part, &data, &index, min_pts, false).unwrap();
-                    assert_eq!(planned.queries, oracle.queries);
-                    assert_eq!(planned.core_points, oracle.core_points);
-                    assert_eq!(planned.subgraph.types(), oracle.subgraph.types());
-                    assert_eq!(planned.subgraph.edges(), oracle.subgraph.edges());
-                    // Per-point counters are bit-identical; only the
-                    // amortised candidate/sub-dictionary counters differ.
-                    assert_eq!(planned.stats.cells_full, oracle.stats.cells_full);
-                    assert_eq!(planned.stats.cells_partial, oracle.stats.cells_partial);
-                    assert_eq!(
-                        planned.stats.subcells_reported,
-                        oracle.stats.subcells_reported
-                    );
-                    assert_eq!(planned.stats.plan_hits, planned.queries as u32);
+                        build_local_clustering(part, &data, &index, min_pts, QueryRouting::Oracle)
+                            .unwrap();
                     assert_eq!(oracle.stats.plan_hits, 0);
+                    assert_eq!(oracle.stats.cells_routed_planned, 0);
+                    // Every routing mode must agree with the oracle
+                    // bit-for-bit — routing is a pure performance choice.
+                    for routing in [
+                        QueryRouting::Planned,
+                        QueryRouting::auto(&index),
+                        QueryRouting::Auto(PlannerCostModel { min_occupancy: 2 }),
+                    ] {
+                        let routed =
+                            build_local_clustering(part, &data, &index, min_pts, routing).unwrap();
+                        assert_eq!(routed.queries, oracle.queries);
+                        assert_eq!(routed.core_points, oracle.core_points);
+                        assert_eq!(routed.subgraph.types(), oracle.subgraph.types());
+                        assert_eq!(routed.subgraph.edges(), oracle.subgraph.edges());
+                        // Per-point counters are bit-identical; only the
+                        // amortised candidate/sub-dictionary counters differ.
+                        assert_eq!(routed.stats.cells_full, oracle.stats.cells_full);
+                        assert_eq!(routed.stats.cells_partial, oracle.stats.cells_partial);
+                        assert_eq!(
+                            routed.stats.subcells_reported,
+                            oracle.stats.subcells_reported
+                        );
+                        // Routing decisions are fully accounted for.
+                        assert_eq!(
+                            routed.stats.cells_routed_planned + routed.stats.cells_routed_kd,
+                            part.cells.len() as u32,
+                            "every cell gets exactly one routing decision"
+                        );
+                        assert_eq!(
+                            routed.stats.cells_routed_planned, routed.stats.plans_built,
+                            "one plan per planned-routed cell"
+                        );
+                        if routing == QueryRouting::Planned {
+                            assert_eq!(routed.stats.plan_hits, routed.queries as u32);
+                        }
+                    }
                 }
             }
         }
@@ -266,7 +347,7 @@ mod tests {
         let total: u64 = parts
             .iter()
             .map(|p| {
-                build_local_clustering(p, &data, &index, 4, true)
+                build_local_clustering(p, &data, &index, 4, QueryRouting::auto(&index))
                     .unwrap()
                     .queries
             })

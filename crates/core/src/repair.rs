@@ -289,7 +289,7 @@ mod tests {
     #[test]
     fn recompute_matches_phase2_on_static_data() {
         use crate::partition::group_by_cell;
-        use crate::phase2::build_local_clustering;
+        use crate::phase2::{build_local_clustering, QueryRouting};
         let (spec, rows) = world();
         let data = rpdbscan_geom::Dataset::from_rows(2, &rows).unwrap();
         let dict = CellDictionary::build_from_points(spec.clone(), data.iter().map(|(_, p)| p));
@@ -299,7 +299,8 @@ mod tests {
             id: 0,
             cells: cells.clone(),
         };
-        let local = build_local_clustering(&part, &data, &index, 4, true).unwrap();
+        let local =
+            build_local_clustering(&part, &data, &index, 4, QueryRouting::auto(&index)).unwrap();
         for cell in &cells {
             let ids: Vec<u32> = cell.points.iter().map(|p| p.0).collect();
             let rep = recompute_cell(

@@ -24,6 +24,7 @@ pub mod bbox;
 pub mod dataset;
 pub mod distance;
 pub mod kdtree;
+pub mod kernel;
 
 pub use bbox::Aabb;
 pub use dataset::{Dataset, DatasetBuilder, PointId};

@@ -33,7 +33,7 @@ pub mod subdict;
 pub use cell::{CellCoord, SubCellIdx};
 pub use dictionary::{CellDictionary, CellEntry, DecodeError, SubCellEntry};
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use plan::{CellQueryPlan, PlanCache, PlanCacheStats};
+pub use plan::{CellQueryPlan, PlanCache, PlanCacheStats, PlannerCostModel, QueryRoute};
 pub use query::{QueryStats, RegionQueryResult};
 pub use spec::GridSpec;
 pub use subdict::DictionaryIndex;

@@ -47,7 +47,7 @@ use crate::cell::CellCoord;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::query::{QueryStats, RegionQueryResult};
 use crate::subdict::DictionaryIndex;
-use rpdbscan_geom::dist2;
+use rpdbscan_geom::kernel;
 
 /// Relative slack applied to ε² before a sub-cell may be classified
 /// *always-qualifying* (max² ≤ ε²·(1−slack)) or a cell *never*
@@ -167,33 +167,56 @@ impl CellQueryPlan {
         let never_bound = eps2 * (1.0 + PLAN_SLACK);
         let always_bound = eps2 * (1.0 - PLAN_SLACK);
         let mut center = vec![0.0; dim];
+        let mut seg_centers: Vec<f64> = Vec::new();
+        let mut seg_counts: Vec<u32> = Vec::new();
         for ci in candidates {
             let entry = dict.entry(ci);
             let (min2, _) = spec.cell_box_dist2_bounds(&qcoord, &entry.coord);
             if min2 > never_bound {
                 continue; // *never*: out of reach for every point in the cell
             }
-            plan.cell_idx.push(ci);
-            for &c in entry.coord.coords() {
-                plan.lo.push(c as f64 * side);
-            }
+            seg_centers.clear();
+            seg_counts.clear();
             let mut total = 0u64;
             let mut n_always = 0u32;
             let mut t_always = 0u64;
             for sub in &entry.subs {
                 spec.sub_center_into(&entry.coord, sub.idx, &mut center);
                 total += sub.count as u64;
-                // Point-to-box max bound with the roles swapped: the
-                // farthest query-cell point from this centre.
-                let (_, cmax2) = spec.cell_dist2_bounds(&qcoord, &center);
+                // Point-to-box bounds with the roles swapped: the
+                // nearest/farthest query-cell point from this centre.
+                let (cmin2, cmax2) = spec.cell_dist2_bounds(&qcoord, &center);
+                if cmin2 > never_bound {
+                    // *never*: beyond ε of every query-cell point, so the
+                    // per-point test can't hit — drop it from the tested
+                    // SoA. (Such a centre also makes the full-containment
+                    // branch unreachable for this cell: a point within ε
+                    // of the whole cell box would be within ε of the
+                    // centre, contradicting this bound — so `total` is
+                    // still safe to report there.)
+                    continue;
+                }
                 if cmax2 <= always_bound {
                     n_always += 1;
                     t_always += sub.count as u64;
                 } else {
-                    plan.centers.extend_from_slice(&center);
-                    plan.counts.push(sub.count);
+                    seg_centers.extend_from_slice(&center);
+                    seg_counts.push(sub.count);
                 }
             }
+            if n_always == 0 && seg_counts.is_empty() {
+                // Every occupied sub-cell was never-pruned: the cell can
+                // contribute nothing to any query point (its full-
+                // containment branch is unreachable by the argument
+                // above), so it earns no slot in the per-point loop.
+                continue;
+            }
+            plan.cell_idx.push(ci);
+            for &c in entry.coord.coords() {
+                plan.lo.push(c as f64 * side);
+            }
+            plan.centers.extend_from_slice(&seg_centers);
+            plan.counts.extend_from_slice(&seg_counts);
             plan.total.push(total);
             plan.always_subs.push(n_always);
             plan.always_total.push(t_always);
@@ -225,13 +248,10 @@ impl CellQueryPlan {
             let mut max_acc = 0.0;
             for (&l, &v) in lo.iter().zip(p.iter()) {
                 let hi = l + self.side;
-                let dmin = if v < l {
-                    l - v
-                } else if v > hi {
-                    v - hi
-                } else {
-                    0.0
-                };
+                // Branch-free selection of the same values the branchy
+                // `cell_dist2_bounds` arms produce: `l - v` when the
+                // point is left of the box, `v - hi` right of it, else 0.
+                let dmin = (l - v).max(v - hi).max(0.0);
                 let dmax = (v - l).abs().max((v - hi).abs());
                 min_acc += dmin * dmin;
                 max_acc += dmax * dmax;
@@ -250,16 +270,18 @@ impl CellQueryPlan {
                 result.neighbor_cells.push(self.cell_idx[j]);
             } else {
                 // Always-qualifying sub-cells need no distance test; the
-                // rest is a branch-light SoA scan over flattened centres.
-                let mut reported = self.always_subs[j];
-                result.density += self.always_total[j];
-                for k in start..end {
-                    let c = &self.centers[k * dim..(k + 1) * dim];
-                    if dist2(p, c) <= eps2 {
-                        reported += 1;
-                        result.density += self.counts[k] as u64;
-                    }
-                }
+                // rest is the shared chunked kernel over the flattened
+                // SoA centres — bit-identical to a scalar `dist2` scan
+                // (see `rpdbscan_geom::kernel`).
+                let (hits, tested_density) = kernel::sum_within_u32(
+                    p,
+                    &self.centers[start * dim..end * dim],
+                    dim,
+                    eps2,
+                    &self.counts[start..end],
+                );
+                let reported = self.always_subs[j] + hits;
+                result.density += self.always_total[j] + tested_density;
                 if reported > 0 {
                     stats.cells_partial += 1;
                     stats.subcells_reported += reported;
@@ -294,6 +316,87 @@ impl CellQueryPlan {
     /// figures). Merge once per plan so aggregate stats stay meaningful.
     pub fn build_stats(&self) -> &QueryStats {
         &self.build_stats
+    }
+}
+
+/// Route chosen by the [`PlannerCostModel`] for one occupied cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRoute {
+    /// Build a [`CellQueryPlan`] and answer every point through
+    /// [`CellQueryPlan::query_into`].
+    Planned,
+    /// Run each point through the per-point kd path
+    /// ([`DictionaryIndex::region_query_cells_scratch`]); the cell is too
+    /// sparse to amortise a plan build.
+    Kd,
+}
+
+/// Per-cell routing decision between the memoized planner and the
+/// per-point kd path.
+///
+/// Building a [`CellQueryPlan`] is a fixed cost per cell — one kd search
+/// at radius `ε + diag` (sweeping `(4/3)^d` the volume of a per-point
+/// search, whose radius is `ε + diag/2`) plus a classification pass over
+/// the gathered candidates — while the steady-state planned query costs a
+/// measured ~0.15× of a kd point query (BENCH_query dense: 6.8×). The
+/// break-even occupancy is therefore `build_cost / 0.85` point queries;
+/// below it, planning is pure overhead (the historical 0.69× sparse
+/// regression). The model is **calibrated once per dictionary build** from
+/// structural quantities only (dimension), with a conservative floor —
+/// deterministic, no clocks, so identical inputs always route
+/// identically.
+///
+/// Routing never affects results: both paths are pinned bit-identical by
+/// the planned-vs-oracle equivalence suite, so the model is free to be a
+/// pure performance heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerCostModel {
+    /// Minimum cell occupancy (query points per cell) at which plan
+    /// construction amortises; cells below it route to the kd path.
+    pub min_occupancy: u32,
+}
+
+impl PlannerCostModel {
+    /// Conservative floor on the break-even occupancy: even when the
+    /// dimensional estimate predicts a lower break-even, cells must hold
+    /// at least this many points before a plan is built. Keeps routing
+    /// robustly on the kd path for sparse workloads (~3 points/cell)
+    /// where the planner measured 0.69×.
+    pub const MIN_OCCUPANCY_FLOOR: u32 = 8;
+
+    /// Calibrates the model for one dictionary build.
+    pub fn calibrate(index: &DictionaryIndex) -> Self {
+        Self::from_dim(index.spec().dim())
+    }
+
+    /// Model from structural quantities alone (integer arithmetic in
+    /// milli-units; deterministic across platforms).
+    pub fn from_dim(dim: usize) -> Self {
+        // (4/3)^d volume inflation of the cell-level kd search relative
+        // to a per-point search, in milli-units.
+        let mut inflation = 1000u64;
+        for _ in 0..dim.min(16) {
+            inflation = inflation * 4 / 3;
+        }
+        // Build cost in point-query equivalents: the inflated kd search
+        // plus one candidate classification pass.
+        let build_cost = 1000 + inflation;
+        // Break-even = build_cost / 0.85 (the measured per-point saving
+        // of the planned steady state), rounded up.
+        let break_even = (build_cost * 20).div_ceil(17 * 1000);
+        Self {
+            min_occupancy: (break_even as u32).max(Self::MIN_OCCUPANCY_FLOOR),
+        }
+    }
+
+    /// Routes a cell with `occupancy` resident query points.
+    #[inline]
+    pub fn route(&self, occupancy: usize) -> QueryRoute {
+        if occupancy >= self.min_occupancy as usize {
+            QueryRoute::Planned
+        } else {
+            QueryRoute::Kd
+        }
     }
 }
 
@@ -461,6 +564,32 @@ mod tests {
             );
             assert_eq!(plan.build_stats().plans_built, 1);
         }
+    }
+
+    #[test]
+    fn cost_model_floor_makes_sparse_cells_unplannable() {
+        for dim in 1..=6 {
+            let m = PlannerCostModel::from_dim(dim);
+            assert!(m.min_occupancy >= PlannerCostModel::MIN_OCCUPANCY_FLOOR);
+            // Every occupancy below the threshold routes kd — this is the
+            // structural guarantee behind the sparse-workload regression
+            // test: a cell can only be planned at or above break-even.
+            for occ in 0..m.min_occupancy as usize {
+                assert_eq!(m.route(occ), QueryRoute::Kd, "dim={dim} occ={occ}");
+            }
+            assert_eq!(m.route(m.min_occupancy as usize), QueryRoute::Planned);
+            assert_eq!(m.route(1_000_000), QueryRoute::Planned);
+        }
+    }
+
+    #[test]
+    fn cost_model_is_deterministic_per_build() {
+        let dict = random_dict(41, 300, 3, 1.0, 0.5);
+        let idx = DictionaryIndex::new(dict, 64);
+        let a = PlannerCostModel::calibrate(&idx);
+        let b = PlannerCostModel::calibrate(&idx);
+        assert_eq!(a, b);
+        assert_eq!(a, PlannerCostModel::from_dim(3));
     }
 
     #[test]

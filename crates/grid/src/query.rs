@@ -41,6 +41,12 @@ pub struct QueryStats {
     /// Cells answered from a plan's precomputed *always-full* set without
     /// any per-point distance test (subset of `cells_full`).
     pub cells_planned_full: u32,
+    /// Occupied cells the cost model routed through the memoized planner
+    /// ([`crate::plan::PlannerCostModel`]).
+    pub cells_routed_planned: u32,
+    /// Occupied cells the cost model routed through the per-point kd
+    /// path (occupancy below the plan-build break-even).
+    pub cells_routed_kd: u32,
 }
 
 impl QueryStats {
@@ -55,6 +61,8 @@ impl QueryStats {
         self.plans_built += other.plans_built;
         self.plan_hits += other.plan_hits;
         self.cells_planned_full += other.cells_planned_full;
+        self.cells_routed_planned += other.cells_routed_planned;
+        self.cells_routed_kd += other.cells_routed_kd;
     }
 }
 

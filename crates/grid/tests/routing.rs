@@ -1,0 +1,102 @@
+//! Regression guard for the planner cost model: the sparse
+//! `query_throughput` workload (the shape that historically measured a
+//! 0.69× planner *slowdown*) must route to the per-point kd path, and it
+//! must do so *structurally* — any cell below the calibrated break-even
+//! occupancy can never be planned, so the regression cannot recur no
+//! matter how the workload is shuffled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpdbscan_grid::{CellDictionary, DictionaryIndex, GridSpec, PlannerCostModel, QueryRoute};
+
+/// Same generator as the `query_throughput` bench: uniform points over
+/// `[0, extent)²`; occupancy is set by the extent/ε ratio.
+fn uniform_index(n: usize, extent: f64, eps: f64, seed: u64) -> DictionaryIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Vec<f64>> = (0..n)
+        .map(|_| vec![rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])
+        .collect();
+    let spec = GridSpec::new(2, eps, 0.03125).expect("valid grid");
+    let refs: Vec<&[f64]> = pts.iter().map(|p| p.as_slice()).collect();
+    DictionaryIndex::new(CellDictionary::build_from_points(spec, refs), 1 << 16)
+}
+
+/// Points resident in a cell = Σ sub-cell counts (each point lands in
+/// exactly one sub-cell).
+fn occupancy(index: &DictionaryIndex, ci: u32) -> usize {
+    index
+        .dict()
+        .entry(ci)
+        .subs
+        .iter()
+        .map(|s| s.count as usize)
+        .sum()
+}
+
+#[test]
+fn sparse_bench_workload_routes_to_kd() {
+    // The BENCH_query sparse shape scaled down with occupancy preserved:
+    // eps = 0.8 over [0, 25)² at n = 6000 gives ~3 points/cell, matching
+    // the 3.15 pts/cell of the full 60k-point run.
+    let index = uniform_index(6_000, 25.0, 0.8, 42);
+    let model = PlannerCostModel::calibrate(&index);
+    let n_cells = index.dict().num_cells();
+    assert!(n_cells > 500, "workload degenerated: {n_cells} cells");
+
+    let mut kd = 0usize;
+    for ci in 0..n_cells as u32 {
+        let occ = occupancy(&index, ci);
+        let route = model.route(occ);
+        // Structural guarantee: below break-even the planner is
+        // unreachable, full stop.
+        if occ < model.min_occupancy as usize {
+            assert_eq!(route, QueryRoute::Kd, "cell {ci} (occ {occ}) planned");
+        }
+        if route == QueryRoute::Kd {
+            kd += 1;
+        }
+    }
+    // At ~3 points/cell virtually every cell sits below the break-even
+    // floor; the sparse shape as a whole runs on the kd path.
+    assert!(
+        kd as f64 >= 0.95 * n_cells as f64,
+        "sparse workload should be kd-dominated: {kd}/{n_cells} routed kd"
+    );
+}
+
+#[test]
+fn dense_bench_workload_routes_to_planner() {
+    // The BENCH_query dense shape (eps = 1.6 over [0, 8)²) at n = 6000:
+    // ~120 points/cell in the interior, far past break-even. Boundary
+    // slivers (the extent is not a multiple of the cell side) may stay
+    // sparse and route kd — correctly — so the guarantee is
+    // point-weighted: nearly all *queries* run planned.
+    let index = uniform_index(6_000, 8.0, 1.6, 42);
+    let model = PlannerCostModel::calibrate(&index);
+    let mut planned_points = 0usize;
+    let mut total_points = 0usize;
+    for ci in 0..index.dict().num_cells() as u32 {
+        let occ = occupancy(&index, ci);
+        total_points += occ;
+        if model.route(occ) == QueryRoute::Planned {
+            planned_points += occ;
+        }
+    }
+    assert_eq!(total_points, 6_000);
+    assert!(
+        planned_points as f64 >= 0.9 * total_points as f64,
+        "dense workload should be planner-dominated: {planned_points}/{total_points} points planned"
+    );
+}
+
+#[test]
+fn break_even_floor_is_workload_independent() {
+    // The floor is part of the public contract the regression rests on:
+    // a 0.69×-style sparse regression would require planning cells with
+    // fewer than MIN_OCCUPANCY_FLOOR points, which route() forbids.
+    for dim in 1..=8 {
+        let m = PlannerCostModel::from_dim(dim);
+        assert!(m.min_occupancy >= PlannerCostModel::MIN_OCCUPANCY_FLOOR);
+        assert_eq!(m.route(3), QueryRoute::Kd, "dim={dim}");
+    }
+}

@@ -4,7 +4,11 @@
 //! [`CellPlan`](crate::CellPlan) resolves a whole window of shard
 //! lookups — worth memoising. The cache is generation-aware: plans
 //! embed shard row numbers of one specific index, so the first access
-//! after an epoch hot-swap flushes everything.
+//! after an epoch hot-swap flushes everything. The server pre-populates
+//! the cache at publish time ([`ServingIndex::warm_plans`]), so under a
+//! warm publish the first query into an occupied cell is already a hit.
+//!
+//! [`ServingIndex::warm_plans`]: crate::ServingIndex::warm_plans
 
 use crate::index::CellPlan;
 use rpdbscan_grid::{CellCoord, FxHashMap};
@@ -115,7 +119,12 @@ mod tests {
         Arc::new(CellPlan {
             home: None,
             sources: Vec::new(),
-            density: Vec::new(),
+            d_lo: Vec::new(),
+            d_total: Vec::new(),
+            d_always: Vec::new(),
+            d_sub_start: vec![0],
+            d_centers: Vec::new(),
+            d_counts: Vec::new(),
         })
     }
 

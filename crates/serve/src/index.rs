@@ -20,18 +20,24 @@
 use crate::ServeError;
 use rpdbscan_core::label::{extract_clusters, predecessor_map};
 use rpdbscan_core::partition::group_by_cell;
-use rpdbscan_core::phase2::build_local_clustering;
+use rpdbscan_core::phase2::{build_local_clustering, QueryRouting};
 use rpdbscan_core::{Partition, RpDbscanOutput, RpDbscanParams};
 use rpdbscan_engine::TaskError;
-use rpdbscan_geom::{dist2, Dataset};
+use rpdbscan_geom::{dist2, kernel, Dataset};
 use rpdbscan_grid::{
     CellCoord, CellDictionary, DictionaryIndex, FxHashMap, GridSpec, SubCellEntry,
 };
 use rpdbscan_stream::StreamingRpDbscan;
 
 /// Relative slack on squared-distance cell bounds, absorbing the
-/// round-off of `side = eps/√d`: candidate cells are kept when their box
-/// is within `ε²(1+EPS_SLACK)`, so boundary cells are never missed.
+/// round-off of `side = eps/√d`. It is applied in both conservative
+/// directions: candidate cells are kept when their box is within
+/// `ε²(1+EPS_SLACK)` (boundary cells are never missed), and plan-time
+/// resolution only fires with a margin (`never` above `ε²(1+EPS_SLACK)`,
+/// `always` below `ε²(1−EPS_SLACK)`) — anything in doubt stays on the
+/// tested list, where the per-query arithmetic replicates the scalar
+/// oracle bit for bit. Same value and argument as
+/// `rpdbscan_grid::plan::PLAN_SLACK`.
 const EPS_SLACK: f64 = 1e-9;
 
 /// Per-cluster size summary served by [`ServingIndex::cluster_stats`].
@@ -62,9 +68,21 @@ pub struct Classification {
 type CellRef = (u32, u32);
 
 /// A memoised classify plan for one grid cell: every shard lookup a
-/// query landing in the cell will need, resolved once. Plans are bound
-/// to the generation of the index that built them — the server's LRU
-/// drops them on hot-swap.
+/// query landing in the cell will need, resolved once, plus the
+/// plan-time half of the density estimate. Plans are bound to the
+/// generation of the index that built them — the server's LRU drops
+/// them on hot-swap.
+///
+/// The density candidates are resolved the same way the Phase II
+/// [`CellQueryPlan`](rpdbscan_grid::CellQueryPlan) resolves them: a
+/// candidate cell whose box is farther than ε from every point of the
+/// home cell is pruned (*never*), a sub-cell centre within ε of every
+/// point of the home cell is folded into a per-cell precomputed sum
+/// (*always*), and everything near the boundary stays *tested*, where
+/// [`ServingIndex::classify_with`] replicates the scalar oracle's
+/// arithmetic exactly — same box origins, same bound formulas, same
+/// centre coordinates, same `dist2` order — through the shared chunked
+/// kernel ([`rpdbscan_geom::kernel`]).
 #[derive(Debug, Clone)]
 pub struct CellPlan {
     /// The query's own cell, when occupied.
@@ -74,15 +92,46 @@ pub struct CellPlan {
     /// occupied non-core cell, or the ε-window core cells when the home
     /// cell is unoccupied. Empty when the home cell is core.
     pub(crate) sources: Vec<CellRef>,
-    /// Cells whose box is within ε of the home cell — the candidate set
-    /// of the density estimate.
-    pub(crate) density: Vec<CellRef>,
+    /// Planned density cells: box origin per cell (`dim` values each,
+    /// computed exactly as `cell_dist2_bounds` does: `coord · side`).
+    pub(crate) d_lo: Vec<f64>,
+    /// Planned density cells: total point count (full-containment case).
+    pub(crate) d_total: Vec<u64>,
+    /// Planned density cells: Σ counts of the always-qualifying
+    /// sub-cells — added without a distance test whenever the cell is
+    /// partially contained.
+    pub(crate) d_always: Vec<u64>,
+    /// Prefix offsets into `d_centers`/`d_counts` for each planned
+    /// cell's tested sub-cells (`len = cells + 1`).
+    pub(crate) d_sub_start: Vec<u32>,
+    /// Tested sub-cell centres, SoA: `dim` values per sub-cell.
+    pub(crate) d_centers: Vec<f64>,
+    /// Tested sub-cell densities, parallel to `d_centers`.
+    pub(crate) d_counts: Vec<u64>,
 }
 
 impl CellPlan {
-    /// Number of cell lookups the plan resolved.
+    /// Number of per-query cell lookups the plan resolved (label source
+    /// cells plus surviving density cells).
     pub fn num_candidates(&self) -> usize {
-        self.sources.len() + self.density.len()
+        self.sources.len() + self.d_total.len()
+    }
+
+    /// Number of sub-cell centres left for per-query distance tests.
+    pub fn num_tested_subcells(&self) -> usize {
+        self.d_counts.len()
+    }
+
+    /// Number of label source cells a non-core-home query scans (0 when
+    /// the home cell is core — the label needs no per-point checks).
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of candidate cells surviving the plan-time never-prune in
+    /// the density half.
+    pub fn num_planned_cells(&self) -> usize {
+        self.d_total.len()
     }
 }
 
@@ -198,7 +247,7 @@ impl ServingIndex {
             data,
             &index,
             params.min_pts,
-            params.use_query_planner,
+            QueryRouting::auto(&index),
         )?;
         let clusters = extract_clusters(&local.subgraph);
         let preds = predecessor_map(&local.subgraph);
@@ -492,8 +541,11 @@ impl ServingIndex {
     }
 
     /// Builds the classify plan for one grid cell: resolves every shard
-    /// lookup a query landing in `coord` will need. Plans are pure
-    /// functions of the index, so the server memoises them per cell.
+    /// lookup a query landing in `coord` will need and precomputes the
+    /// plan-time half of the density estimate (never-pruned cells,
+    /// always-qualifying sub-cell sums, tested sub-centre SoA). Plans
+    /// are pure functions of the index, so the server memoises them per
+    /// cell — and pre-populates them at publish time.
     pub fn plan_for(&self, coord: &CellCoord) -> CellPlan {
         let home = self.find_cell(coord);
         let candidates = self.window_candidates(coord);
@@ -518,11 +570,69 @@ impl ServingIndex {
                 .filter(|&c| self.record(c).cluster.is_some())
                 .collect(),
         };
-        CellPlan {
+        let dim = self.spec.dim();
+        let side = self.spec.side();
+        let never_bound = self.eps2 * (1.0 + EPS_SLACK);
+        let always_bound = self.eps2 * (1.0 - EPS_SLACK);
+        let mut plan = CellPlan {
             home,
             sources,
-            density: candidates,
+            d_lo: Vec::new(),
+            d_total: Vec::new(),
+            d_always: Vec::new(),
+            d_sub_start: vec![0],
+            d_centers: Vec::new(),
+            d_counts: Vec::new(),
+        };
+        let mut seg_centers: Vec<f64> = Vec::new();
+        let mut seg_counts: Vec<u64> = Vec::new();
+        for &c in &candidates {
+            let rec = self.record(c);
+            let (min2, _) = self.spec.cell_box_dist2_bounds(coord, &rec.coord);
+            if min2 > never_bound {
+                // *never*: out of reach for every query point in `coord`.
+                continue;
+            }
+            seg_centers.clear();
+            seg_counts.clear();
+            let mut t_always = 0u64;
+            for (center, &n) in rec.sub_centers.chunks_exact(dim).zip(rec.sub_counts.iter()) {
+                // Point-to-box bounds with the roles swapped: the
+                // nearest/farthest point of `coord`'s box to this centre.
+                let (cmin2, cmax2) = self.spec.cell_dist2_bounds(coord, center);
+                if cmin2 > never_bound {
+                    // *never*: beyond ε of every query in the home box —
+                    // the per-query test can't hit, so drop it from the
+                    // tested SoA. Its presence also makes the cell's
+                    // full-containment branch unreachable (a query within
+                    // ε of the whole cell box would be within ε of this
+                    // centre), so `d_total` stays safe to report there.
+                    continue;
+                }
+                if cmax2 <= always_bound {
+                    t_always += n;
+                } else {
+                    seg_centers.extend_from_slice(center);
+                    seg_counts.push(n);
+                }
+            }
+            if t_always == 0 && seg_counts.is_empty() {
+                // Every occupied sub-cell was never-pruned: the cell can
+                // contribute nothing to any query in `coord` (its
+                // full-containment branch is unreachable by the argument
+                // above), so it earns no slot in the per-query loop.
+                continue;
+            }
+            for &cc in rec.coord.coords() {
+                plan.d_lo.push(cc as f64 * side);
+            }
+            plan.d_total.push(rec.count);
+            plan.d_centers.extend_from_slice(&seg_centers);
+            plan.d_counts.extend_from_slice(&seg_counts);
+            plan.d_always.push(t_always);
+            plan.d_sub_start.push(plan.d_counts.len() as u32);
         }
+        plan
     }
 
     /// Occupied cells whose box is within ε of `coord`'s box, in
@@ -595,15 +705,106 @@ impl ServingIndex {
     /// Classifies a coordinate using a memoised [`CellPlan`] built by
     /// [`Self::plan_for`] on this same index (plans do not survive a
     /// hot-swap; the server's LRU is flushed on generation change).
+    ///
+    /// Results are bit-identical to [`Self::classify_oracle`]: the label
+    /// scan only changes *which* core point proves a source cell (the
+    /// winning cell, and hence the label, is the same), and the density
+    /// arithmetic replicates the oracle's per-query bounds and `dist2`
+    /// expressions exactly, summing the same `u64` terms.
+    // lint:hot
     pub fn classify_with(&self, plan: &CellPlan, q: &[f64]) -> Result<Classification, ServeError> {
         self.validate(q)?;
+        let dim = self.spec.dim();
+        let eps2 = self.eps2;
         let label = match plan.home {
             Some(h) if self.record(h).cluster.is_some() => self.record(h).cluster,
             _ => {
                 // First candidate core cell (coordinate order) holding a
                 // core point within ε wins — Algorithm 4, Lines 18–23.
+                // The chunked kernel only proves existence; the label is
+                // the cell's cluster, independent of which point hit.
                 let mut label = None;
-                'search: for &c in &plan.sources {
+                for &c in &plan.sources {
+                    let rec = self.record(c);
+                    if kernel::any_within(q, &rec.core, dim, eps2) {
+                        label = rec.cluster;
+                        break;
+                    }
+                }
+                label
+            }
+        };
+        let side = self.spec.side();
+        let mut density = 0u64;
+        for j in 0..plan.d_total.len() {
+            // Per-query box bounds, bit-identical to
+            // `GridSpec::cell_dist2_bounds` (same origins, same formulas).
+            let lo = &plan.d_lo[j * dim..(j + 1) * dim];
+            let mut min_acc = 0.0;
+            let mut max_acc = 0.0;
+            for (&l, &v) in lo.iter().zip(q.iter()) {
+                let hi = l + side;
+                // Branch-free selection of the same values the branchy
+                // `cell_dist2_bounds` arms produce: `l - v` when the
+                // query is left of the box, `v - hi` right of it, else 0.
+                let dmin = (l - v).max(v - hi).max(0.0);
+                let dmax = (v - l).abs().max((v - hi).abs());
+                min_acc += dmin * dmin;
+                max_acc += dmax * dmax;
+            }
+            if min_acc > eps2 {
+                continue;
+            }
+            if max_acc <= eps2 {
+                // Fully contained cell: every sub-cell counts.
+                density += plan.d_total[j];
+            } else {
+                // Partially contained: the always-qualifying sub-cells
+                // were summed at plan time; the tested remainder runs
+                // through the shared chunked kernel over the SoA centres.
+                let start = plan.d_sub_start[j] as usize;
+                let end = plan.d_sub_start[j + 1] as usize;
+                density += plan.d_always[j]
+                    + kernel::sum_within_u64(
+                        q,
+                        &plan.d_centers[start * dim..end * dim],
+                        dim,
+                        eps2,
+                        &plan.d_counts[start..end],
+                    );
+            }
+        }
+        Ok(Classification { label, density })
+    }
+
+    /// Reference classification: rebuilds the candidate window per query
+    /// and runs the scalar per-query arithmetic with no plan-time
+    /// resolution. This is the oracle [`Self::classify_with`] is pinned
+    /// against by the serve equivalence suite — label *and* density must
+    /// match it bit for bit.
+    pub fn classify_oracle(&self, q: &[f64]) -> Result<Classification, ServeError> {
+        self.validate(q)?;
+        let coord = self.spec.cell_of(q);
+        let home = self.find_cell(&coord);
+        let candidates = self.window_candidates(&coord);
+        let label = match home {
+            Some(h) if self.record(h).cluster.is_some() => self.record(h).cluster,
+            _ => {
+                let sources: Vec<CellRef> = match home {
+                    Some(h) => self
+                        .record(h)
+                        .preds
+                        .iter()
+                        .filter_map(|c| self.find_cell(c))
+                        .collect(),
+                    None => candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.record(c).cluster.is_some())
+                        .collect(),
+                };
+                let mut label = None;
+                'search: for &c in &sources {
                     let rec = self.record(c);
                     for p in rec.core.chunks_exact(self.spec.dim()) {
                         if dist2(p, q) <= self.eps2 {
@@ -616,17 +817,15 @@ impl ServingIndex {
             }
         };
         let mut density = 0u64;
-        for &c in &plan.density {
+        for &c in &candidates {
             let rec = self.record(c);
             let (lo, hi) = self.spec.cell_dist2_bounds(&rec.coord, q);
             if lo > self.eps2 {
                 continue;
             }
             if hi <= self.eps2 {
-                // Fully contained cell: every sub-cell counts.
                 density += rec.count;
             } else {
-                // Partially contained: per-sub-centre ρ-approximate test.
                 for (center, &n) in rec
                     .sub_centers
                     .chunks_exact(self.spec.dim())
@@ -639,6 +838,70 @@ impl ServingIndex {
             }
         }
         Ok(Classification { label, density })
+    }
+
+    /// The plans a warm publish should pre-populate, in deterministic
+    /// order: every occupied cell (coordinate-sorted) first — a query
+    /// landing in any of them then never builds a plan cold — followed,
+    /// budget permitting, by the unoccupied cells of their immediate
+    /// lattice neighbourhood, whose window-candidate search is the
+    /// expensive half of a cold unoccupied-cell classify. At most
+    /// `budget` plans are returned (occupied cells take precedence), so
+    /// a bounded LRU is never asked to evict its own warm set.
+    pub fn warm_plans(&self, budget: usize) -> Vec<(CellCoord, CellPlan)> {
+        let mut occupied: Vec<CellCoord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.records.iter().map(|r| r.coord.clone()))
+            .collect();
+        occupied.sort_unstable();
+        let mut out: Vec<(CellCoord, CellPlan)> = occupied
+            .iter()
+            .take(budget)
+            .map(|c| (c.clone(), self.plan_for(c)))
+            .collect();
+        // Neighbourhood warming only pays while the 3^d halo is small
+        // relative to the budget headroom; high dimensions skip it.
+        let dim = self.spec.dim();
+        let halo_feasible = 3usize.checked_pow(dim as u32).is_some_and(|w| w <= 1 << 12);
+        if out.len() < budget && halo_feasible {
+            let mut halo: std::collections::BTreeSet<CellCoord> = std::collections::BTreeSet::new();
+            let mut cand = Vec::with_capacity(dim);
+            for c in &occupied {
+                let mut offs = vec![-1i64; dim];
+                loop {
+                    cand.clear();
+                    cand.extend(c.coords().iter().zip(offs.iter()).map(|(&x, &o)| x + o));
+                    let cc = CellCoord::new(cand.iter().copied());
+                    if self.find_cell(&cc).is_none() {
+                        halo.insert(cc);
+                    }
+                    let mut d = dim;
+                    loop {
+                        if d == 0 {
+                            break;
+                        }
+                        d -= 1;
+                        if offs[d] < 1 {
+                            offs[d] += 1;
+                            break;
+                        }
+                        offs[d] = -1;
+                    }
+                    if offs.iter().all(|&o| o == -1) {
+                        break;
+                    }
+                }
+            }
+            for c in halo {
+                if out.len() >= budget {
+                    break;
+                }
+                let plan = self.plan_for(&c);
+                out.push((c, plan));
+            }
+        }
+        out
     }
 }
 
@@ -667,7 +930,7 @@ mod tests {
         let coords: Vec<CellCoord> = (0..100)
             .map(|i| CellCoord::new([i as i64 % 10, i as i64 / 10]))
             .collect();
-        let mut used = vec![false; 4];
+        let mut used = [false; 4];
         for c in &coords {
             used[shard_of_cell(c, 4)] = true;
         }

@@ -19,6 +19,7 @@ use crate::index::{CellPlan, Classification, ClusterStats, ServingIndex};
 use crate::swap::IndexSlot;
 use crate::ServeError;
 use rpdbscan_engine::{Engine, TaskError};
+use rpdbscan_grid::{CellCoord, FxHashMap};
 use rpdbscan_metrics::LatencyHistogram;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -31,6 +32,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum memoised classify cell plans.
     pub cache_capacity: usize,
+    /// Pre-populate the plan cache when a new index generation is
+    /// published through this server (including construction): every
+    /// occupied cell's plan — plus, budget permitting, the unoccupied
+    /// halo's window candidate lists — is built once at publish time
+    /// instead of cold on first query. Default `true`; turn off to
+    /// measure the cold-publish baseline.
+    pub warm_on_publish: bool,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +46,7 @@ impl Default for ServerConfig {
         Self {
             queue_capacity: 1024,
             cache_capacity: 256,
+            warm_on_publish: true,
         }
     }
 }
@@ -104,6 +113,8 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Plan-cache misses.
     pub cache_misses: u64,
+    /// Plans pre-built into the cache by warm publishes.
+    pub plans_warmed: u64,
     /// Per-task latencies of `LabelOf` micro-batch tasks, seconds.
     pub label_of: LatencyHistogram,
     /// Per-task latencies of `Classify` micro-batch tasks, seconds.
@@ -119,6 +130,7 @@ struct StatsInner {
     rejected: u64,
     batches: u64,
     served: u64,
+    plans_warmed: u64,
     label_of: LatencyHistogram,
     classify: LatencyHistogram,
     cluster_stats: LatencyHistogram,
@@ -133,6 +145,35 @@ pub struct Server {
     queue: Mutex<QueueState>,
     cache: Mutex<PlanLru>,
     stats: Mutex<StatsInner>,
+}
+
+/// Resolves the classify plan for one cell within a drained micro-batch.
+///
+/// The first request landing in a cell takes exactly one LRU access — a
+/// hit, or a miss plus a cold build — and parks the plan in `gathered`;
+/// every later request of the same batch in the same cell shares it
+/// without touching the LRU. Grouping the gather by cell keeps a burst
+/// of queries into one hot cell at one cache probe per batch.
+// lint:hot
+fn gather_plan(
+    index: &ServingIndex,
+    cache: &mut PlanLru,
+    gathered: &mut FxHashMap<CellCoord, Arc<CellPlan>>,
+    coord: &CellCoord,
+) -> Arc<CellPlan> {
+    if let Some(p) = gathered.get(coord) {
+        return Arc::clone(p);
+    }
+    let plan = match cache.get(coord) {
+        Some(p) => p,
+        None => {
+            let p = Arc::new(index.plan_for(coord));
+            cache.insert(coord.clone(), Arc::clone(&p));
+            p
+        }
+    };
+    gathered.insert(coord.clone(), Arc::clone(&plan));
+    plan
 }
 
 /// Submit-time shape check for classify coordinates.
@@ -159,7 +200,7 @@ impl Server {
     /// publisher holds the other reference).
     pub fn from_slot(engine: Engine, slot: Arc<IndexSlot>, config: ServerConfig) -> Self {
         let cache_capacity = config.cache_capacity;
-        Self {
+        let server = Self {
             engine,
             slot,
             config,
@@ -169,7 +210,10 @@ impl Server {
             }),
             cache: Mutex::new(PlanLru::new(cache_capacity)),
             stats: Mutex::new(StatsInner::default()),
-        }
+        };
+        let initial = server.slot.load();
+        server.warm_cache(&initial);
+        server
     }
 
     /// The engine executing the micro-batches.
@@ -187,15 +231,47 @@ impl Server {
         self.slot.load()
     }
 
-    /// Publishes a new index generation unconditionally.
+    /// Publishes a new index generation unconditionally, pre-populating
+    /// the plan cache for it when `warm_on_publish` is set.
     pub fn publish(&self, index: Arc<ServingIndex>) -> u64 {
-        self.slot.publish(index)
+        let generation = self.slot.publish(Arc::clone(&index));
+        self.warm_cache(&index);
+        generation
     }
 
     /// Publishes a new index generation unless it is not newer than the
-    /// current one; returns whether the swap happened.
+    /// current one; returns whether the swap happened. A successful swap
+    /// warms the plan cache like [`Self::publish`].
     pub fn publish_if_newer(&self, index: Arc<ServingIndex>) -> bool {
-        self.slot.publish_if_newer(index)
+        let swapped = self.slot.publish_if_newer(Arc::clone(&index));
+        if swapped {
+            self.warm_cache(&index);
+        }
+        swapped
+    }
+
+    /// Pre-populates the plan cache for `index`'s generation: re-scopes
+    /// the LRU, then inserts every plan [`ServingIndex::warm_plans`]
+    /// yields under the cache-capacity budget. Inserts bypass the
+    /// hit/miss counters, so a warm publish leaves the miss count at
+    /// zero — the property the warm-publish unit test pins.
+    fn warm_cache(&self, index: &ServingIndex) {
+        if !self.config.warm_on_publish {
+            return;
+        }
+        let warmed = index.warm_plans(self.config.cache_capacity);
+        let count = warmed.len() as u64;
+        {
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            cache.reset_for_generation(index.generation());
+            for (coord, plan) in warmed {
+                cache.insert(coord, Arc::new(plan));
+            }
+        }
+        self.stats
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plans_warmed += count;
     }
 
     /// Requests currently queued.
@@ -252,11 +328,14 @@ impl Server {
         let index = self.slot.load();
 
         // Route each request to its (kind, shard) task, resolving
-        // classify plans through the generation-aware LRU up front.
+        // classify plans through the generation-aware LRU up front —
+        // amortised per *cell*, not per request: `gathered` holds each
+        // distinct cell's plan for the duration of this batch.
         let mut groups: BTreeMap<(Kind, u32), Vec<(u64, Prepared)>> = BTreeMap::new();
         {
             let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
             cache.reset_for_generation(index.generation());
+            let mut gathered: FxHashMap<CellCoord, Arc<CellPlan>> = FxHashMap::default();
             for (ticket, req) in pending {
                 let (key, prepared) = match req {
                     Request::LabelOf(id) => {
@@ -264,14 +343,7 @@ impl Server {
                     }
                     Request::Classify(q) => {
                         let coord = index.spec().cell_of(&q);
-                        let plan = match cache.get(&coord) {
-                            Some(p) => p,
-                            None => {
-                                let p = Arc::new(index.plan_for(&coord));
-                                cache.insert(coord.clone(), Arc::clone(&p));
-                                p
-                            }
-                        };
+                        let plan = gather_plan(&index, &mut cache, &mut gathered, &coord);
                         (
                             (Kind::Classify, index.shard_of_coord(&coord)),
                             Prepared::Classify(q, plan),
@@ -341,8 +413,7 @@ impl Server {
         for r in reqs {
             tickets.push(self.submit(r)?);
         }
-        let mut by_ticket: rpdbscan_grid::FxHashMap<u64, Response> =
-            self.drain()?.into_iter().collect();
+        let mut by_ticket: FxHashMap<u64, Response> = self.drain()?.into_iter().collect();
         Ok(tickets
             .into_iter()
             .filter_map(|t| by_ticket.remove(&t))
@@ -360,6 +431,7 @@ impl Server {
             served: inner.served,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            plans_warmed: inner.plans_warmed,
             label_of: inner.label_of.clone(),
             classify: inner.classify.clone(),
             cluster_stats: inner.cluster_stats.clone(),

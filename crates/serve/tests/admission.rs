@@ -41,6 +41,7 @@ fn full_queue_rejects_then_recovers() {
             ServerConfig {
                 queue_capacity: 4,
                 cache_capacity: 8,
+                ..ServerConfig::default()
             },
         );
         // Fill the queue with a mix of request kinds.
@@ -135,17 +136,40 @@ fn execute_returns_responses_in_request_order() {
 #[test]
 fn classify_plans_hit_the_cache_on_repeat_traffic() {
     let (data, index, _) = built_index();
-    let engine = Engine::with_cost_model(2, CostModel::free());
-    let server = Server::new(engine, index, ServerConfig::default());
     let q = data.point(rpdbscan_geom::PointId(0)).to_vec();
+
+    // Default (warm publish): construction pre-builds every occupied
+    // cell's plan, so even the first lookup is a hit.
+    let engine = Engine::with_cost_model(2, CostModel::free());
+    let server = Server::new(engine, Arc::clone(&index), ServerConfig::default());
     for _ in 0..3 {
         server.submit(Request::Classify(q.clone())).unwrap();
         server.drain().unwrap();
     }
     let stats = server.stats();
+    assert!(stats.plans_warmed >= 1, "warm publish built plans");
+    assert_eq!(stats.cache_misses, 0, "warmed plan is never built cold");
+    assert_eq!(stats.cache_hits, 3, "every batch reuses the warm plan");
+    assert!(stats.classify.count() >= 1, "classify latencies recorded");
+
+    // Cold publish: the historical build-on-first-miss behaviour.
+    let engine = Engine::with_cost_model(2, CostModel::free());
+    let server = Server::new(
+        engine,
+        index,
+        ServerConfig {
+            warm_on_publish: false,
+            ..ServerConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        server.submit(Request::Classify(q.clone())).unwrap();
+        server.drain().unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.plans_warmed, 0);
     assert_eq!(stats.cache_misses, 1, "first lookup builds the plan");
     assert_eq!(stats.cache_hits, 2, "repeats reuse it");
-    assert!(stats.classify.count() >= 1, "classify latencies recorded");
 }
 
 #[test]

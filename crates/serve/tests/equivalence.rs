@@ -106,6 +106,36 @@ fn classify_matches_streaming_snapshot_exactly() {
 }
 
 #[test]
+fn planned_classify_matches_scalar_oracle_bit_for_bit() {
+    // The planned path (plan-time never/always resolution + chunked
+    // kernel) must reproduce the scalar reference *exactly* — label and
+    // density — on indexed points, perturbed probes, and probes into
+    // unoccupied space.
+    for dim in 1..=3usize {
+        for rho in [1.0, 0.1] {
+            let rows = test_rows(dim);
+            let data = Dataset::from_rows(dim, &rows).unwrap();
+            let params = RpDbscanParams::new(1.0, 5).with_rho(rho);
+            let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+            let index = ServingIndex::from_batch(&data, &out, &params, 4, 1).unwrap();
+            let mut probes: Vec<Vec<f64>> = rows.clone();
+            probes.extend(rows.iter().map(|r| {
+                let mut p = r.clone();
+                p[0] += 0.37; // off-lattice: exercises partial containment
+                p
+            }));
+            probes.push(vec![1.3; dim]); // unoccupied cell near blob 1
+            probes.push(vec![123.4; dim]); // far empty space
+            for q in &probes {
+                let planned = index.classify(q).unwrap();
+                let oracle = index.classify_oracle(q).unwrap();
+                assert_eq!(planned, oracle, "dim={dim} rho={rho} q={q:?}");
+            }
+        }
+    }
+}
+
+#[test]
 fn unoccupied_cells_resolve_against_nearby_core_cells() {
     // dim 1: cell side = eps, so x=1.3 sits in an unoccupied cell while
     // still within eps of blob 1's rim (the dense rim point at x=0.9).

@@ -39,7 +39,7 @@ use rpdbscan_engine::{epoch_stage_name, CostModel, Engine, EngineReport, StageEr
 use rpdbscan_geom::{dist2, Dataset};
 use rpdbscan_grid::{
     CellCoord, CellDictionary, DecodeError, DictionaryIndex, FxHashMap, FxHashSet, GridError,
-    GridSpec, PlanCache, QueryStats, RegionQueryResult, SubCellEntry,
+    GridSpec, PlanCache, PlannerCostModel, QueryRoute, QueryStats, RegionQueryResult, SubCellEntry,
 };
 use rpdbscan_metrics::Clustering;
 
@@ -160,8 +160,8 @@ pub struct StreamStats {
     pub total_inserted: u64,
     /// Total points ever removed.
     pub total_removed: u64,
-    /// Query plans built across all epochs (changed cells queried through
-    /// the Phase II planner; zero when `use_query_planner` is off).
+    /// Query plans built across all epochs (changed cells the cost model
+    /// routed through the Phase II planner).
     pub plans_built: u64,
     /// Plan-cache hits across all epochs (a cell planned more than once
     /// within the same epoch).
@@ -170,6 +170,16 @@ pub struct StreamStats {
     /// (dictionary indices are epoch-scoped, so a dirtied cell's plan must
     /// be rebuilt before reuse).
     pub plans_invalidated: u64,
+    /// Changed cells the cost model routed through the planner, across
+    /// all epochs (occupancy at or above the break-even threshold).
+    pub cells_routed_planned: u64,
+    /// Changed cells the cost model routed through the per-point kd
+    /// path, across all epochs.
+    pub cells_routed_kd: u64,
+    /// The cost model's break-even occupancy (recalibrated each repair
+    /// epoch against the compacted dictionary; structural, so it only
+    /// changes if the dimensionality model does).
+    pub route_min_occupancy: u32,
 }
 
 /// A consistent view of the clustering at one epoch.
@@ -782,19 +792,27 @@ impl StreamingRpDbscan {
         // Plans embed this epoch's dictionary indices: drop every cached
         // plan (counting invalidations for dirtied cells), then prebuild a
         // plan for each changed cell that will run full region queries —
-        // the cells holding this batch's new points. The parallel repair
-        // stage reads the cache through `PlanCache::get` only.
+        // the cells holding this batch's new points — *if* the cost model
+        // says the cell's occupancy amortises a plan build; sparse cells
+        // stay on the per-point kd path. The parallel repair stage reads
+        // the cache through `PlanCache::get` only.
         // lint:allow(unordered-iter): dirty is a sorted Vec here (the name shadows dirty_region's map), and begin_epoch only removes coords from a set and counts — order-insensitive
         self.plan_cache.begin_epoch(dirty.iter().map(|(c, _)| c));
-        if self.params.use_query_planner {
-            for c in &changed {
-                let has_new = self
-                    .cells
-                    .get(c)
-                    .is_some_and(|s| s.points.iter().any(|p| new_slots.contains(p)));
-                if has_new {
+        let model = PlannerCostModel::calibrate(&index);
+        self.stats.route_min_occupancy = model.min_occupancy;
+        for c in &changed {
+            let Some(state) = self.cells.get(c) else {
+                continue; // the batch emptied this cell
+            };
+            if !state.points.iter().any(|p| new_slots.contains(p)) {
+                continue; // removal-only change: no full queries to plan for
+            }
+            match model.route(state.points.len()) {
+                QueryRoute::Planned => {
+                    self.stats.cells_routed_planned += 1;
                     let _ = self.plan_cache.get_or_build(&index, c);
                 }
+                QueryRoute::Kd => self.stats.cells_routed_kd += 1,
             }
         }
 

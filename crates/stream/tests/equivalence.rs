@@ -209,19 +209,30 @@ fn invalid_batches_are_rejected() {
     ));
 }
 
-/// Query-plan lifecycle across epochs: a cell's plan is built when the
-/// cell first runs full region queries, dropped (counted as invalidated)
-/// when a later batch dirties the cell, and rebuilt against the new
-/// dictionary on next use.
+/// Query-plan lifecycle across epochs: a dense cell's plan is built when
+/// the cell first runs full region queries, dropped (counted as
+/// invalidated) when a later batch dirties the cell, and rebuilt against
+/// the new dictionary on next use. Sparse cells never plan at all — the
+/// cost model routes them to the kd path.
 #[test]
 fn dirtied_cell_plan_is_invalidated_and_rebuilt() {
     let params = RpDbscanParams::new(1.0, 3);
     let mut s = StreamingRpDbscan::new(2, params).unwrap();
-    // Batch 1: a tight clump inside one cell (side = 1/√2 ≈ 0.707).
-    let b1: Vec<f64> = (0..5).flat_map(|i| [i as f64 * 0.05, 0.0]).collect();
+    // Batch 1: a tight 12-point clump inside one cell (side = 1/√2 ≈
+    // 0.707) — occupancy clears the cost model's break-even floor, so
+    // the repair epoch plans the cell.
+    let b1: Vec<f64> = (0..12).flat_map(|i| [i as f64 * 0.05, 0.0]).collect();
     s.insert_batch(&b1).unwrap();
     let after1 = s.snapshot().stats;
-    assert!(after1.plans_built >= 1, "first batch must plan its cell");
+    assert!(
+        after1.plans_built >= 1,
+        "dense first batch must plan its cell"
+    );
+    assert!(after1.cells_routed_planned >= 1);
+    assert!(
+        after1.route_min_occupancy >= 8,
+        "break-even floor missing from stats"
+    );
     assert_eq!(after1.plans_invalidated, 0);
     // Batch 2 dirties the same cell: the epoch-1 plan embeds stale
     // dictionary indices, so it must be invalidated and a fresh plan
@@ -230,18 +241,26 @@ fn dirtied_cell_plan_is_invalidated_and_rebuilt() {
     let after2 = s.snapshot().stats;
     assert!(after2.plans_invalidated >= 1, "dirtied cell keeps its plan");
     assert!(after2.plans_built > after1.plans_built, "plan not rebuilt");
-    // With the planner off the repair path never builds a plan — and the
-    // clustering is identical either way.
-    let mut off = StreamingRpDbscan::new(2, params.with_query_planner(false)).unwrap();
-    off.insert_batch(&b1).unwrap();
-    off.insert_batch(&[0.02, 0.01]).unwrap();
-    let stats = off.snapshot().stats;
-    assert_eq!(stats.plans_built, 0);
+    // A sparse stream (occupancy below break-even) never builds a plan —
+    // the cost model routes its cells to the kd path structurally — and
+    // the clustering is identical to a dense-equivalent batch run.
+    let mut sparse = StreamingRpDbscan::new(2, params).unwrap();
+    let b_sparse: Vec<f64> = (0..5).flat_map(|i| [i as f64 * 0.05, 0.0]).collect();
+    sparse.insert_batch(&b_sparse).unwrap();
+    sparse.insert_batch(&[0.02, 0.01]).unwrap();
+    let stats = sparse.snapshot().stats;
+    assert_eq!(stats.plans_built, 0, "sparse cells must route kd");
+    assert_eq!(stats.cells_routed_planned, 0);
+    assert!(stats.cells_routed_kd >= 1);
     assert_eq!(stats.plans_invalidated, 0);
+    let batch = RpDbscan::new(params)
+        .unwrap()
+        .run_local(&sparse.dataset())
+        .unwrap();
     let ri = rand_index(
-        &s.snapshot().labels,
-        &off.snapshot().labels,
+        &sparse.snapshot().labels,
+        &batch.clustering,
         NoisePolicy::SingleCluster,
     );
-    assert_eq!(ri, 1.0);
+    assert_eq!(ri, 1.0, "kd-routed stream diverged from batch");
 }

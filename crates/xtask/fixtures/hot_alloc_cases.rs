@@ -26,3 +26,19 @@ pub fn hot_suppressed() {
     // lint:allow(hot-path-alloc): fixture demonstrates a justified one-off allocation
     let _v: Vec<u8> = Vec::new();
 }
+
+// lint:hot
+pub fn hot_kernel_chunk<const DIM: usize>(q: &[f64], block: &[f64]) -> f64 {
+    // Const-generic kernel bodies are marker-scoped like any other fn.
+    let leaked = block[..DIM].to_vec();
+    q[0] + leaked[0]
+}
+
+// lint:hot
+pub fn hot_gather_clean(gathered: &mut Vec<u64>, key: u64) -> u64 {
+    // Batch-amortised gather path: pre-sized scratch is not a finding.
+    let mut out = Vec::with_capacity(1);
+    out.push(key);
+    gathered.push(key);
+    out[0]
+}

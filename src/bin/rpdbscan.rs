@@ -358,6 +358,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         ServerConfig {
             queue_capacity: queue,
             cache_capacity: 4096,
+            ..ServerConfig::default()
         },
     );
 
