@@ -11,7 +11,7 @@
 
 use rpdbscan_baselines::exact_dbscan;
 use rpdbscan_bench::*;
-use rpdbscan_core::{RpDbscan, RpDbscanParams};
+use rpdbscan_core::{DensityBackendKind, RpDbscan, RpDbscanParams};
 use rpdbscan_data::{synth, SynthConfig};
 use rpdbscan_engine::{CostModel, Engine};
 use rpdbscan_geom::Dataset;
@@ -106,6 +106,50 @@ fn main() {
                 .expect("write svg");
                 println!("  wrote {}", svg.display());
             }
+        }
+        println!();
+    }
+
+    // Approximate density backends against the same exact-DBSCAN ground
+    // truth (rho fixed at the paper default): the accuracy harness also
+    // covers `rpdbscan-density`'s estimators.
+    println!(
+        "\n{:<12} {:>8} {:>8}   (Rand index; density backends at rho=0.01)",
+        "data set", "knn", "sampled"
+    );
+    for (name, data, eps, min_pts) in &sets {
+        let exact = exact_dbscan(data, *eps, *min_pts);
+        print!("{name:<12}");
+        for kind in [
+            DensityBackendKind::MutualKnn { k: 16 },
+            DensityBackendKind::SampledCore { sample_frac: 0.3 },
+        ] {
+            let params = RpDbscanParams::new(*eps, *min_pts)
+                .with_partitions(WORKERS * PARTS_PER_WORKER)
+                .with_density_backend(kind);
+            let out = rpdbscan_density::backend_for(&params)
+                .expect("valid backend config")
+                .cluster(data, &engine)
+                .expect("backend run succeeds");
+            let ri = rand_index(
+                &exact.clustering,
+                &out.clustering,
+                NoisePolicy::SingleCluster,
+            );
+            let ari = adjusted_rand_index(
+                &exact.clustering,
+                &out.clustering,
+                NoisePolicy::SingleCluster,
+            );
+            print!(" {ri:>8.4}");
+            rows.push(AccuracyRow {
+                dataset: format!("{name}[{}]", kind.name()),
+                rho: 0.01,
+                rand_index: ri,
+                adjusted_rand_index: ari,
+                clusters_exact: exact.clustering.num_clusters(),
+                clusters_rp: out.clustering.num_clusters(),
+            });
         }
         println!();
     }

@@ -22,6 +22,10 @@ use rpdbscan_metrics::Clustering;
 /// 12/13/14/17).
 #[derive(Debug, Clone)]
 pub struct RunStats {
+    /// Density backend that answered the Phase II core-point decision
+    /// (`exact` for every run of this driver; the approximate backends
+    /// report through `rpdbscan-density`'s own stats).
+    pub backend: &'static str,
     /// Non-empty cells in the dictionary.
     pub dict_cells: usize,
     /// Non-empty sub-cells in the dictionary.
@@ -84,12 +88,21 @@ pub struct RpDbscan {
 
 impl RpDbscan {
     /// Validates the parameters and builds a runner.
+    ///
+    /// This driver executes the exact grid backend only: an approximate
+    /// [`crate::DensityBackendKind`] selection is rejected here with
+    /// [`CoreError::UnsupportedBackend`] — `rpdbscan-density`'s
+    /// `backend_for` is the dispatcher that runs every kind.
     pub fn new(params: RpDbscanParams) -> Result<Self, CoreError> {
         if params.min_pts == 0 {
             return Err(CoreError::InvalidMinPts(0));
         }
         if params.num_partitions == 0 {
             return Err(CoreError::InvalidPartitions(0));
+        }
+        validate_backend_config(&params.density_backend)?;
+        if !params.density_backend.is_exact() {
+            return Err(CoreError::UnsupportedBackend(params.density_backend.name()));
         }
         // eps/rho validity is checked by GridSpec at run time (needs dim),
         // but fail fast on obviously bad values here.
@@ -250,6 +263,7 @@ impl RpDbscan {
         let clustering = assemble_clustering(data.len(), labeled.outputs);
 
         let stats = RunStats {
+            backend: p.density_backend.name(),
             dict_cells,
             dict_subcells,
             dict_size_bits,
@@ -270,6 +284,32 @@ impl RpDbscan {
             route_min_occupancy: routing.min_occupancy().unwrap_or(0),
         };
         Ok(RpDbscanOutput { clustering, stats })
+    }
+}
+
+/// Validates a backend selection's knobs (any kind — the density crate
+/// dispatcher calls this too, so range checks live in exactly one place).
+pub fn validate_backend_config(kind: &crate::DensityBackendKind) -> Result<(), CoreError> {
+    match kind {
+        crate::DensityBackendKind::Exact => Ok(()),
+        crate::DensityBackendKind::MutualKnn { k } => {
+            if *k == 0 {
+                return Err(CoreError::InvalidBackendConfig {
+                    backend: kind.name(),
+                    reason: "k must be >= 1",
+                });
+            }
+            Ok(())
+        }
+        crate::DensityBackendKind::SampledCore { sample_frac } => {
+            if !(*sample_frac > 0.0 && *sample_frac <= 1.0) {
+                return Err(CoreError::InvalidBackendConfig {
+                    backend: kind.name(),
+                    reason: "sample_frac must be in (0, 1]",
+                });
+            }
+            Ok(())
+        }
     }
 }
 
@@ -386,6 +426,55 @@ mod tests {
         assert!(RpDbscan::new(RpDbscanParams::new(1.0, 5).with_partitions(0)).is_err());
         assert!(RpDbscan::new(RpDbscanParams::new(-1.0, 5)).is_err());
         assert!(RpDbscan::new(RpDbscanParams::new(1.0, 5).with_rho(0.0)).is_err());
+    }
+
+    #[test]
+    fn approximate_backends_are_rejected_typed() {
+        use crate::params::DensityBackendKind;
+        let knn = RpDbscanParams::new(1.0, 5)
+            .with_density_backend(DensityBackendKind::MutualKnn { k: 8 });
+        assert_eq!(
+            RpDbscan::new(knn).unwrap_err(),
+            CoreError::UnsupportedBackend("knn")
+        );
+        let sampled = RpDbscanParams::new(1.0, 5)
+            .with_density_backend(DensityBackendKind::SampledCore { sample_frac: 0.5 });
+        assert_eq!(
+            RpDbscan::new(sampled).unwrap_err(),
+            CoreError::UnsupportedBackend("sampled")
+        );
+        // Bad knobs are caught before the kind check, for every kind.
+        let bad_k = RpDbscanParams::new(1.0, 5)
+            .with_density_backend(DensityBackendKind::MutualKnn { k: 0 });
+        assert!(matches!(
+            RpDbscan::new(bad_k).unwrap_err(),
+            CoreError::InvalidBackendConfig { backend: "knn", .. }
+        ));
+        for frac in [0.0, -0.1, 1.5, f64::NAN] {
+            let bad = RpDbscanParams::new(1.0, 5)
+                .with_density_backend(DensityBackendKind::SampledCore { sample_frac: frac });
+            assert!(
+                matches!(
+                    RpDbscan::new(bad).unwrap_err(),
+                    CoreError::InvalidBackendConfig {
+                        backend: "sampled",
+                        ..
+                    }
+                ),
+                "frac={frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_stats_carry_the_backend_tag() {
+        let data = two_blob_data();
+        let engine = Engine::with_cost_model(4, CostModel::free());
+        let out = RpDbscan::new(RpDbscanParams::new(1.0, 5))
+            .unwrap()
+            .run(&data, &engine)
+            .unwrap();
+        assert_eq!(out.stats.backend, "exact");
     }
 
     #[test]

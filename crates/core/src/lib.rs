@@ -52,9 +52,9 @@ pub mod partition;
 pub mod phase2;
 pub mod repair;
 
-pub use driver::{RpDbscan, RpDbscanOutput, RunStats};
+pub use driver::{validate_backend_config, RpDbscan, RpDbscanOutput, RunStats};
 pub use graph::{CellSubgraph, CellType, EdgeType};
-pub use params::RpDbscanParams;
+pub use params::{DensityBackendKind, RpDbscanParams};
 pub use partition::{CellPoints, Partition};
 pub use repair::{
     assign_border_point, cell_contribution, contribution_delta, recompute_cell, sub_diff,
@@ -80,6 +80,18 @@ pub enum CoreError {
     /// An engine stage failed: a task returned an error or panicked and
     /// exhausted its retries (e.g. a poisoned partition).
     Stage(rpdbscan_engine::StageError),
+    /// The batch driver only runs the exact grid backend; approximate
+    /// density backends are dispatched by `rpdbscan-density`. The
+    /// payload is the rejected backend's tag (`knn` / `sampled`).
+    UnsupportedBackend(&'static str),
+    /// A density-backend knob is out of range (e.g. `k = 0` or a sample
+    /// fraction outside `(0, 1]`).
+    InvalidBackendConfig {
+        /// The rejected backend's tag.
+        backend: &'static str,
+        /// What was wrong with its configuration.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -92,6 +104,14 @@ impl std::fmt::Display for CoreError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             CoreError::Stage(e) => write!(f, "{e}"),
+            CoreError::UnsupportedBackend(b) => write!(
+                f,
+                "the batch driver only runs the exact grid backend; \
+                 run the `{b}` backend through rpdbscan-density's backend_for"
+            ),
+            CoreError::InvalidBackendConfig { backend, reason } => {
+                write!(f, "invalid `{backend}` backend configuration: {reason}")
+            }
         }
     }
 }

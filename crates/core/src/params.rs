@@ -1,5 +1,62 @@
 //! Algorithm parameters.
 
+/// Which density backend answers the core-point/neighbourhood decision
+/// of Phase II.
+///
+/// The paper's pipeline hard-codes the exact `(ε,ρ)`-region query
+/// against the broadcast cell dictionary. In high dimensions the grid
+/// collapses (sub-cell counts and `(2b+1)^d` neighbour windows grow
+/// exponentially in `d`), so the `rpdbscan-density` crate offers two
+/// approximate estimators from the literature behind the same
+/// parameter surface. This enum is only the *selection*; the
+/// implementations live in `rpdbscan-density` (`backend_for`), and the
+/// batch driver here runs the exact backend only — [`crate::RpDbscan::new`]
+/// rejects approximate kinds with
+/// [`crate::CoreError::UnsupportedBackend`] so a mis-routed selection
+/// fails loudly instead of silently clustering with the wrong
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DensityBackendKind {
+    /// The paper's exact `(ε,ρ)`-region query over the cell dictionary
+    /// (bit-identical to every pre-backend release).
+    #[default]
+    Exact,
+    /// Mutual-kNN-graph density à la KNN-DBSCAN (arXiv 2009.04552):
+    /// a point is core when it keeps at least `minPts − 1` *mutual*
+    /// kNN neighbours within ε.
+    MutualKnn {
+        /// Neighbours per point in the kNN graph. Must be ≥ 1; choose
+        /// `k ≥ minPts` or nothing can ever reach core density.
+        k: usize,
+    },
+    /// Sampled-core-point estimation à la DBSCAN++ (arXiv 1810.13105):
+    /// the full region query runs only on an `s`-fraction uniform
+    /// sample of points; everything else classifies against the
+    /// discovered cores.
+    SampledCore {
+        /// Fraction of points sampled as core candidates, in `(0, 1]`.
+        sample_frac: f64,
+    },
+}
+
+impl DensityBackendKind {
+    /// Short stable tag (`exact` / `knn` / `sampled`) used by stats
+    /// structs, the CLI, and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DensityBackendKind::Exact => "exact",
+            DensityBackendKind::MutualKnn { .. } => "knn",
+            DensityBackendKind::SampledCore { .. } => "sampled",
+        }
+    }
+
+    /// `true` for the exact grid backend — the only kind the batch
+    /// driver, the streaming epoch path, and the serving index accept.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DensityBackendKind::Exact)
+    }
+}
+
 /// Parameters of an RP-DBSCAN run (Algorithm 1's inputs plus the
 /// dictionary-memory knob of §4.2.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +83,10 @@ pub struct RpDbscanParams {
     /// exercising task-failure propagation end to end (a poisoned
     /// partition must surface as an `Err`, not a process abort).
     pub inject_fault: Option<usize>,
+    /// Density backend answering the Phase II core-point decision.
+    /// Defaults to [`DensityBackendKind::Exact`]; approximate kinds are
+    /// executed by `rpdbscan-density`, not the batch driver here.
+    pub density_backend: DensityBackendKind,
 }
 
 impl RpDbscanParams {
@@ -40,6 +101,7 @@ impl RpDbscanParams {
             subdict_capacity: 1 << 20,
             seed: 0,
             inject_fault: None,
+            density_backend: DensityBackendKind::Exact,
         }
     }
 
@@ -73,6 +135,12 @@ impl RpDbscanParams {
         self.inject_fault = Some(index);
         self
     }
+
+    /// Selects the density backend for the Phase II core-point decision.
+    pub fn with_density_backend(mut self, backend: DensityBackendKind) -> Self {
+        self.density_backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +165,24 @@ mod tests {
     #[test]
     fn default_rho_is_papers() {
         assert_eq!(RpDbscanParams::new(1.0, 100).rho, 0.01);
+    }
+
+    #[test]
+    fn default_backend_is_exact() {
+        let p = RpDbscanParams::new(1.0, 100);
+        assert!(p.density_backend.is_exact());
+        assert_eq!(p.density_backend.name(), "exact");
+    }
+
+    #[test]
+    fn backend_builder_and_names() {
+        let knn = RpDbscanParams::new(1.0, 10)
+            .with_density_backend(DensityBackendKind::MutualKnn { k: 16 });
+        assert_eq!(knn.density_backend.name(), "knn");
+        assert!(!knn.density_backend.is_exact());
+        let sampled = RpDbscanParams::new(1.0, 10)
+            .with_density_backend(DensityBackendKind::SampledCore { sample_frac: 0.2 });
+        assert_eq!(sampled.density_backend.name(), "sampled");
+        assert!(!sampled.density_backend.is_exact());
     }
 }

@@ -316,6 +316,39 @@ pub fn teraclick_like(cfg: SynthConfig) -> Dataset {
     b.build()
 }
 
+/// Dimension-parameterised TeraClickLog-style shape for the density-
+/// backend experiments: well-separated Gaussian clusters in a
+/// mostly-empty `[0, 1000]^dim` space plus a 5% uniform noise tail.
+///
+/// Unlike [`teraclick_like`] (fixed 13-d, wide stds), the cluster
+/// spread here is tight relative to the inter-centre distance at any
+/// `dim`, so an exact DBSCAN ground truth exists at a single ε across
+/// dimensions — which is what the backend-accuracy comparison needs.
+/// Intended for `dim ≥ 10`, where the exact grid's `(2b+1)^d`
+/// neighbour window is at its worst.
+pub fn hyper_teraclick_like(cfg: SynthConfig, dim: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centers: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1_000.0)).collect())
+        .collect();
+    let mut b = builder(dim, cfg.n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..cfg.n {
+        if rng.gen_range(0..100u32) < 95 {
+            let ci = rng.gen_range(0..centers.len());
+            for (pi, &mi) in p.iter_mut().zip(centers[ci].iter()) {
+                *pi = normal(&mut rng, mi, 6.0);
+            }
+        } else {
+            for pi in p.iter_mut() {
+                *pi = rng.gen_range(0.0..1_000.0);
+            }
+        }
+        push(&mut b, &p);
+    }
+    b.build()
+}
+
 /// Uniform noise in `[0, range]^dim` — a degenerate workload for edge
 /// cases and worst-case dictionaries.
 pub fn uniform(cfg: SynthConfig, dim: usize, range: f64) -> Dataset {
@@ -347,7 +380,36 @@ mod tests {
         assert_eq!(cosmo_like(cfg).dim(), 3);
         assert_eq!(osm_like(cfg).dim(), 2);
         assert_eq!(teraclick_like(cfg).dim(), 13);
+        assert_eq!(hyper_teraclick_like(cfg, 16).dim(), 16);
         assert_eq!(uniform(cfg, 7, 10.0).dim(), 7);
+    }
+
+    #[test]
+    fn hyper_teraclick_is_seeded_and_mostly_clustered() {
+        let a = hyper_teraclick_like(SynthConfig::new(2000).with_seed(3), 12);
+        let b = hyper_teraclick_like(SynthConfig::new(2000).with_seed(3), 12);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            hyper_teraclick_like(SynthConfig::new(2000).with_seed(4), 12)
+        );
+        // ~95% of mass is clustered: such points have several close
+        // companions, while uniform noise in [0,1000]^12 has none.
+        let mut clustered = 0usize;
+        let mut sampled = 0usize;
+        for i in (0..a.len()).step_by(20) {
+            sampled += 1;
+            let p = a.point_at(i);
+            let close = a
+                .iter()
+                .filter(|(_, q)| rpdbscan_geom::dist2(p, q) < 60.0 * 60.0)
+                .count();
+            if close >= 4 {
+                clustered += 1;
+            }
+        }
+        let frac = clustered as f64 / sampled as f64;
+        assert!(frac > 0.85, "clustered fraction {frac}");
     }
 
     #[test]

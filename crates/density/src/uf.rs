@@ -1,0 +1,72 @@
+//! A small deterministic union–find over dense `u32` ids.
+
+/// Union–find with path halving and union by smaller root id.
+///
+/// Union by *id* (not by rank) keeps the representative of every
+/// component equal to its smallest member, so downstream label
+/// canonicalisation never depends on union order.
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Smaller id wins: roots are always the minimum of their set.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_smallest_members() {
+        let mut uf = UnionFind::new(8);
+        uf.union(5, 3);
+        uf.union(3, 7);
+        uf.union(2, 5);
+        assert_eq!(uf.find(7), 2);
+        assert_eq!(uf.find(5), 2);
+        assert_eq!(uf.find(2), 2);
+        assert_eq!(uf.find(0), 0);
+        assert_eq!(uf.find(6), 6);
+    }
+
+    #[test]
+    fn union_order_does_not_change_roots() {
+        let edges = [(0u32, 1u32), (2, 3), (1, 2), (4, 5)];
+        let mut a = UnionFind::new(6);
+        for &(x, y) in &edges {
+            a.union(x, y);
+        }
+        let mut b = UnionFind::new(6);
+        for &(x, y) in edges.iter().rev() {
+            b.union(y, x);
+        }
+        for i in 0..6u32 {
+            assert_eq!(a.find(i), b.find(i));
+        }
+    }
+}

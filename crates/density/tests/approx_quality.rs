@@ -1,0 +1,93 @@
+//! Property tests pinning the approximate backends' accuracy floor.
+//!
+//! On separable Gaussian blobs both approximate estimators must track
+//! exact DBSCAN at Rand ≥ 0.95 — the same floor the `density_accuracy`
+//! bench gates in CI. The backends are allowed to disagree with exact
+//! labels on boundary points (that is what "approximate" buys), but a
+//! floor violation on *separable* data means the estimator is broken,
+//! not merely approximate.
+
+use proptest::prelude::*;
+use rpdbscan_baselines::exact_dbscan;
+use rpdbscan_core::RpDbscanParams;
+use rpdbscan_data::{synth, SynthConfig};
+use rpdbscan_density::{DensityBackend, MutualKnn, SampledCore};
+use rpdbscan_engine::{CostModel, Engine};
+use rpdbscan_geom::Dataset;
+use rpdbscan_metrics::{rand_index, Clustering, NoisePolicy};
+
+const RAND_FLOOR: f64 = 0.95;
+const EPS: f64 = 1.5;
+const MIN_PTS: usize = 8;
+
+/// Well-separated blobs: 4 components of std 0.5 in a [0, 200]² box —
+/// inter-centre distance dwarfs ε for (almost) every seed.
+fn separable_blobs(seed: u64) -> Dataset {
+    synth::gaussian_mixture_with(SynthConfig::new(600).with_seed(seed), 2, 4.0, 4, 200.0)
+}
+
+fn rand_vs_exact(data: &Dataset, approx: &Clustering) -> f64 {
+    let exact = exact_dbscan(data, EPS, MIN_PTS);
+    rand_index(&exact.clustering, approx, NoisePolicy::SingleCluster)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn mutual_knn_tracks_exact_on_separable_blobs(seed in 0u64..10_000) {
+        let data = separable_blobs(seed);
+        let params = RpDbscanParams::new(EPS, MIN_PTS).with_seed(seed);
+        let engine = Engine::with_cost_model(4, CostModel::free());
+        let out = MutualKnn::new(params, 16)
+            .cluster(&data, &engine)
+            .expect("knn backend run");
+        let ri = rand_vs_exact(&data, &out.clustering);
+        prop_assert!(
+            ri >= RAND_FLOOR,
+            "knn Rand index {ri:.4} below {RAND_FLOOR} at seed {seed}"
+        );
+    }
+
+    #[test]
+    fn sampled_core_tracks_exact_on_separable_blobs(seed in 0u64..10_000) {
+        let data = separable_blobs(seed);
+        let params = RpDbscanParams::new(EPS, MIN_PTS).with_seed(seed);
+        let engine = Engine::with_cost_model(4, CostModel::free());
+        let out = SampledCore::new(params, 0.4)
+            .cluster(&data, &engine)
+            .expect("sampled backend run");
+        let ri = rand_vs_exact(&data, &out.clustering);
+        prop_assert!(
+            ri >= RAND_FLOOR,
+            "sampled Rand index {ri:.4} below {RAND_FLOOR} at seed {seed}"
+        );
+    }
+
+    #[test]
+    fn sampled_cores_are_a_subset_of_exact_cores(seed in 0u64..10_000) {
+        // The sampled estimator never promotes: every flagged core
+        // passes the full region query, so it is a true DBSCAN core
+        // (up to the rho sub-cell inflation, generous slack below).
+        let data = separable_blobs(seed);
+        let params = RpDbscanParams::new(EPS, MIN_PTS).with_seed(seed);
+        let engine = Engine::with_cost_model(2, CostModel::free());
+        let flags = SampledCore::new(params, 0.4)
+            .core_flags(&data, &engine)
+            .expect("core flags");
+        let slack = EPS * 1.1;
+        for (i, &is_core) in flags.iter().enumerate() {
+            if is_core {
+                let p = data.point_at(i);
+                let cnt = data
+                    .iter()
+                    .filter(|(_, q)| rpdbscan_geom::dist2(p, q) <= slack * slack)
+                    .count();
+                prop_assert!(
+                    cnt >= MIN_PTS,
+                    "sampled core {i} has only {cnt} slack-ball neighbours at seed {seed}"
+                );
+            }
+        }
+    }
+}

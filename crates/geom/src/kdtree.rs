@@ -211,6 +211,70 @@ impl KdTree {
         out
     }
 
+    /// The `k` nearest indexed points to `q`, as `(payload, d²)` pairs
+    /// sorted ascending by `(d², payload)`.
+    ///
+    /// Ties at the `k`-th distance resolve by payload, so the result is a
+    /// pure function of the indexed point set — independent of tree
+    /// layout or traversal order. Returns fewer than `k` pairs only when
+    /// the tree indexes fewer than `k` points. The query point is *not*
+    /// excluded: a caller indexing its own points asks for `k + 1` and
+    /// drops itself. This is the neighbour search of the mutual-kNN
+    /// density backend (`rpdbscan-density`).
+    pub fn nearest_k(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        debug_assert_eq!(q.len(), self.dim);
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the current best k, worst candidate on top; a new
+        // point displaces the top when lexicographically smaller by
+        // (d², payload), which is exactly the final sort order.
+        let mut heap: std::collections::BinaryHeap<KnnCand> = std::collections::BinaryHeap::new();
+        let mut stack: Vec<(u32, f64)> = vec![(0, 0.0)];
+        while let Some((ni, acc)) = stack.pop() {
+            // Prune only on strict excess: a subtree at exactly the worst
+            // distance may still hold a tied point with smaller payload.
+            if heap.len() == k && acc > heap.peek().map(|c| c.d2).unwrap_or(f64::INFINITY) {
+                continue;
+            }
+            match &self.nodes[ni as usize] {
+                Node::Leaf { start, end } => {
+                    for i in *start as usize..*end as usize {
+                        let cand = KnnCand {
+                            d2: dist2(q, self.pt(i)),
+                            payload: self.payload[i],
+                        };
+                        if heap.len() < k {
+                            heap.push(cand);
+                        } else if let Some(worst) = heap.peek() {
+                            if cand < *worst {
+                                heap.pop();
+                                heap.push(cand);
+                            }
+                        }
+                    }
+                }
+                Node::Internal { axis, split, right } => {
+                    let a = *axis as usize;
+                    let diff = q[a] - *split;
+                    let (near, far) = if diff <= 0.0 {
+                        (ni + 1, *right)
+                    } else {
+                        (*right, ni + 1)
+                    };
+                    // Far side first so the near side is explored first
+                    // (LIFO), tightening the heap before the far bound
+                    // check fires.
+                    stack.push((far, acc.max(diff * diff)));
+                    stack.push((near, acc));
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|c| (c.payload, c.d2)).collect();
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// Counts points within `radius` of `q`, stopping early once `limit`
     /// is reached (used for `|N_ε(p)| ≥ minPts` tests where the exact count
     /// past the threshold is irrelevant).
@@ -221,6 +285,34 @@ impl KdTree {
         // is what matters for the baseline.
         self.for_each_within(q, radius, |_, _| n += 1);
         n >= limit
+    }
+}
+
+/// A kNN candidate ordered lexicographically by `(d², payload)` under
+/// `f64::total_cmp`, so heap displacement and the final sort agree and
+/// the result is traversal-order-independent.
+#[derive(Debug, Clone, Copy)]
+struct KnnCand {
+    d2: f64,
+    payload: u32,
+}
+
+impl PartialEq for KnnCand {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(self.cmp(other), std::cmp::Ordering::Equal)
+    }
+}
+impl Eq for KnnCand {}
+impl PartialOrd for KnnCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KnnCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d2
+            .total_cmp(&other.d2)
+            .then(self.payload.cmp(&other.payload))
     }
 }
 
@@ -429,6 +521,51 @@ mod tests {
         t.for_each_near_box(&[0.0, 0.0], &[1.0, 1.0], 5.0, |_, _| {
             panic!("empty tree reported a point")
         });
+    }
+
+    fn brute_nearest_k(dim: usize, coords: &[f64], q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        let mut all: Vec<(u32, f64)> = (0..coords.len() / dim)
+            .map(|i| (i as u32, dist2(q, &coords[i * dim..(i + 1) * dim])))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn nearest_k_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for dim in [1usize, 2, 3, 7] {
+            let n = 300;
+            let coords = random_coords(&mut rng, n, dim);
+            let t = KdTree::build(dim, coords.clone(), (0..n as u32).collect());
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-12.0..12.0)).collect();
+                for k in [1usize, 4, 17, n, n + 5] {
+                    let got = t.nearest_k(&q, k);
+                    assert_eq!(got, brute_nearest_k(dim, &coords, &q, k), "dim={dim} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_k_ties_resolve_by_payload() {
+        // Four coincident points: any k of them is "correct", the
+        // contract picks the smallest payloads.
+        let coords = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let t = KdTree::build(2, coords, vec![9, 3, 7, 1]);
+        let got: Vec<u32> = t.nearest_k(&[1.0, 1.0], 2).iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn nearest_k_edge_cases() {
+        let empty = KdTree::build(2, vec![], vec![]);
+        assert!(empty.nearest_k(&[0.0, 0.0], 3).is_empty());
+        let one = KdTree::build(1, vec![2.0], vec![7]);
+        assert!(one.nearest_k(&[0.0], 0).is_empty());
+        assert_eq!(one.nearest_k(&[0.0], 5), vec![(7, 4.0)]);
     }
 
     #[test]

@@ -185,6 +185,11 @@ struct CellSeed {
 pub struct ServingIndex {
     spec: GridSpec,
     eps2: f64,
+    /// Density backend that produced the served clustering (recorded at
+    /// index build; always `exact` today since approximate backends are
+    /// rejected, but surfaced so deployments can attribute what they
+    /// serve).
+    backend: &'static str,
     /// Head generation counter, written first at construction.
     generation: u64,
     shards: Vec<Shard>,
@@ -230,6 +235,11 @@ impl ServingIndex {
         num_shards: usize,
         generation: u64,
     ) -> Result<Self, ServeError> {
+        if !params.density_backend.is_exact() {
+            return Err(ServeError::UnsupportedBackend(
+                params.density_backend.name(),
+            ));
+        }
         let stored_labels = output.clustering.labels();
         if stored_labels.len() != data.len() {
             return Err(ServeError::LabelMismatch {
@@ -327,7 +337,14 @@ impl ServingIndex {
             .enumerate()
             .map(|(i, &l)| (i as u32, l))
             .collect();
-        Ok(Self::build(spec, generation, num_shards, seeds, rows))
+        Ok(Self::build(
+            spec,
+            params.density_backend.name(),
+            generation,
+            num_shards,
+            seeds,
+            rows,
+        ))
     }
 
     /// Builds an index from the streaming clusterer's current epoch.
@@ -360,13 +377,21 @@ impl ServingIndex {
             .zip(snap.labels.labels().iter())
             .map(|(id, &l)| (id.0, l))
             .collect();
-        Self::build(stream.spec().clone(), snap.epoch(), num_shards, seeds, rows)
+        Self::build(
+            stream.spec().clone(),
+            "exact",
+            snap.epoch(),
+            num_shards,
+            seeds,
+            rows,
+        )
     }
 
     /// Assembles the sharded structure from per-cell seeds (coordinate
     /// order) and point rows.
     fn build(
         spec: GridSpec,
+        backend: &'static str,
         generation: u64,
         num_shards: usize,
         seeds: Vec<CellSeed>,
@@ -439,12 +464,18 @@ impl ServingIndex {
         Self {
             spec,
             eps2,
+            backend,
             generation,
             shards,
             clusters,
             num_points,
             generation_tail: generation,
         }
+    }
+
+    /// Density backend that produced the served clustering.
+    pub fn backend(&self) -> &'static str {
+        self.backend
     }
 
     /// The grid the index serves over.

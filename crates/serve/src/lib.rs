@@ -89,6 +89,12 @@ pub enum ServeError {
         /// Labels in the clustering.
         labels: usize,
     },
+    /// Classification replays Phase III against the exact cell graph, so
+    /// an index can only be built from an exact-backend clustering; an
+    /// approximate density backend selection (`knn` / `sampled`) is
+    /// rejected at index build. The payload is the rejected backend's
+    /// tag.
+    UnsupportedBackend(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -107,6 +113,11 @@ impl std::fmt::Display for ServeError {
             Self::LabelMismatch { points, labels } => {
                 write!(f, "clustering has {labels} labels for {points} points")
             }
+            Self::UnsupportedBackend(b) => write!(
+                f,
+                "serving indexes replay the exact cell graph; a `{b}`-backend \
+                 clustering cannot be served"
+            ),
         }
     }
 }

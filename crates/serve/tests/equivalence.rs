@@ -216,3 +216,31 @@ fn torn_generation_detector_holds_on_any_built_index() {
         assert_eq!(index.generation(), g);
     }
 }
+
+#[test]
+fn index_records_its_backend_and_rejects_approximate_ones() {
+    use rpdbscan_core::DensityBackendKind;
+    let data = Dataset::from_rows(2, &test_rows(2)).unwrap();
+    let params = RpDbscanParams::new(1.0, 5);
+    let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+    let index = ServingIndex::from_batch(&data, &out, &params, 4, 1).unwrap();
+    assert_eq!(index.backend(), "exact");
+
+    // A streaming-built index is exact by construction.
+    let stream = StreamingRpDbscan::new(2, params).unwrap();
+    assert_eq!(ServingIndex::from_stream(&stream, 2).backend(), "exact");
+
+    // Approximate-backend parameters cannot build a serving index: the
+    // classify path replays the exact cell graph.
+    for kind in [
+        DensityBackendKind::MutualKnn { k: 10 },
+        DensityBackendKind::SampledCore { sample_frac: 0.3 },
+    ] {
+        let p = params.with_density_backend(kind);
+        let err = ServingIndex::from_batch(&data, &out, &p, 4, 1).unwrap_err();
+        assert!(
+            matches!(err, rpdbscan_serve::ServeError::UnsupportedBackend(b) if b == kind.name()),
+            "{err}"
+        );
+    }
+}

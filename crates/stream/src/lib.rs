@@ -73,6 +73,12 @@ pub enum StreamError {
     /// A removal referenced an id that is not live (never issued, already
     /// removed, or repeated within the batch).
     UnknownPoint(u32),
+    /// The streaming epoch path repairs dirty regions with the exact
+    /// `(ε,ρ)`-region query; an approximate density backend selection
+    /// (`knn` / `sampled`) has no incremental repair story yet and is
+    /// rejected at construction. The payload is the rejected backend's
+    /// tag.
+    UnsupportedBackend(&'static str),
     /// An engine stage failed (a task panicked and exhausted its
     /// retries). The ingest stage runs before any state mutation, so an
     /// ingest failure leaves the stream untouched.
@@ -105,6 +111,11 @@ impl std::fmt::Display for StreamError {
                 write!(f, "batch point {index} has a non-finite coordinate")
             }
             StreamError::UnknownPoint(id) => write!(f, "point id {id} is not live"),
+            StreamError::UnsupportedBackend(b) => write!(
+                f,
+                "streaming only supports the exact density backend; \
+                 `{b}` has no incremental repair path"
+            ),
             StreamError::Stage(e) => write!(f, "{e}"),
             StreamError::Dictionary(e) => write!(f, "corrupt dictionary: {e}"),
             StreamError::DictionaryMismatch { expected, got } => write!(
@@ -138,8 +149,13 @@ impl From<DecodeError> for StreamError {
 }
 
 /// Counters describing the streaming state and the most recent epoch.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamStats {
+    /// Density backend the epoch repair path runs on — always `exact`
+    /// today (approximate backends are rejected at construction), but
+    /// carried so routing counters stay attributable per backend in
+    /// mixed reports.
+    pub backend: &'static str,
     /// Number of live points.
     pub live_points: usize,
     /// Number of occupied cells.
@@ -180,6 +196,29 @@ pub struct StreamStats {
     /// epoch against the compacted dictionary; structural, so it only
     /// changes if the dimensionality model does).
     pub route_min_occupancy: u32,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        StreamStats {
+            backend: "exact",
+            live_points: 0,
+            num_cells: 0,
+            num_clusters: 0,
+            last_changed_cells: 0,
+            last_dirty_cells: 0,
+            last_relabeled_cells: 0,
+            total_repaired_cells: 0,
+            total_inserted: 0,
+            total_removed: 0,
+            plans_built: 0,
+            plan_hits: 0,
+            plans_invalidated: 0,
+            cells_routed_planned: 0,
+            cells_routed_kd: 0,
+            route_min_occupancy: 0,
+        }
+    }
 }
 
 /// A consistent view of the clustering at one epoch.
@@ -335,6 +374,11 @@ impl StreamingRpDbscan {
     ) -> Result<Self, StreamError> {
         if params.min_pts < 1 {
             return Err(StreamError::InvalidMinPts(params.min_pts));
+        }
+        if !params.density_backend.is_exact() {
+            return Err(StreamError::UnsupportedBackend(
+                params.density_backend.name(),
+            ));
         }
         let spec = GridSpec::new(dim, params.eps, params.rho)?;
         let dict = CellDictionary::build_from_points(spec.clone(), std::iter::empty());

@@ -2,8 +2,8 @@
 //! that only moves when a batch is applied, so hot-swap publishers can
 //! skip republishing unchanged epochs.
 
-use rpdbscan_core::RpDbscanParams;
-use rpdbscan_stream::{StreamPointId, StreamingRpDbscan};
+use rpdbscan_core::{DensityBackendKind, RpDbscanParams};
+use rpdbscan_stream::{StreamError, StreamPointId, StreamingRpDbscan};
 
 fn grid_batch(n: usize) -> Vec<f64> {
     let mut flat = Vec::with_capacity(n * 2);
@@ -72,4 +72,24 @@ fn export_cells_is_sorted_and_covers_every_occupied_cell() {
             }
         }
     }
+}
+
+#[test]
+fn approximate_backends_are_rejected_at_construction() {
+    for kind in [
+        DensityBackendKind::MutualKnn { k: 10 },
+        DensityBackendKind::SampledCore { sample_frac: 0.2 },
+    ] {
+        let params = RpDbscanParams::new(1.0, 4).with_density_backend(kind);
+        let err = StreamingRpDbscan::new(2, params).unwrap_err();
+        assert_eq!(err, StreamError::UnsupportedBackend(kind.name()));
+        assert!(err.to_string().contains("exact density backend"), "{err}");
+    }
+}
+
+#[test]
+fn stream_stats_carry_the_backend_tag() {
+    let mut s = StreamingRpDbscan::new(2, RpDbscanParams::new(1.0, 4)).unwrap();
+    s.insert_batch(&grid_batch(16)).unwrap();
+    assert_eq!(s.snapshot().stats.backend, "exact");
 }

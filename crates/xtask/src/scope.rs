@@ -44,7 +44,7 @@ pub struct FileScope {
 }
 
 /// Crates whose `src/` is held to the full library rule set.
-pub const LIBRARY_CRATES: [&str; 12] = [
+pub const LIBRARY_CRATES: [&str; 13] = [
     "rp-dbscan",
     "geom",
     "grid",
@@ -57,12 +57,13 @@ pub const LIBRARY_CRATES: [&str; 12] = [
     "json",
     "stream",
     "serve",
+    "density",
 ];
 
 /// Crates whose result ordering is part of the paper's determinism
 /// claim: `HashMap`/`HashSet` iteration there must feed an
 /// order-insensitive sink or an explicit sort.
-pub const ORDERED_CRATES: [&str; 4] = ["core", "stream", "grid", "serve"];
+pub const ORDERED_CRATES: [&str; 5] = ["core", "stream", "grid", "serve", "density"];
 
 /// Classifies a workspace-relative path (forward slashes). `None`
 /// means the file is out of scope (vendored code, rule fixtures).

@@ -65,6 +65,9 @@ cluster options:
   --partitions K   RP partitions / region splits (default 32)
   --workers W      simulated workers     (default 8)
   --delim C        field delimiter       (default ,)
+  --density-backend exact|knn|sampled    Phase II density estimator (default exact; rp only)
+  --knn-k K        kNN-graph neighbours per point   (knn backend, default 10)
+  --sample-frac S  core-candidate sample fraction   (sampled backend, default 0.1)
 
 stream options:
   --batch B        points per insert micro-batch (required)
@@ -72,6 +75,7 @@ stream options:
   --seed S         shuffle seed          (default 0)
   --save-dict F    write the final cell dictionary (wire format) to F
   --check-dict F   decode F and verify it matches this run's grid
+  --density-backend B   must be exact: streaming has no approximate repair path
   --rho, --workers, --delim as above
 
 serve options:
@@ -79,10 +83,11 @@ serve options:
   --out F          write classified queries as a labeled CSV to F
   --shards K       index shards         (default 4)
   --queue CAP      admission queue capacity / micro-batch size (default 1024)
+  --density-backend B   must be exact: classification replays the exact cell graph
   --rho, --workers, --delim as above
 
 generate kinds: moons blobs chameleon geolife cosmo osm teraclick
-                mixture:<dim>:<alpha> uniform:<dim>:<range>";
+                hyperteraclick:<dim> mixture:<dim>:<alpha> uniform:<dim>:<range>";
 
 /// Minimal flag scanner: returns the value following `--name`.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -106,6 +111,23 @@ fn require<T: std::str::FromStr>(args: &[String], name: &str) -> Result<T, Strin
         .ok_or_else(|| format!("missing required flag {name}"))?
         .parse()
         .map_err(|_| format!("invalid value for {name}"))
+}
+
+/// Parses `--density-backend` plus its backend-specific knobs.
+fn parse_backend(args: &[String]) -> Result<DensityBackendKind, String> {
+    let name = flag(args, "--density-backend").unwrap_or_else(|| "exact".into());
+    match name.as_str() {
+        "exact" => Ok(DensityBackendKind::Exact),
+        "knn" => Ok(DensityBackendKind::MutualKnn {
+            k: parse_flag(args, "--knn-k", 10)?,
+        }),
+        "sampled" => Ok(DensityBackendKind::SampledCore {
+            sample_frac: parse_flag(args, "--sample-frac", 0.1)?,
+        }),
+        other => Err(format!(
+            "unknown --density-backend {other:?} (expected exact, knn, or sampled)"
+        )),
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -157,6 +179,13 @@ fn generate(args: &[String]) -> Result<(), String> {
                     let range: f64 = range.parse().map_err(|_| "bad uniform range")?;
                     synth::uniform(cfg, dim, range)
                 }
+                ["hyperteraclick", dim] => {
+                    let dim: usize = dim.parse().map_err(|_| "bad hyperteraclick dim")?;
+                    if dim == 0 {
+                        return Err("hyperteraclick dim must be >= 1".into());
+                    }
+                    synth::hyper_teraclick_like(cfg, dim)
+                }
                 _ => return Err(format!("unknown generate kind {kind:?}")),
             }
         }
@@ -185,12 +214,36 @@ fn cluster(args: &[String]) -> Result<(), String> {
     let partitions: usize = parse_flag(args, "--partitions", 32)?;
     let workers: usize = parse_flag(args, "--workers", 8)?;
     let delim: char = parse_flag(args, "--delim", ',')?;
+    let backend = parse_backend(args)?;
+    if !backend.is_exact() && algo != "rp" {
+        return Err(format!(
+            "--density-backend {} only applies to --algo rp",
+            backend.name()
+        ));
+    }
 
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
     let engine = Engine::new(workers);
     let start = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
     let clustering = match algo.as_str() {
+        "rp" if !backend.is_exact() => {
+            let params = RpDbscanParams::new(eps, min_pts)
+                .with_rho(rho)
+                .with_partitions(partitions)
+                .with_density_backend(backend);
+            let be = rp_dbscan::density::backend_for(&params).map_err(|e| e.to_string())?;
+            let out = be.cluster(&data, &engine).map_err(|e| e.to_string())?;
+            println!(
+                "density backend {}: {} neighbour searches, {} core points",
+                out.stats.backend,
+                out.stats.neighbor_searches,
+                out.stats
+                    .core_points
+                    .map_or_else(|| "?".into(), |c| c.to_string()),
+            );
+            out.clustering
+        }
         "rp" => {
             let params = RpDbscanParams::new(eps, min_pts)
                 .with_rho(rho)
@@ -263,7 +316,11 @@ fn stream(args: &[String]) -> Result<(), String> {
         "locality" => rp_dbscan::data::locality_order(&data, eps, seed),
         other => return Err(format!("unknown --order {other:?}")),
     };
-    let params = RpDbscanParams::new(eps, min_pts).with_rho(rho);
+    // Streaming repair only exists for the exact backend; approximate
+    // selections are rejected by `with_engine` with a typed error.
+    let params = RpDbscanParams::new(eps, min_pts)
+        .with_rho(rho)
+        .with_density_backend(parse_backend(args)?);
     let engine = Engine::with_cost_model(workers, CostModel::free());
     let mut s =
         StreamingRpDbscan::with_engine(data.dim(), params, engine).map_err(|e| e.to_string())?;
@@ -333,7 +390,11 @@ fn serve(args: &[String]) -> Result<(), String> {
 
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
-    let params = RpDbscanParams::new(eps, min_pts).with_rho(rho);
+    // Classification replays the exact cell graph; an approximate
+    // backend selection fails here (driver) and at `from_batch`.
+    let params = RpDbscanParams::new(eps, min_pts)
+        .with_rho(rho)
+        .with_density_backend(parse_backend(args)?);
     let out = RpDbscan::new(params)
         .map_err(|e| e.to_string())?
         .run_local(&data)
@@ -346,11 +407,12 @@ fn serve(args: &[String]) -> Result<(), String> {
     let index =
         ServingIndex::from_batch(&data, &out, &params, shards, 1).map_err(|e| e.to_string())?;
     println!(
-        "serving index: {} shards, {} cells, {} points, generation {}",
+        "serving index: {} shards, {} cells, {} points, generation {}, backend {}",
         index.num_shards(),
         index.num_cells(),
         index.num_points(),
-        index.generation()
+        index.generation(),
+        index.backend()
     );
     let server = Server::new(
         Engine::with_cost_model(workers, CostModel::free()),

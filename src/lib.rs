@@ -33,6 +33,9 @@
 //!   state (insert/remove batches, dirty-region repair, epoch snapshots).
 //! * [`serve`] — sharded read-path serving layer (point lookups, exact
 //!   Phase III classification of new coordinates, epoch hot-swap).
+//! * [`density`] — pluggable Phase II density backends: the exact grid
+//!   plus mutual-kNN and sampled-core approximations for high
+//!   dimensions.
 //! * [`data`] — synthetic workload generators and IO.
 //! * [`metrics`] — Rand index / ARI / NMI.
 //! * [`geom`] — points, boxes, kd-trees.
@@ -42,6 +45,7 @@
 pub use rpdbscan_baselines as baselines;
 pub use rpdbscan_core as core;
 pub use rpdbscan_data as data;
+pub use rpdbscan_density as density;
 pub use rpdbscan_engine as engine;
 pub use rpdbscan_geom as geom;
 pub use rpdbscan_grid as grid;
@@ -55,9 +59,10 @@ pub mod prelude {
     pub use rpdbscan_baselines::{
         exact_dbscan, NgDbscan, NgParams, RegionDbscan, RegionParams, SplitStrategy,
     };
-    pub use rpdbscan_core::{RpDbscan, RpDbscanParams};
+    pub use rpdbscan_core::{DensityBackendKind, RpDbscan, RpDbscanParams};
     pub use rpdbscan_data::synth;
     pub use rpdbscan_data::SynthConfig;
+    pub use rpdbscan_density::{backend_for, DensityBackend, DensityOutput, DensityStats};
     pub use rpdbscan_engine::{
         ChunkedSteal, CostModel, Engine, Fifo, Lpt, RetryPolicy, Scheduler, StageError, TaskCtx,
         TaskError,
