@@ -8,13 +8,15 @@ build:
 test:
 	cargo test --workspace
 
-# Local pre-push gate, matching CI's lint + static-analysis jobs
-# exactly: formatting, clippy at deny-warnings, then the workspace
-# invariant linter (writes LINT.json at the repo root).
+# Local pre-push gate, matching CI's lint + static-analysis + model
+# jobs exactly: formatting, clippy at deny-warnings, the workspace
+# invariant linter (writes LINT.json at the repo root), and the
+# exhaustive interleaving sweep over the concurrency protocols.
 lint:
 	cargo fmt --check
 	cargo clippy --workspace -- -D warnings
 	cargo run -p xtask -- lint
+	cargo test -q -p model
 
 bench:
 	cargo bench --workspace

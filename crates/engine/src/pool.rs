@@ -72,10 +72,17 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                // sync: `next` is a pure ticket counter — the claimed
+                // slot's payload travels through slots[i]'s Mutex, whose
+                // lock acquisition provides the happens-before edge.
+                let i = next.fetch_add(1, Ordering::Relaxed); // lint:allow(atomics-discipline): index claim only; no data is published through `next`
                 if i >= n {
                     break;
                 }
+                // sync: best-effort cancellation — a stale `false` only
+                // runs one more task; the failure itself is published
+                // under the `failure` Mutex.
+                // lint:allow(atomics-discipline): advisory drain flag; result data never flows through it
                 if cancel.load(Ordering::Relaxed) {
                     continue; // drain the queue without executing
                 }
@@ -116,7 +123,10 @@ where
                         *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(pair);
                     }
                     Err(error) => {
-                        cancel.store(true, Ordering::Relaxed);
+                        // sync: advisory cancel signal — the StageError
+                        // below is published under the `failure` Mutex,
+                        // which carries the ordering for its contents.
+                        cancel.store(true, Ordering::Relaxed); // lint:allow(atomics-discipline): flag only triggers queue draining; failure data is Mutex-protected
                         let mut first = failure.lock().unwrap_or_else(|p| p.into_inner());
                         if first.is_none() {
                             *first = Some(StageError {

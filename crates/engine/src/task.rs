@@ -67,6 +67,8 @@ impl<'a> TaskCtx<'a> {
     /// tasks should return promptly (any `Err` is fine — the batch
     /// already failed).
     pub fn is_cancelled(&self) -> bool {
+        // sync: best-effort cooperative-cancel probe — a stale `false`
+        // just lets this attempt finish; no result data depends on it.
         self.cancel.load(Ordering::Relaxed)
     }
 }

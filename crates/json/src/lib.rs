@@ -17,6 +17,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+mod parse;
+
+pub use parse::ParseError;
+
 /// A JSON value. Objects use [`BTreeMap`] so key order is always
 /// alphabetical, which keeps CSV headers and JSON output stable.
 #[derive(Debug, Clone, PartialEq)]

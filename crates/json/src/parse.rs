@@ -1,0 +1,352 @@
+//! A strict RFC 8259 parser for [`Value`], closing the round trip with
+//! the serializer: `xtask lint --baseline` reads a previous `LINT.json`
+//! back, and the bench tooling can diff its own reports. Numbers
+//! without a fraction or exponent parse as [`Value::Int`]; everything
+//! else float — the same split the serializer writes.
+
+use crate::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a document failed to parse, with a byte offset for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Nesting deeper than this is rejected rather than risking the stack.
+const MAX_DEPTH: usize = 128;
+
+impl Value {
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error.
+    pub fn parse(src: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain UTF-8 up to the next escape/quote.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(run);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unfinished escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let first = self.hex4()?;
+        // Surrogate pair: a high surrogate must be followed by `\u` and
+        // a low surrogate.
+        let code = if (0xD800..0xDC00).contains(&first) {
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..0xE000).contains(&second) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+            } else {
+                return Err(self.err("unpaired high surrogate"));
+            }
+        } else if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("unpaired low surrogate"));
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| self.err("escape is not a scalar value"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("expected 4 hex digits after \\u")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        // Leading zeros are invalid JSON (`01`), a lone `0` is fine.
+        if int_digits > 1 && self.bytes[start] == b'0'
+            || int_digits > 1 && self.bytes[start] == b'-' && self.bytes[start + 1] == b'0'
+        {
+            return Err(self.err("leading zero in number"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.err(format!("bad float `{text}`: {e}")))
+        } else {
+            // Integers wider than i64 degrade to float rather than fail.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|e| self.err(format!("bad number `{text}`: {e}"))),
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a digit"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_serializer_output() {
+        let mut obj = Value::object();
+        obj.insert("pi", 3.5f64);
+        obj.insert("n", 42i64);
+        obj.insert("s", "a\"b\\c\nd");
+        obj.insert("flag", true);
+        obj.insert("none", Value::Null);
+        obj.insert("arr", vec![1i64, 2, 3]);
+        let text = obj.to_string();
+        assert_eq!(Value::parse(&text), Ok(obj));
+    }
+
+    #[test]
+    fn int_float_split_matches_serializer() {
+        assert_eq!(Value::parse("7"), Ok(Value::Int(7)));
+        assert_eq!(Value::parse("-7"), Ok(Value::Int(-7)));
+        assert_eq!(Value::parse("7.0"), Ok(Value::Float(7.0)));
+        assert_eq!(Value::parse("1e3"), Ok(Value::Float(1000.0)));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            Value::parse("\"\\u0041\\u00e9\""),
+            Ok(Value::String("Aé".to_string()))
+        );
+        assert_eq!(
+            Value::parse("\"\\ud83d\\ude00\""),
+            Ok(Value::String("😀".to_string()))
+        );
+        assert!(Value::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "01", "1 2", "nul", "\"abc", "{'a':1}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let v = Value::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").expect("parses");
+        assert_eq!(v.to_string(), r#"{"a":[1,2],"b":null}"#);
+    }
+}

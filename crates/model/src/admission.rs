@@ -1,0 +1,282 @@
+//! Shim model of the `serve::server` ticketed bounded-queue protocol.
+//!
+//! The real server admits requests under the queue mutex — capacity
+//! check, ticket assignment, push — and drains by swapping the queued
+//! items out under the same mutex, then serving the batch outside it.
+//! The shim models exactly that choreography with submitter threads
+//! and one drainer thread, each lock-protected region split into its
+//! own yield points, and checks the ledger the serving layer promises:
+//! **every ticket ever issued is served exactly once or still queued;
+//! none is lost, none is double-served**, and tickets are served in
+//! issue order.
+//!
+//! The hazard variant ([`AdmissionModel::unlocked_drain`]) drains the
+//! way a lock-free "optimisation" would: snapshot the queue, then clear
+//! it as a *separate* step with no lock held. A submitter landing
+//! between the two loses its ticket — the regression test asserts the
+//! explorer finds that schedule.
+
+use crate::explore::{Protocol, Step};
+
+/// One submitter thread: admits `remaining` requests, one lock-held
+/// region per request.
+#[derive(Debug, Clone)]
+struct Submitter {
+    remaining: u32,
+    /// 0 acquire, 1 admit (capacity check + ticket + push), 2 release.
+    pc: u8,
+}
+
+/// The drainer thread: runs `cycles` drain/serve rounds.
+#[derive(Debug, Clone)]
+struct Drainer {
+    cycles: u32,
+    /// 0 acquire, 1 snapshot, 2 clear+release, 3 serve.
+    pc: u8,
+    batch: Vec<u64>,
+}
+
+/// Explorable model of admission/drain: `submitters + 1` threads, the
+/// drainer last.
+#[derive(Debug)]
+pub struct AdmissionModel {
+    submitters: usize,
+    requests_each: u32,
+    capacity: usize,
+    cycles: u32,
+    locked_drain: bool,
+}
+
+/// Complete state of one schedule prefix.
+#[derive(Debug, Clone)]
+pub struct AdmissionState {
+    lock_held: bool,
+    queue: Vec<u64>,
+    next_ticket: u64,
+    rejected: u64,
+    served: Vec<u64>,
+    submitters: Vec<Submitter>,
+    drainer: Drainer,
+}
+
+impl AdmissionModel {
+    /// The shipped protocol: drain swaps the queue out under the mutex.
+    pub fn locked(submitters: usize, requests_each: u32, capacity: usize, cycles: u32) -> Self {
+        Self {
+            submitters,
+            requests_each,
+            capacity,
+            cycles,
+            locked_drain: true,
+        }
+    }
+
+    /// Hazard variant: snapshot and clear are separate unlocked steps,
+    /// so an interleaved admit loses its ticket. For regression tests.
+    pub fn unlocked_drain(
+        submitters: usize,
+        requests_each: u32,
+        capacity: usize,
+        cycles: u32,
+    ) -> Self {
+        Self {
+            submitters,
+            requests_each,
+            capacity,
+            cycles,
+            locked_drain: false,
+        }
+    }
+
+    /// The ledger: no ticket served twice, and every issued ticket is
+    /// reachable somewhere — served, queued, or in the drain batch.
+    /// (The unlocked hazard's snapshot/clear race leaves batch and
+    /// queue transiently overlapping, which is fine; a ticket in *no*
+    /// collection is gone for good.)
+    fn ledger(&self, state: &AdmissionState) -> Result<(), String> {
+        let mut served = state.served.clone();
+        served.sort_unstable();
+        if let Some(w) = served.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("ticket {} double-served", w[0]));
+        }
+        let mut all: Vec<u64> = served;
+        all.extend(state.drainer.batch.iter().copied());
+        all.extend(state.queue.iter().copied());
+        all.sort_unstable();
+        all.dedup();
+        for want in 0..state.next_ticket {
+            if all.binary_search(&want).is_err() {
+                return Err(format!(
+                    "ticket {want} lost (issued {} tickets)",
+                    state.next_ticket
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for AdmissionModel {
+    type State = AdmissionState;
+
+    fn init(&self) -> AdmissionState {
+        AdmissionState {
+            lock_held: false,
+            queue: Vec::new(),
+            next_ticket: 0,
+            rejected: 0,
+            served: Vec::new(),
+            submitters: (0..self.submitters)
+                .map(|_| Submitter {
+                    remaining: self.requests_each,
+                    pc: 0,
+                })
+                .collect(),
+            drainer: Drainer {
+                cycles: self.cycles,
+                pc: 0,
+                batch: Vec::new(),
+            },
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.submitters + 1
+    }
+
+    fn step(&self, state: &mut AdmissionState, thread: usize) -> Step {
+        if let Some(s) = state.submitters.get_mut(thread) {
+            if s.remaining == 0 {
+                return Step::Done;
+            }
+            return match s.pc {
+                0 => {
+                    if state.lock_held {
+                        Step::Blocked
+                    } else {
+                        state.lock_held = true;
+                        s.pc = 1;
+                        Step::Ran
+                    }
+                }
+                1 => {
+                    if state.queue.len() >= self.capacity {
+                        state.rejected += 1;
+                    } else {
+                        state.queue.push(state.next_ticket);
+                        state.next_ticket += 1;
+                    }
+                    s.pc = 2;
+                    Step::Ran
+                }
+                _ => {
+                    state.lock_held = false;
+                    s.remaining -= 1;
+                    s.pc = 0;
+                    Step::Ran
+                }
+            };
+        }
+
+        let locked = self.locked_drain;
+        let d = &mut state.drainer;
+        if d.cycles == 0 {
+            return Step::Done;
+        }
+        match d.pc {
+            0 => {
+                if locked {
+                    if state.lock_held {
+                        return Step::Blocked;
+                    }
+                    state.lock_held = true;
+                }
+                d.pc = 1;
+                Step::Ran
+            }
+            1 => {
+                if locked {
+                    // The shipped protocol: `queue.items.drain(..)` is
+                    // one action under the mutex — snapshot and clear
+                    // cannot be separated by an admit.
+                    d.batch = std::mem::take(&mut state.queue);
+                } else {
+                    d.batch = state.queue.clone();
+                }
+                d.pc = 2;
+                Step::Ran
+            }
+            2 => {
+                if locked {
+                    state.lock_held = false;
+                } else {
+                    // The hazard: queue entries admitted since the
+                    // snapshot are wiped here without ever being served.
+                    state.queue.clear();
+                }
+                d.pc = 3;
+                Step::Ran
+            }
+            _ => {
+                state.served.append(&mut d.batch);
+                d.cycles -= 1;
+                d.pc = 0;
+                Step::Ran
+            }
+        }
+    }
+
+    fn invariant(&self, state: &AdmissionState) -> Result<(), String> {
+        self.ledger(state)?;
+        // Serve order must be issue order: the queue is FIFO and drain
+        // takes whole prefixes, so `served` is strictly increasing.
+        if state.served.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("tickets served out of order: {:?}", state.served));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self, state: &AdmissionState) -> Result<(), String> {
+        let offered = (self.submitters as u64) * u64::from(self.requests_each);
+        let admitted = state.next_ticket;
+        if admitted + state.rejected != offered {
+            return Err(format!(
+                "{offered} requests offered but {admitted} admitted + {} rejected",
+                state.rejected
+            ));
+        }
+        // Whatever was admitted is served or still queued — never gone.
+        if state.served.len() + state.queue.len() != admitted as usize {
+            return Err(format!(
+                "{admitted} admitted but {} served + {} queued at exit",
+                state.served.len(),
+                state.queue.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn locked_admission_keeps_the_ledger() {
+        let stats =
+            explore(&AdmissionModel::locked(2, 2, 3, 2)).expect("locked admission is race-free");
+        assert_eq!(stats.schedules, 1_620);
+    }
+
+    #[test]
+    fn unlocked_drain_loses_tickets() {
+        let v = explore(&AdmissionModel::unlocked_drain(2, 2, 3, 2))
+            .expect_err("the unlocked drain must lose a ticket");
+        assert!(
+            v.message.contains("lost") || v.message.contains("accounted"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Shim model of the `serve::swap::IndexSlot` hot-swap protocol.
+//!
+//! The real slot holds `RwLock<Arc<ServingIndex>>`; an index carries a
+//! head generation counter (written first at construction) and a tail
+//! counter (written last), and `verify_generation` returns the
+//! generation only when the two agree. The shim keeps exactly the
+//! pieces the protocol argument rests on: the two counters, the
+//! reader/writer lock, and the publish-if-newer guard. Each
+//! shared-memory access is its own yield point, so the explorer can
+//! interleave a reader *between* the head and tail writes — precisely
+//! the torn read the lock must exclude.
+//!
+//! Two wirings:
+//! * [`SlotModel::locked`] — the shipped protocol. Every schedule must
+//!   satisfy: readers only observe `head == tail` (no torn
+//!   generation), and the final published generation is the maximum
+//!   ever offered (no stale publish).
+//! * [`SlotModel::unlocked`] — the hazard variant with the same steps
+//!   minus the lock. The regression tests assert the explorer *finds*
+//!   the torn generation and the stale publish; if it ever stops
+//!   finding them, the checker has gone vacuous.
+
+use crate::explore::{Protocol, Step};
+
+/// Reader/writer lock state: the model analogue of `RwLock`.
+#[derive(Debug, Clone, Default)]
+pub struct RwLockState {
+    readers: u32,
+    writer: bool,
+}
+
+impl RwLockState {
+    /// Acquires a shared read lock if no writer holds the lock.
+    pub fn try_read(&mut self) -> bool {
+        if self.writer {
+            false
+        } else {
+            self.readers += 1;
+            true
+        }
+    }
+
+    /// Releases a shared read lock.
+    pub fn done_reading(&mut self) {
+        self.readers = self.readers.saturating_sub(1);
+    }
+
+    /// Acquires the exclusive write lock if nobody holds the lock.
+    pub fn try_write(&mut self) -> bool {
+        if self.writer || self.readers > 0 {
+            false
+        } else {
+            self.writer = true;
+            true
+        }
+    }
+
+    /// Releases the exclusive write lock.
+    pub fn done_writing(&mut self) {
+        self.writer = false;
+    }
+}
+
+/// One publisher: offers generation `gen` via publish-if-newer.
+#[derive(Debug, Clone)]
+struct Writer {
+    gen: u64,
+    /// Program counter: 0 acquire, 1 observe, 2 write head, 3 write
+    /// tail, 4 release, 5 done. Unlocked variants skip 0 and 4.
+    pc: u8,
+    /// Generation observed under step 1 (the if-newer guard input).
+    observed: u64,
+}
+
+/// One reader: loads the slot and verifies the generation.
+#[derive(Debug, Clone)]
+struct Reader {
+    /// 0 acquire, 1 read head, 2 read tail, 3 release+record, 4 done.
+    pc: u8,
+    head: u64,
+    tail: u64,
+    /// The `(head, tail)` pair this reader ended up observing.
+    recorded: Option<(u64, u64)>,
+}
+
+/// Explorable model of the hot-swap slot: `writers.len() + readers`
+/// model threads (writers first).
+#[derive(Debug)]
+pub struct SlotModel {
+    writer_gens: Vec<u64>,
+    readers: usize,
+    locked: bool,
+}
+
+/// Complete state of one schedule prefix.
+#[derive(Debug, Clone)]
+pub struct SlotState {
+    lock: RwLockState,
+    head: u64,
+    tail: u64,
+    writers: Vec<Writer>,
+    readers: Vec<Reader>,
+}
+
+impl SlotModel {
+    /// The shipped protocol: publish-if-newer under the write lock,
+    /// load/verify under the read lock.
+    pub fn locked(writer_gens: Vec<u64>, readers: usize) -> Self {
+        Self {
+            writer_gens,
+            readers,
+            locked: true,
+        }
+    }
+
+    /// The hazard variant: identical accesses, no lock. Exists so the
+    /// regression tests can prove the explorer catches the torn read.
+    pub fn unlocked(writer_gens: Vec<u64>, readers: usize) -> Self {
+        Self {
+            writer_gens,
+            readers,
+            locked: false,
+        }
+    }
+
+    /// The generation every schedule must end on: the largest offered.
+    fn expected_final(&self) -> u64 {
+        self.writer_gens.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Protocol for SlotModel {
+    type State = SlotState;
+
+    fn init(&self) -> SlotState {
+        SlotState {
+            lock: RwLockState::default(),
+            head: 0,
+            tail: 0,
+            writers: self
+                .writer_gens
+                .iter()
+                .map(|&gen| Writer {
+                    gen,
+                    pc: if self.locked { 0 } else { 1 },
+                    observed: 0,
+                })
+                .collect(),
+            readers: (0..self.readers)
+                .map(|_| Reader {
+                    pc: if self.locked { 0 } else { 1 },
+                    head: 0,
+                    tail: 0,
+                    recorded: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.writer_gens.len() + self.readers
+    }
+
+    fn step(&self, state: &mut SlotState, thread: usize) -> Step {
+        if let Some(w) = state.writers.get_mut(thread) {
+            return match w.pc {
+                0 => {
+                    if state.lock.try_write() {
+                        w.pc = 1;
+                        Step::Ran
+                    } else {
+                        Step::Blocked
+                    }
+                }
+                1 => {
+                    w.observed = state.head;
+                    w.pc = 2;
+                    Step::Ran
+                }
+                2 => {
+                    // The if-newer guard: an older offer writes nothing.
+                    if w.gen > w.observed {
+                        state.head = w.gen;
+                    }
+                    w.pc = 3;
+                    Step::Ran
+                }
+                3 => {
+                    if w.gen > w.observed {
+                        state.tail = w.gen;
+                    }
+                    w.pc = if self.locked { 4 } else { 5 };
+                    Step::Ran
+                }
+                4 => {
+                    state.lock.done_writing();
+                    w.pc = 5;
+                    Step::Ran
+                }
+                _ => Step::Done,
+            };
+        }
+        let Some(r) = state.readers.get_mut(thread - state.writers.len()) else {
+            return Step::Done;
+        };
+        match r.pc {
+            0 => {
+                if state.lock.try_read() {
+                    r.pc = 1;
+                    Step::Ran
+                } else {
+                    Step::Blocked
+                }
+            }
+            1 => {
+                r.head = state.head;
+                r.pc = 2;
+                Step::Ran
+            }
+            2 => {
+                r.tail = state.tail;
+                r.pc = 3;
+                Step::Ran
+            }
+            3 => {
+                if self.locked {
+                    state.lock.done_reading();
+                }
+                r.recorded = Some((r.head, r.tail));
+                r.pc = 4;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn invariant(&self, state: &SlotState) -> Result<(), String> {
+        for (i, r) in state.readers.iter().enumerate() {
+            if let Some((head, tail)) = r.recorded {
+                if head != tail {
+                    return Err(format!(
+                        "torn generation: reader {i} observed head={head} tail={tail}"
+                    ));
+                }
+                let valid = head == 0 || self.writer_gens.contains(&head);
+                if !valid {
+                    return Err(format!(
+                        "reader {i} observed generation {head}, which was never published"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self, state: &SlotState) -> Result<(), String> {
+        let expected = self.expected_final();
+        if state.head != expected || state.tail != expected {
+            return Err(format!(
+                "stale publish: final generation head={} tail={} but {} was offered",
+                state.head, state.tail, expected
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn locked_slot_has_no_torn_or_stale_schedules() {
+        let stats = explore(&SlotModel::locked(vec![1, 2], 1)).expect("locked slot is race-free");
+        assert_eq!(stats.schedules, 6);
+    }
+
+    #[test]
+    fn unlocked_slot_tears() {
+        let v = explore(&SlotModel::unlocked(vec![1, 2], 1))
+            .expect_err("the unlocked variant must exhibit a violation");
+        assert!(
+            v.message.contains("torn generation") || v.message.contains("stale publish"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+}

@@ -63,3 +63,77 @@ impl IndexSlot {
         self.load().generation()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpdbscan_core::{RpDbscan, RpDbscanParams};
+    use rpdbscan_geom::Dataset;
+    use std::thread;
+
+    /// Smallest index that exercises the real `ServingIndex` layout:
+    /// one dense 1-D run, two shards. Kept tiny so the nightly Miri
+    /// smoke over this module stays tractable.
+    fn tiny_index(generation: u64) -> Arc<ServingIndex> {
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.1]).collect();
+        let data = Dataset::from_rows(1, &rows).unwrap();
+        let params = RpDbscanParams::new(1.0, 3);
+        let out = RpDbscan::new(params).unwrap().run_local(&data).unwrap();
+        Arc::new(ServingIndex::from_batch(&data, &out, &params, 2, generation).unwrap())
+    }
+
+    #[test]
+    fn load_pins_the_generation_across_publishes() {
+        let slot = IndexSlot::new(tiny_index(1));
+        let pinned = slot.load();
+        assert_eq!(slot.publish(tiny_index(2)), 2);
+        // The in-flight reader keeps its epoch; new loads see the swap.
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(pinned.verify_generation(), Some(1));
+        assert_eq!(slot.load().generation(), 2);
+        assert_eq!(slot.generation(), 2);
+    }
+
+    #[test]
+    fn publish_if_newer_rejects_stale_and_equal_generations() {
+        let slot = IndexSlot::new(tiny_index(5));
+        assert!(!slot.publish_if_newer(tiny_index(4)));
+        assert!(!slot.publish_if_newer(tiny_index(5)));
+        assert_eq!(slot.generation(), 5);
+        assert!(slot.publish_if_newer(tiny_index(6)));
+        assert_eq!(slot.generation(), 6);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_generation() {
+        // The live analogue of the `model::slot` sweep: readers verify
+        // head/tail agreement while a publisher swaps epochs underneath.
+        let slot = Arc::new(IndexSlot::new(tiny_index(1)));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&slot);
+                thread::spawn(move || {
+                    for _ in 0..20 {
+                        let idx = s.load();
+                        let g = idx.verify_generation().expect("torn generation observed");
+                        assert_eq!(g, idx.generation());
+                    }
+                })
+            })
+            .collect();
+        let publisher = {
+            let s = Arc::clone(&slot);
+            thread::spawn(move || {
+                for g in 2..=4 {
+                    assert!(s.publish_if_newer(tiny_index(g)));
+                }
+            })
+        };
+        for r in readers {
+            r.join().unwrap();
+        }
+        publisher.join().unwrap();
+        assert_eq!(slot.generation(), 4);
+        assert_eq!(slot.load().verify_generation(), Some(4));
+    }
+}

@@ -1,0 +1,33 @@
+// Rule-engine fixture: atomics-discipline positives and negatives.
+// This file is never compiled; the `fixtures` directory is excluded
+// from the workspace walk and only read by crates/xtask/tests.
+
+pub fn justified_pair(flag: &AtomicBool) {
+    // sync: pairs with the Release store in `justified_pair` below.
+    let _ = flag.load(Ordering::Acquire);
+    flag.store(true, Ordering::Release); // sync: publishes the flag payload
+}
+
+pub fn missing_justification(flag: &AtomicBool) {
+    let _ = flag.load(Ordering::Acquire);
+}
+
+// a comment mentioning Ordering::Relaxed is not a finding
+pub fn string_negative() -> &'static str {
+    "Ordering::SeqCst inside a string is not a finding"
+}
+
+pub fn cmp_ordering_negative(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), std::cmp::Ordering::Less)
+}
+
+pub fn mismatched_pair(state: &AtomicU64) {
+    state.store(1, Ordering::Release); // sync: publishes the epoch payload
+    // sync: reads the epoch counter without pairing with the release.
+    let _ = state.load(Ordering::Relaxed);
+}
+
+pub fn relaxed_counter(hits: &AtomicU64) {
+    // sync: pure statistics counter; no data is published through it.
+    hits.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,45 @@
+// Rule-engine fixture: lock-discipline positives and negatives.
+// This file is never compiled; the `fixtures` directory is excluded
+// from the workspace walk and only read by crates/xtask/tests.
+
+pub fn hazard_send_while_locked(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = tx.send(*g);
+}
+
+pub fn negative_guard_dropped_before_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap_or_else(|p| p.into_inner());
+    let v = *g;
+    drop(g);
+    let _ = tx.send(v);
+}
+
+pub fn negative_block_scoped_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let g = m.lock().unwrap_or_else(|p| p.into_inner());
+        *g
+    };
+    let _ = tx.send(v);
+}
+
+// a comment mentioning m.lock() and tx.send() is not a finding
+pub fn negative_strings_and_comments() -> &'static str {
+    "never call send() while m.lock() is held"
+}
+
+pub fn consistent_ab_order(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = (*ga, *gb);
+}
+
+pub fn reversed_ba_order_via_helper(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner());
+    lock_a_too(a);
+    let _ = *gb;
+}
+
+fn lock_a_too(a: &Mutex<u32>) {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = *ga;
+}

@@ -1,0 +1,302 @@
+//! `atomics-discipline`: every atomic memory-ordering choice is a
+//! claim about the program's happens-before graph, and claims need
+//! proofs. Three checks, all on the lexer's token stream:
+//!
+//! * **`// sync:` justification** — every `Ordering::{Relaxed,Acquire,
+//!   Release,AcqRel,SeqCst}` site in library code must carry a
+//!   `// sync: <invariant>` comment (trailing on the same line, or a
+//!   standalone comment on the line above), stating *which* ordering
+//!   invariant the choice relies on. `std::cmp::Ordering` variants
+//!   (`Less`/`Equal`/`Greater`) never match.
+//! * **Relaxed on publish/verify paths** — `Ordering::Relaxed` inside
+//!   [`RELAXED_FORBIDDEN`] (the hot-swap publish path and the pool's
+//!   result plumbing) is a finding unless waived with a
+//!   `lint:allow(atomics-discipline): <reason>`; those files are where
+//!   a misplaced Relaxed turns into a torn generation or a lost result.
+//! * **Acquire/Release pairing** — per file and per atomic variable, a
+//!   store with `Release` semantics paired with a `Relaxed` load (or an
+//!   `Acquire` load paired with a `Relaxed` store) is flagged: the
+//!   release fence synchronises nothing unless the matching load
+//!   acquires, and vice versa.
+
+use crate::lexer::{Comment, Token, TokenKind};
+use crate::rules::{Finding, RULE_ATOMICS};
+use std::collections::BTreeMap;
+
+/// Files where `Ordering::Relaxed` needs an explicit waiver: the epoch
+/// hot-swap publish path and the worker pool's cancellation/result
+/// plumbing.
+pub const RELAXED_FORBIDDEN: [&str; 2] = ["crates/engine/src/pool.rs", "crates/serve/src/swap.rs"];
+
+/// Atomic ordering variants (distinguishes `sync::atomic::Ordering`
+/// from `cmp::Ordering`).
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic methods that read (for pairing purposes).
+const LOAD_METHODS: [&str; 1] = ["load"];
+
+/// Atomic methods that write or read-modify-write.
+const STORE_METHODS: [&str; 10] = [
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_update",
+    "compare_exchange",
+];
+
+/// One atomic-ordering use site.
+#[derive(Debug)]
+struct Site {
+    line: u32,
+    ordering: &'static str,
+    /// `load` / `store` / … resolved from the enclosing call; empty
+    /// when the `Ordering::` token is not an argument of a recognised
+    /// atomic method (e.g. passed through a helper).
+    method: String,
+    /// Receiver variable of the atomic call (`cancel` in
+    /// `cancel.load(…)`); empty when unresolved.
+    receiver: String,
+}
+
+/// Runs the atomics checks over one file.
+pub fn check(file: &str, t: &[Token], mask: &[bool], comments: &[Comment], out: &mut Vec<Finding>) {
+    let sites = collect_sites(t, mask);
+    if sites.is_empty() {
+        return;
+    }
+    let justified = sync_comment_lines(t, comments);
+    let relaxed_forbidden = RELAXED_FORBIDDEN.contains(&file);
+
+    for s in &sites {
+        if !justified.contains(&s.line) {
+            out.push(finding(
+                file,
+                s.line,
+                &format!("Ordering::{}", s.ordering),
+                format!(
+                    "`Ordering::{}` without a `// sync: <invariant>` justification — state \
+                     the happens-before edge this ordering provides or forgoes",
+                    s.ordering
+                ),
+            ));
+        }
+        if relaxed_forbidden && s.ordering == "Relaxed" {
+            out.push(finding(
+                file,
+                s.line,
+                "Ordering::Relaxed",
+                "`Ordering::Relaxed` on a publish/verify path — use Acquire/Release (or \
+                 justify with lint:allow(atomics-discipline) why no data is published)"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // Pairing: group sites by receiver, compare store vs load orderings.
+    let mut by_recv: BTreeMap<&str, Vec<&Site>> = BTreeMap::new();
+    for s in &sites {
+        if !s.receiver.is_empty() {
+            by_recv.entry(&s.receiver).or_default().push(s);
+        }
+    }
+    for (recv, sites) in by_recv {
+        let releasing_store = sites.iter().any(|s| {
+            STORE_METHODS.contains(&s.method.as_str())
+                && matches!(s.ordering, "Release" | "AcqRel" | "SeqCst")
+        });
+        let acquiring_load = sites.iter().any(|s| {
+            LOAD_METHODS.contains(&s.method.as_str())
+                && matches!(s.ordering, "Acquire" | "AcqRel" | "SeqCst")
+        });
+        for s in &sites {
+            if s.ordering != "Relaxed" {
+                continue;
+            }
+            if releasing_store && LOAD_METHODS.contains(&s.method.as_str()) {
+                out.push(finding(
+                    file,
+                    s.line,
+                    &format!("{recv}.load(Relaxed)"),
+                    format!(
+                        "`{recv}` is stored with Release semantics elsewhere in this file but \
+                         loaded Relaxed here — the release edge synchronises nothing without \
+                         a matching Acquire"
+                    ),
+                ));
+            }
+            if acquiring_load && STORE_METHODS.contains(&s.method.as_str()) {
+                out.push(finding(
+                    file,
+                    s.line,
+                    &format!("{recv}.{}(Relaxed)", s.method),
+                    format!(
+                        "`{recv}` is loaded with Acquire semantics elsewhere in this file but \
+                         written Relaxed here — the acquire edge has no release to pair with"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn finding(file: &str, line: u32, matched: &str, message: String) -> Finding {
+    Finding {
+        rule: RULE_ATOMICS,
+        file: file.to_string(),
+        line,
+        matched: matched.to_string(),
+        message,
+        reason: String::new(),
+    }
+}
+
+/// Lines justified by a `// sync: <invariant>` comment: the comment's
+/// own line (trailing) or the next code line (standalone) — the same
+/// coverage contract as `lint:allow`.
+fn sync_comment_lines(t: &[Token], comments: &[Comment]) -> Vec<u32> {
+    let mut lines = Vec::new();
+    for c in comments {
+        let body = match c.text.strip_prefix("//") {
+            Some(r) if !r.starts_with('/') && !r.starts_with('!') => r,
+            _ => continue,
+        };
+        let Some(rest) = body.trim_start().strip_prefix("sync:") else {
+            continue;
+        };
+        if rest.trim().is_empty() {
+            continue; // an empty invariant justifies nothing
+        }
+        if c.own_line {
+            if let Some(next) = t.iter().map(|tok| tok.line).find(|&l| l > c.line) {
+                lines.push(next);
+            }
+        } else {
+            lines.push(c.line);
+        }
+    }
+    lines
+}
+
+/// Finds every atomic `Ordering::<variant>` token and resolves the
+/// enclosing atomic method call and its receiver where possible.
+fn collect_sites(t: &[Token], mask: &[bool]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for (i, tok) in t.iter().enumerate() {
+        if mask[i] || tok.kind != TokenKind::Ident || tok.text != "Ordering" {
+            continue;
+        }
+        if !(t
+            .get(i + 1)
+            .is_some_and(|p| p.kind == TokenKind::Punct && p.text == "::"))
+        {
+            continue;
+        }
+        let Some(variant) = t.get(i + 2).and_then(|v| {
+            ATOMIC_ORDERINGS
+                .iter()
+                .find(|&&o| v.kind == TokenKind::Ident && v.text == o)
+        }) else {
+            continue;
+        };
+        // `cmp::Ordering::…` and `atomic::Ordering::…` both qualify the
+        // token; the variant name already disambiguated them.
+        let (method, receiver) = resolve_call(t, i);
+        sites.push(Site {
+            line: tok.line,
+            ordering: variant,
+            method,
+            receiver,
+        });
+    }
+    sites
+}
+
+/// Walks back from the `Ordering` token to the nearest enclosing
+/// `recv.method(` whose method is a recognised atomic op, skipping at
+/// most one level of argument punctuation. Returns empty strings when
+/// no atomic call encloses the site.
+fn resolve_call(t: &[Token], ordering_idx: usize) -> (String, String) {
+    let mut depth = 0i32;
+    let mut k = ordering_idx as isize - 1;
+    // Walk back over path qualifiers (`atomic::Ordering`, …).
+    while k >= 1
+        && t[k as usize].kind == TokenKind::Punct
+        && t[k as usize].text == "::"
+        && t[(k - 1) as usize].kind == TokenKind::Ident
+    {
+        k -= 2;
+    }
+    while k >= 0 {
+        let tok = &t[k as usize];
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                ")" | "]" | "}" => depth += 1,
+                "[" | "{" => depth -= 1,
+                "(" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        // The call's opening paren: method ident precedes.
+                        let m = (k - 1).max(0) as usize;
+                        let method = t
+                            .get(m)
+                            .filter(|tok| tok.kind == TokenKind::Ident)
+                            .map(|tok| tok.text.clone())
+                            .unwrap_or_default();
+                        if !LOAD_METHODS.contains(&method.as_str())
+                            && !STORE_METHODS.contains(&method.as_str())
+                        {
+                            return (String::new(), String::new());
+                        }
+                        let receiver = if t
+                            .get(m.wrapping_sub(1))
+                            .is_some_and(|d| d.kind == TokenKind::Punct && d.text == ".")
+                        {
+                            receiver_name(t, m.wrapping_sub(1))
+                        } else {
+                            String::new()
+                        };
+                        return (method, receiver);
+                    }
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        k -= 1;
+    }
+    (String::new(), String::new())
+}
+
+/// Nearest identifier before the `.` at `dot`, stepping over one index
+/// expression (`slots[i]`).
+fn receiver_name(t: &[Token], dot: usize) -> String {
+    let mut k = dot as isize - 1;
+    if k >= 0 && t[k as usize].kind == TokenKind::Punct && t[k as usize].text == "]" {
+        let mut d = 0i32;
+        while k >= 0 {
+            match (t[k as usize].kind, t[k as usize].text.as_str()) {
+                (TokenKind::Punct, "]") => d += 1,
+                (TokenKind::Punct, "[") => {
+                    d -= 1;
+                    if d == 0 {
+                        k -= 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k -= 1;
+        }
+    }
+    usize::try_from(k)
+        .ok()
+        .and_then(|k| t.get(k))
+        .filter(|tok| tok.kind == TokenKind::Ident)
+        .map(|tok| tok.text.clone())
+        .unwrap_or_default()
+}

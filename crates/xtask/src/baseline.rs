@@ -1,0 +1,116 @@
+//! `--baseline` diff mode: gate on *new* findings only.
+//!
+//! CI commits a known `LINT.json`; a PR's lint run then fails only when
+//! it introduces findings absent from that baseline, instead of
+//! re-litigating absolute counts. Findings are keyed by
+//! `(rule, file, matched)` as a multiset — line numbers shift with
+//! every edit, so they are deliberately not part of the key, but adding
+//! a *second* `unwrap` to a file that already had one still fails.
+
+use crate::rules::Finding;
+use rpdbscan_json::Value;
+use std::collections::BTreeMap;
+
+/// Multiset of baseline finding keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parses a previously written `LINT.json` document.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = Value::parse(src).map_err(|e| format!("baseline: {e}"))?;
+        let findings = doc
+            .as_object()
+            .and_then(|o| o.get("findings"))
+            .and_then(Value::as_array)
+            .ok_or_else(|| "baseline: no `findings` array".to_string())?;
+        let mut counts = BTreeMap::new();
+        for f in findings {
+            let obj = f
+                .as_object()
+                .ok_or_else(|| "baseline: non-object finding".to_string())?;
+            let field = |k: &str| -> Result<String, String> {
+                match obj.get(k) {
+                    Some(Value::String(s)) => Ok(s.clone()),
+                    _ => Err(format!("baseline: finding missing string `{k}`")),
+                }
+            };
+            let key = (field("rule")?, field("file")?, field("matched")?);
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Findings not covered by the baseline: each baseline key absorbs
+    /// as many current findings as it had occurrences; the rest are new.
+    pub fn new_findings<'a>(&self, current: &'a [Finding]) -> Vec<&'a Finding> {
+        let mut budget = self.counts.clone();
+        current
+            .iter()
+            .filter(|f| {
+                let key = (f.rule.to_string(), f.file.clone(), f.matched.clone());
+                match budget.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        false
+                    }
+                    _ => true,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, matched: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            matched: matched.to_string(),
+            message: String::new(),
+            reason: String::new(),
+        }
+    }
+
+    #[test]
+    fn absorbs_matching_findings_ignoring_lines() {
+        let base = Baseline::parse(
+            r#"{"findings":[{"rule":"panic-safety","file":"a.rs","line":3,"matched":"unwrap","message":"m"}]}"#,
+        )
+        .expect("parses");
+        let moved = [finding("panic-safety", "a.rs", "unwrap", 99)];
+        assert!(base.new_findings(&moved).is_empty());
+    }
+
+    #[test]
+    fn second_occurrence_in_same_file_is_new() {
+        let base = Baseline::parse(
+            r#"{"findings":[{"rule":"panic-safety","file":"a.rs","line":3,"matched":"unwrap","message":"m"}]}"#,
+        )
+        .expect("parses");
+        let two = [
+            finding("panic-safety", "a.rs", "unwrap", 3),
+            finding("panic-safety", "a.rs", "unwrap", 40),
+        ];
+        assert_eq!(base.new_findings(&two).len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_reports_everything() {
+        let base = Baseline::parse(r#"{"findings":[]}"#).expect("parses");
+        let fs = [finding("float-eq", "b.rs", "==", 1)];
+        assert_eq!(base.new_findings(&fs).len(), 1);
+    }
+
+    #[test]
+    fn rejects_documents_without_findings() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -16,7 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomics;
+pub mod baseline;
 pub mod lexer;
+pub mod locks;
 pub mod manifest;
 pub mod report;
 pub mod rules;
@@ -40,6 +43,7 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     sources.sort();
     manifests.sort();
 
+    let mut lock_fns = Vec::new();
     for rel in &sources {
         let Some(scope) = scope::classify(rel) else {
             continue;
@@ -49,7 +53,14 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         report.files_scanned += 1;
         report.findings.extend(outcome.findings);
         report.suppressed.extend(outcome.suppressed);
+        lock_fns.extend(outcome.lock_fns);
     }
+
+    // Workspace-wide passes. Both run after per-file suppression on
+    // purpose: a lock-order cycle or an unclassified crate is a
+    // structural defect, not a line to annotate away.
+    report.findings.extend(locks::check_order(&lock_fns));
+    report.findings.extend(scope_drift(root)?);
 
     for rel in &manifests {
         let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
@@ -79,13 +90,66 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         }
     }
 
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report
-        .suppressed
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.matched).cmp(&(&b.file, b.line, b.rule, &b.matched))
+    });
+    report.suppressed.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.matched).cmp(&(&b.file, b.line, b.rule, &b.matched))
+    });
     Ok(report)
+}
+
+/// `scope-drift`: expands the `members` globs in the root `Cargo.toml`
+/// and fails when a member under `crates/` has no classification in
+/// [`scope`]. PRs 5 and 7 each added a crate and had to remember the
+/// silent `scope.rs` hand-edit; this makes forgetting a lint failure.
+fn scope_drift(root: &Path) -> Result<Vec<rules::Finding>, String> {
+    let manifest_path = root.join("Cargo.toml");
+    let src =
+        fs::read_to_string(&manifest_path).map_err(|e| format!("read root Cargo.toml: {e}"))?;
+    let mut findings = Vec::new();
+    for (member, line) in manifest::workspace_members(&src) {
+        if member.starts_with("vendor") {
+            continue; // vendored stand-ins are out of lint scope by design
+        }
+        let mut dirs = Vec::new();
+        if let Some(parent) = member.strip_suffix("/*") {
+            let dir = root.join(parent);
+            let entries = fs::read_dir(&dir).map_err(|e| format!("read {parent}/: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("walk {parent}/: {e}"))?;
+                if entry.path().join("Cargo.toml").is_file() {
+                    dirs.push(entry.file_name().to_string_lossy().into_owned());
+                }
+            }
+        } else {
+            dirs.push(
+                member
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(member.as_str())
+                    .to_string(),
+            );
+        }
+        dirs.sort();
+        for dir in dirs {
+            if !scope::is_known_crate(&dir) {
+                findings.push(rules::Finding {
+                    rule: rules::RULE_SCOPE_DRIFT,
+                    file: "Cargo.toml".to_string(),
+                    line,
+                    matched: dir.clone(),
+                    message: format!(
+                        "workspace member `crates/{dir}` is not classified in \
+                         xtask's scope.rs — add it to LIBRARY_CRATES or \
+                         TOOL_CRATES so the lint regime covers it"
+                    ),
+                    reason: String::new(),
+                });
+            }
+        }
+    }
+    Ok(findings)
 }
 
 /// Collects workspace-relative `.rs` and `Cargo.toml` paths.

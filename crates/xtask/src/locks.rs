@@ -1,0 +1,535 @@
+//! `lock-discipline`: flow-aware lock analysis on the token stream.
+//!
+//! The nine original rules are single-token pattern checks; this pass
+//! is the first *flow-aware* one. Per function it tracks `Mutex`/
+//! `RwLock` guard bindings — `let g = x.lock()…;` holds `x` until the
+//! enclosing block closes or `drop(g)` runs, while a guard consumed in
+//! the same statement (`x.lock().….field += 1;`) is a temporary — and
+//! from the held-sets derives two kinds of facts:
+//!
+//! * **hazards** (per-file findings): a guard held across a call that
+//!   blocks or re-enters the engine — `run_stage`, a channel `send`/
+//!   `recv`, or a condvar `wait` — is reported at the call site. These
+//!   calls can park the thread for arbitrarily long (or, for
+//!   `run_stage`, run arbitrary task closures), so holding a lock over
+//!   them turns back-pressure into a convoy or a deadlock.
+//! * **a workspace-wide acquisition-order graph**: an edge `A → B` is
+//!   recorded when lock `B` is acquired while `A` is held, either
+//!   directly or through a same-crate function call made while `A` is
+//!   held — where only free calls and `self.method(..)` resolve to
+//!   local functions (`queue.drain(..)` is `VecDeque::drain`, not a
+//!   local `fn drain`). [`check_order`] runs after every file is scanned,
+//!   propagates callee lock-sets to a fixpoint, and fails on any cycle
+//!   — the classic ABBA deadlock shape — naming the full cycle.
+//!
+//! Lock identity is the receiver identifier qualified by crate
+//! (`serve::queue`, `engine::failure`); distinct fields with one name
+//! in one crate collapse onto one node, which errs towards reporting.
+//! Only zero-argument `.lock()`/`.read()`/`.write()` calls count, so
+//! `io::Read::read(&mut buf)` and `fs::read_dir` never match.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Finding, RULE_LOCK};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Calls that must never run while a lock guard is held: they block on
+/// external progress (channel peers, condvar signals) or re-enter the
+/// engine (`run_stage` executes arbitrary task closures on the pool).
+const HELD_ACROSS_HAZARDS: [&str; 7] = [
+    "run_stage",
+    "send",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+];
+
+/// Method names that acquire a guard when called with no arguments.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Guard-adapter methods that may trail the acquisition without
+/// consuming the guard (`.lock().unwrap()`, `.write().unwrap_or_else(…)`).
+const GUARD_ADAPTERS: [&str; 3] = ["unwrap", "unwrap_or_else", "expect"];
+
+/// Lock facts extracted from one function body.
+#[derive(Debug, Clone)]
+pub struct FnLocks {
+    /// Workspace-relative file the function lives in.
+    pub file: String,
+    /// Owning crate (lock and call resolution stays within it).
+    pub crate_name: String,
+    /// Function name (token after `fn`).
+    pub fn_name: String,
+    /// Locks acquired anywhere in the body: `(lock, line)`.
+    pub acquires: Vec<(String, u32)>,
+    /// Direct order edges: lock `held` → lock `acquired`, at `line`.
+    pub edges: Vec<(String, String, u32)>,
+    /// Same-crate calls made while holding locks:
+    /// `(callee, held locks, line)`.
+    pub calls_while_held: Vec<(String, Vec<String>, u32)>,
+    /// Every call made in the body (for transitive lock sets).
+    pub calls: Vec<String>,
+}
+
+/// One live guard binding.
+#[derive(Debug)]
+struct Guard {
+    /// Binding name (`queue` in `let mut queue = …`); empty for
+    /// temporaries that live to the end of their statement.
+    binding: String,
+    /// Canonical lock id (`crate::receiver`).
+    lock: String,
+    /// Brace depth the binding lives at; popped when depth drops below.
+    depth: i32,
+    /// Temporaries are released at the next `;` at their depth.
+    statement_temp: bool,
+}
+
+/// Scans one file's tokens for lock facts. Returns hazard findings
+/// (guard held across a blocking call) plus per-function summaries for
+/// the workspace-wide order check. `mask` marks test tokens to skip.
+pub fn analyze_file(
+    file: &str,
+    crate_name: &str,
+    t: &[Token],
+    mask: &[bool],
+    out: &mut Vec<Finding>,
+) -> Vec<FnLocks> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].kind == TokenKind::Ident && t[i].text == "fn" && !mask[i] {
+            let Some(name) = t.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            // The body is the first brace-balanced block after the
+            // signature; a trait/extern declaration ends at `;` first.
+            let mut j = i + 2;
+            let mut body_open = None;
+            while let Some(tok) = t.get(j) {
+                if tok.kind == TokenKind::Punct {
+                    match tok.text.as_str() {
+                        "{" => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            let Some(open) = body_open else {
+                i = j + 1;
+                continue;
+            };
+            let end = block_end(t, open);
+            let info = analyze_fn(file, crate_name, &name.text, t, open, end, out);
+            if !info.acquires.is_empty() || !info.calls.is_empty() {
+                fns.push(info);
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Index just past the `}` matching the `{` at `open`.
+fn block_end(t: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, tok) in t.iter().enumerate().skip(open) {
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    t.len()
+}
+
+fn punct(t: &[Token], i: usize, s: &str) -> bool {
+    t.get(i)
+        .is_some_and(|tok| tok.kind == TokenKind::Punct && tok.text == s)
+}
+
+/// Walks one function body, maintaining the live guard stack.
+fn analyze_fn(
+    file: &str,
+    crate_name: &str,
+    fn_name: &str,
+    t: &[Token],
+    open: usize,
+    end: usize,
+    out: &mut Vec<Finding>,
+) -> FnLocks {
+    let mut info = FnLocks {
+        file: file.to_string(),
+        crate_name: crate_name.to_string(),
+        fn_name: fn_name.to_string(),
+        acquires: Vec::new(),
+        edges: Vec::new(),
+        calls_while_held: Vec::new(),
+        calls: Vec::new(),
+    };
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        let tok = &t[j];
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => guards.retain(|g| !(g.statement_temp && g.depth == depth)),
+                _ => {}
+            }
+            j += 1;
+            continue;
+        }
+        if tok.kind != TokenKind::Ident {
+            j += 1;
+            continue;
+        }
+        // `drop(name)` releases the named guard.
+        if tok.text == "drop" && punct(t, j + 1, "(") {
+            if let Some(arg) = t.get(j + 2).filter(|a| a.kind == TokenKind::Ident) {
+                guards.retain(|g| g.binding != arg.text);
+            }
+            j += 1;
+            continue;
+        }
+        // Zero-arg `.lock()` / `.read()` / `.write()`.
+        if ACQUIRE_METHODS.contains(&tok.text.as_str())
+            && punct(t, j.wrapping_sub(1), ".")
+            && punct(t, j + 1, "(")
+            && punct(t, j + 2, ")")
+        {
+            let lock = qualified_receiver(crate_name, t, j - 1);
+            for g in &guards {
+                info.edges.push((g.lock.clone(), lock.clone(), tok.line));
+            }
+            info.acquires.push((lock.clone(), tok.line));
+            let (binding, statement_temp) = guard_binding(t, j, end);
+            guards.push(Guard {
+                binding,
+                lock,
+                depth,
+                statement_temp,
+            });
+            j += 3;
+            continue;
+        }
+        // A call: `name(` or `.name(`. The hazard check is name-based
+        // (`self.engine.run_stage(..)` must fire), but only `self.name(`
+        // and free `name(` calls resolve to same-crate functions for
+        // the order graph — `queue.drain(..)` is `VecDeque::drain`, not
+        // `Server::drain`, and conflating them manufactures edges.
+        if punct(t, j + 1, "(") && tok.text != "fn" {
+            if HELD_ACROSS_HAZARDS.contains(&tok.text.as_str()) && !guards.is_empty() {
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                out.push(Finding {
+                    rule: RULE_LOCK,
+                    file: file.to_string(),
+                    line: tok.line,
+                    matched: tok.text.clone(),
+                    message: format!(
+                        "`{}` called while holding {} — release the guard before blocking \
+                         or re-entering the engine",
+                        tok.text,
+                        held.join(", "),
+                    ),
+                    reason: String::new(),
+                });
+            }
+            let is_method = punct(t, j.wrapping_sub(1), ".");
+            let resolvable = if is_method {
+                j >= 2 && t[j - 2].kind == TokenKind::Ident && t[j - 2].text == "self"
+            } else {
+                tok.text.starts_with(|c: char| c.is_ascii_lowercase())
+                    && !matches!(
+                        tok.text.as_str(),
+                        "for" | "if" | "while" | "match" | "loop" | "let" | "return" | "move"
+                    )
+            };
+            if resolvable {
+                info.calls.push(tok.text.clone());
+                if !guards.is_empty() {
+                    info.calls_while_held.push((
+                        tok.text.clone(),
+                        guards.iter().map(|g| g.lock.clone()).collect(),
+                        tok.line,
+                    ));
+                }
+            }
+        }
+        j += 1;
+    }
+    info
+}
+
+/// Canonical `crate::receiver` id for the expression ending at the `.`
+/// before the acquire method. Walks back over one index expression
+/// (`slots[i]`) and takes the nearest identifier; `self.` and longer
+/// paths collapse onto the field name.
+fn qualified_receiver(crate_name: &str, t: &[Token], dot: usize) -> String {
+    let mut k = dot as isize - 1;
+    if k >= 0 && t[k as usize].kind == TokenKind::Punct && t[k as usize].text == "]" {
+        let mut d = 0i32;
+        while k >= 0 {
+            match (t[k as usize].kind, t[k as usize].text.as_str()) {
+                (TokenKind::Punct, "]") => d += 1,
+                (TokenKind::Punct, "[") => {
+                    d -= 1;
+                    if d == 0 {
+                        k -= 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k -= 1;
+        }
+    }
+    let name = usize::try_from(k)
+        .ok()
+        .and_then(|k| t.get(k))
+        .filter(|tok| tok.kind == TokenKind::Ident)
+        .map(|tok| tok.text.as_str())
+        .unwrap_or("<expr>");
+    format!("{crate_name}::{name}")
+}
+
+/// Decides whether the acquisition at `lock_idx` is bound to a live
+/// guard (`let g = x.lock().unwrap…;` — returns the binding name) or is
+/// a statement temporary (further method calls or field access consume
+/// it, or there is no `let`).
+fn guard_binding(t: &[Token], lock_idx: usize, end: usize) -> (String, bool) {
+    // Forward: skip the `()` then any guard-adapter calls; a `;` right
+    // after means the binding *is* the guard.
+    let mut j = lock_idx + 3; // past `( )`
+    loop {
+        if punct(t, j, ".")
+            && t.get(j + 1).is_some_and(|a| {
+                a.kind == TokenKind::Ident && GUARD_ADAPTERS.contains(&a.text.as_str())
+            })
+            && punct(t, j + 2, "(")
+        {
+            j = block_paren_end(t, j + 2, end);
+            continue;
+        }
+        break;
+    }
+    if !punct(t, j, ";") {
+        return (String::new(), true);
+    }
+    // Backward: find `let [mut] name =` in the same statement.
+    let mut k = lock_idx;
+    while k > 0 {
+        k -= 1;
+        let tok = &t[k];
+        if tok.kind == TokenKind::Punct && matches!(tok.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        if tok.kind == TokenKind::Ident && tok.text == "let" {
+            let name_idx = if t.get(k + 1).is_some_and(|m| m.text == "mut") {
+                k + 2
+            } else {
+                k + 1
+            };
+            if let Some(name) = t.get(name_idx).filter(|n| n.kind == TokenKind::Ident) {
+                return (name.text.clone(), false);
+            }
+            break;
+        }
+    }
+    (String::new(), true)
+}
+
+/// Index just past the `)` matching the `(` at `open`, capped at `end`.
+fn block_paren_end(t: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        if t[j].kind == TokenKind::Punct {
+            match t[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Workspace pass: builds the acquisition-order graph from every
+/// function summary — direct edges plus edges through same-crate calls
+/// made while holding a lock, with callee lock-sets propagated to a
+/// fixpoint — and reports every cycle. Runs after per-file suppression,
+/// so order cycles are not waivable: a deadlock shape must be fixed by
+/// reordering, not annotated away.
+pub fn check_order(fns: &[FnLocks]) -> Vec<Finding> {
+    // Transitive lock set per (crate, fn name). Collisions on one name
+    // within a crate union their sets (erring towards reporting).
+    let mut lock_sets: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut callees: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for f in fns {
+        let key = (f.crate_name.clone(), f.fn_name.clone());
+        let set = lock_sets.entry(key.clone()).or_default();
+        for (lock, _) in &f.acquires {
+            set.insert(lock.clone());
+        }
+        callees
+            .entry(key)
+            .or_default()
+            .extend(f.calls.iter().cloned());
+    }
+    loop {
+        let mut changed = false;
+        let keys: Vec<(String, String)> = lock_sets.keys().cloned().collect();
+        for key in keys {
+            let Some(calls) = callees.get(&key) else {
+                continue;
+            };
+            let mut add = BTreeSet::new();
+            for callee in calls {
+                let callee_key = (key.0.clone(), callee.clone());
+                if callee_key == key {
+                    continue;
+                }
+                if let Some(s) = lock_sets.get(&callee_key) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let set = lock_sets.entry(key).or_default();
+            let before = set.len();
+            set.extend(add);
+            changed |= set.len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: held → acquired, directly or through a held call. The
+    // value records one representative site: (file, fn, line, callee).
+    type Site = (String, String, u32, String);
+    let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+    for f in fns {
+        for (from, to, line) in &f.edges {
+            edges.entry((from.clone(), to.clone())).or_insert((
+                f.file.clone(),
+                f.fn_name.clone(),
+                *line,
+                String::new(),
+            ));
+        }
+        for (callee, held, line) in &f.calls_while_held {
+            let callee_key = (f.crate_name.clone(), callee.clone());
+            let Some(target_locks) = lock_sets.get(&callee_key) else {
+                continue;
+            };
+            for from in held {
+                for to in target_locks {
+                    if from == to {
+                        continue;
+                    }
+                    edges.entry((from.clone(), to.clone())).or_insert((
+                        f.file.clone(),
+                        f.fn_name.clone(),
+                        *line,
+                        callee.clone(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Cycle detection: DFS with a three-colour marking over the sorted
+    // node set, reporting each back edge's cycle once.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+        adj.entry(to).or_default();
+    }
+    let mut colour: BTreeMap<&str, u8> = adj.keys().map(|&n| (n, 0u8)).collect();
+    let mut findings = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if colour[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        colour.insert(start, 1);
+        while let Some((node, next)) = stack.last_mut() {
+            let node = *node;
+            let succs = &adj[node];
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                match colour[s] {
+                    0 => {
+                        colour.insert(s, 1);
+                        path.push(s);
+                        stack.push((s, 0));
+                    }
+                    1 => {
+                        // Back edge node→s: the cycle is path[pos..] + s.
+                        let pos = path.iter().position(|&n| n == s).unwrap_or(0);
+                        let mut cycle: Vec<&str> = path[pos..].to_vec();
+                        cycle.push(s);
+                        let (file, via_fn, line, via_call) = edges
+                            .get(&(node.to_string(), s.to_string()))
+                            .cloned()
+                            .unwrap_or_default();
+                        let through = if via_call.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (through call to `{via_call}`)")
+                        };
+                        findings.push(Finding {
+                            rule: RULE_LOCK,
+                            file,
+                            line,
+                            matched: "lock-order cycle".to_string(),
+                            message: format!(
+                                "cyclic lock acquisition order {} in fn `{via_fn}`{} — a \
+                                 schedule exists where two threads deadlock; acquire these \
+                                 locks in one global order",
+                                cycle.join(" -> "),
+                                through,
+                            ),
+                            reason: String::new(),
+                        });
+                    }
+                    _ => {}
+                }
+            } else {
+                colour.insert(node, 2);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    findings
+}

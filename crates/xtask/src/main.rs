@@ -1,12 +1,15 @@
 //! CLI for the workspace static analyzer.
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--json PATH] [--root PATH]
+//! cargo run -p xtask -- lint [--json PATH] [--baseline PATH] [--root PATH]
 //! cargo run -p xtask -- rules
 //! ```
 //!
 //! `lint` exits 0 when no unsuppressed finding survives, 1 when
-//! findings remain, 2 on usage or I/O errors.
+//! findings remain, 2 on usage or I/O errors. With `--baseline` the
+//! gate shifts to *new* findings: anything already recorded in the
+//! given `LINT.json` (keyed by rule/file/match, not line) is reported
+//! but does not fail the run.
 
 #![forbid(unsafe_code)]
 
@@ -17,8 +20,11 @@ const USAGE: &str = "\
 usage: cargo run -p xtask -- <command>
 
 commands:
-  lint [--json PATH] [--root PATH]   scan the workspace; write LINT.json
-  rules                              list the rules and what they enforce
+  lint [--json PATH] [--baseline PATH] [--root PATH]
+        scan the workspace; write LINT.json; with --baseline, fail only
+        on findings not present in the given report
+  rules
+        list the rules and what they enforce
 ";
 
 fn main() -> ExitCode {
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut root = workspace_root();
     let mut json_path: Option<PathBuf> = Some(PathBuf::from("LINT.json"));
+    let mut baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,6 +56,10 @@ fn lint(args: &[String]) -> ExitCode {
             "--json" => match it.next() {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => return usage_err("--json needs a path"),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline needs a path"),
             },
             "--no-json" => json_path = None,
             other => return usage_err(&format!("unknown flag `{other}`")),
@@ -76,6 +87,41 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
         println!("  report: {}", path.display());
+    }
+    if let Some(path) = baseline_path {
+        let path = if path.is_absolute() {
+            path
+        } else {
+            root.join(path)
+        };
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match xtask::baseline::Baseline::parse(&src) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let new = base.new_findings(&report.findings);
+        for f in &new {
+            println!("  NEW {}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        println!(
+            "  baseline {}: {} new finding(s)",
+            path.display(),
+            new.len()
+        );
+        return if new.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if report.findings.is_empty() {
         ExitCode::SUCCESS

@@ -82,6 +82,47 @@ pub fn check_manifest(rel: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// Extracts `[workspace] members` entries (possibly multi-line arrays)
+/// from the root manifest, with the 1-based line each entry sits on.
+/// Glob entries (`crates/*`) come back verbatim for the caller to
+/// expand against the filesystem.
+pub fn workspace_members(src: &str) -> Vec<(String, u32)> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_array = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('[') && line.ends_with(']') && !in_array {
+            in_workspace = line.trim_matches(['[', ']']).trim() == "workspace";
+            continue;
+        }
+        let rest = if in_array {
+            line.as_str()
+        } else if in_workspace {
+            match line.split_once('=') {
+                Some((key, value)) if key.trim() == "members" => {
+                    in_array = true;
+                    value.trim()
+                }
+                _ => continue,
+            }
+        } else {
+            continue;
+        };
+        for piece in rest.split(',') {
+            let piece = piece.trim().trim_matches(['[', ']']).trim();
+            if piece.len() >= 2 && piece.starts_with('"') && piece.ends_with('"') {
+                members.push((piece.trim_matches('"').to_string(), lineno));
+            }
+        }
+        if rest.contains(']') {
+            in_array = false;
+        }
+    }
+    members
+}
+
 /// Flags `vendor/<crate>/build.rs` files.
 pub fn check_vendor_build_script(rel: &str) -> Finding {
     offline(

@@ -7,6 +7,10 @@ use rpdbscan_json::Value;
 
 use crate::rules::{Finding, RULE_DESCRIPTIONS, RULE_NAMES};
 
+/// `LINT.json` schema version. Bumped to 2 when the concurrency passes
+/// landed (new rules in `by_rule`, `--baseline` consumers appeared).
+pub const SCHEMA_VERSION: i64 = 2;
+
 /// The complete result of a lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
@@ -82,6 +86,7 @@ impl LintReport {
 
         let mut root = Value::object();
         root.insert("tool", "xtask lint");
+        root.insert("schema_version", SCHEMA_VERSION);
         root.insert("summary", summary);
         root.insert(
             "findings",

@@ -6,7 +6,9 @@
 //! [`crate::scope::FileScope`]; see DESIGN.md §"Invariants & static
 //! analysis" for each rule's rationale.
 
+use crate::atomics;
 use crate::lexer::{self, Token, TokenKind};
+use crate::locks::{self, FnLocks};
 use crate::scope::FileScope;
 use crate::suppress;
 
@@ -28,9 +30,16 @@ pub const RULE_OFFLINE: &str = "offline-deps";
 pub const RULE_SUPPRESSION: &str = "suppression";
 /// Rule: no per-call allocation inside functions marked `// lint:hot`.
 pub const RULE_HOT_ALLOC: &str = "hot-path-alloc";
+/// Rule: no cyclic lock order, no guard held across blocking calls.
+pub const RULE_LOCK: &str = "lock-discipline";
+/// Rule: every atomic `Ordering::` site justified; Relaxed gated on
+/// publish paths; Acquire/Release pairing.
+pub const RULE_ATOMICS: &str = "atomics-discipline";
+/// Rule: every workspace member crate is classified in `scope.rs`.
+pub const RULE_SCOPE_DRIFT: &str = "scope-drift";
 
 /// All rule names, for suppression validation and `xtask rules`.
-pub const RULE_NAMES: [&str; 9] = [
+pub const RULE_NAMES: [&str; 12] = [
     RULE_PANIC,
     RULE_TIME,
     RULE_UNORDERED,
@@ -40,10 +49,13 @@ pub const RULE_NAMES: [&str; 9] = [
     RULE_OFFLINE,
     RULE_SUPPRESSION,
     RULE_HOT_ALLOC,
+    RULE_LOCK,
+    RULE_ATOMICS,
+    RULE_SCOPE_DRIFT,
 ];
 
 /// One-line description per rule, aligned with [`RULE_NAMES`].
-pub const RULE_DESCRIPTIONS: [&str; 9] = [
+pub const RULE_DESCRIPTIONS: [&str; 12] = [
     "library code must return errors, not panic: no unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside tests",
     "no Instant::now/SystemTime::now outside engine::{pool,trace,metrics} — clocks feed nothing result-shaped",
     "no HashMap/HashSet iteration on result-ordering paths in core/stream/grid/serve without a sort or order-insensitive sink",
@@ -53,6 +65,9 @@ pub const RULE_DESCRIPTIONS: [&str; 9] = [
     "every Cargo.toml dependency is path-based or workspace-inherited; vendored crates carry no build.rs",
     "lint:allow(<rule>): <reason> — reason mandatory, unknown rules and unused allows are findings",
     "no Vec::new/vec![..]/.to_vec inside a function marked // lint:hot — hoist scratch buffers to the caller",
+    "no Mutex/RwLock guard held across run_stage/channel sends/condvar waits; workspace lock acquisition order must be acyclic",
+    "every atomic Ordering:: site carries // sync: <invariant>; Relaxed forbidden on publish/verify paths; Release stores pair with Acquire loads",
+    "every workspace member in the root Cargo.toml is classified in scope.rs — new crates must be placed under the lint regime explicitly",
 ];
 
 /// One lint finding (or, with `reason` set, one suppressed finding).
@@ -79,6 +94,9 @@ pub struct FileOutcome {
     pub findings: Vec<Finding>,
     /// Findings silenced by a `lint:allow`, with their reasons.
     pub suppressed: Vec<Finding>,
+    /// Per-function lock summaries feeding the workspace-wide
+    /// acquisition-order graph ([`locks::check_order`]).
+    pub lock_fns: Vec<FnLocks>,
 }
 
 /// Lints one source file under the given scope.
@@ -106,12 +124,20 @@ pub fn check_file(rel: &str, scope: &FileScope, src: &str) -> FileOutcome {
     unsafe_code(rel, t, scope, &mut findings);
     // Opt-in via the `// lint:hot` marker, so it runs in every scope.
     hot_path_alloc(rel, t, &mask, &lexed.comments, &mut findings);
+    let mut lock_fns = Vec::new();
+    if scope.lock_discipline() {
+        lock_fns = locks::analyze_file(rel, &scope.crate_name, t, &mask, &mut findings);
+    }
+    if scope.atomics_discipline() {
+        atomics::check(rel, t, &mask, &lexed.comments, &mut findings);
+    }
 
     let (mut findings, suppressed) = suppress::apply(rel, &mut sups, findings);
     findings.sort_by_key(|f| (f.line, f.rule));
     FileOutcome {
         findings,
         suppressed,
+        lock_fns,
     }
 }
 

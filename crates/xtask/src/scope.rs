@@ -22,7 +22,8 @@ pub enum Kind {
     Bench,
     /// `tests/` and `benches/` directories: only the unsafe-code scan.
     Test,
-    /// The `xtask` crate itself: only unsafe/thread rules.
+    /// Analysis tooling (`xtask`, the `model` interleaving explorer):
+    /// only unsafe/thread rules.
     Tool,
 }
 
@@ -65,6 +66,19 @@ pub const LIBRARY_CRATES: [&str; 13] = [
 /// order-insensitive sink or an explicit sort.
 pub const ORDERED_CRATES: [&str; 5] = ["core", "stream", "grid", "serve", "density"];
 
+/// Analysis tooling exempt from the library rule set: the linter
+/// itself, and the offline interleaving explorer (whose shim mutexes
+/// and panicking test asserts are the whole point).
+pub const TOOL_CRATES: [&str; 2] = ["model", "xtask"];
+
+/// Is `dir` (a directory name under `crates/`) a crate this module
+/// knows how to classify? The `scope-drift` rule fails the lint when a
+/// workspace member is missing here, so adding a crate forces an
+/// explicit decision about which rules govern it.
+pub fn is_known_crate(dir: &str) -> bool {
+    LIBRARY_CRATES.contains(&dir) || TOOL_CRATES.contains(&dir) || dir == "bench"
+}
+
 /// Classifies a workspace-relative path (forward slashes). `None`
 /// means the file is out of scope (vendored code, rule fixtures).
 pub fn classify(rel: &str) -> Option<FileScope> {
@@ -82,7 +96,7 @@ pub fn classify(rel: &str) -> Option<FileScope> {
         Kind::Test
     } else if segs.first() == Some(&"examples") {
         Kind::Example
-    } else if crate_name == "xtask" {
+    } else if TOOL_CRATES.contains(&crate_name.as_str()) {
         Kind::Tool
     } else if crate_name == "bench" {
         Kind::Bench
@@ -136,5 +150,15 @@ impl FileScope {
     /// Is unordered hash iteration off-limits here?
     pub fn unordered_iter(&self) -> bool {
         self.kind == Kind::LibrarySrc && ORDERED_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Does the flow-aware lock pass track guards here?
+    pub fn lock_discipline(&self) -> bool {
+        self.kind == Kind::LibrarySrc && LIBRARY_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Must atomic `Ordering::` sites be justified here?
+    pub fn atomics_discipline(&self) -> bool {
+        self.kind == Kind::LibrarySrc && LIBRARY_CRATES.contains(&self.crate_name.as_str())
     }
 }

@@ -1,0 +1,148 @@
+//! Rule-engine tests for the two flow-aware concurrency passes:
+//! `lock-discipline` (guard tracking, held-across hazards, the
+//! workspace acquisition-order graph) and `atomics-discipline`
+//! (`// sync:` justifications, Relaxed bans, Acquire/Release pairing).
+//! Same fixture style as `rule_engine.rs`: each fixture is lexed under
+//! a library scope and the exact `(rule, line)` set is pinned.
+
+use xtask::locks;
+use xtask::rules::{self, Finding};
+use xtask::scope;
+
+fn lib_scope() -> scope::FileScope {
+    scope::classify("crates/core/src/fixture.rs").expect("library scope")
+}
+
+fn check(src: &str) -> rules::FileOutcome {
+    rules::check_file("fixture.rs", &lib_scope(), src)
+}
+
+fn pairs(findings: &[Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn guard_across_send_flagged_releases_are_not() {
+    let out = check(include_str!("../fixtures/lock_cases.rs"));
+    // Line 7 holds `m`'s guard across a channel send. The drop on 13,
+    // the block close on 21, and the string/comment mentions must not
+    // fire.
+    assert_eq!(
+        pairs(&out.findings),
+        vec![("lock-discipline", 7)],
+        "{:?}",
+        out.findings
+    );
+    assert!(out.findings[0].message.contains("send"));
+    assert!(out.suppressed.is_empty());
+}
+
+#[test]
+fn cross_function_lock_order_cycle_is_found() {
+    let out = check(include_str!("../fixtures/lock_cases.rs"));
+    // `consistent_ab_order` takes a then b; `reversed_ba_order_via_helper`
+    // holds b and calls `lock_a_too`, whose lock set propagates a — the
+    // classic ABBA cycle, closed through a call edge.
+    let cycles = locks::check_order(&out.lock_fns);
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    let c = &cycles[0];
+    assert_eq!(c.rule, "lock-discipline");
+    assert!(
+        c.message.contains("cyclic lock acquisition order"),
+        "{}",
+        c.message
+    );
+    assert!(
+        c.message.contains("core::a") && c.message.contains("core::b"),
+        "{}",
+        c.message
+    );
+    assert!(c.message.contains("lock_a_too"), "{}", c.message);
+
+    // Dropping the reversed function leaves a consistent global order.
+    let acyclic: Vec<locks::FnLocks> = out
+        .lock_fns
+        .iter()
+        .filter(|f| f.fn_name != "reversed_ba_order_via_helper")
+        .cloned()
+        .collect();
+    assert!(locks::check_order(&acyclic).is_empty());
+}
+
+#[test]
+fn atomics_sites_need_sync_comments_and_matched_pairs() {
+    let out = check(include_str!("../fixtures/atomics_cases.rs"));
+    // Line 12: `Ordering::Acquire` with no `// sync:`. Line 27: the
+    // load is justified but pairs a Release store with a Relaxed load.
+    // Strings, comments, `cmp::Ordering`, and the justified counter
+    // must not fire.
+    assert_eq!(
+        pairs(&out.findings),
+        vec![("atomics-discipline", 12), ("atomics-discipline", 27)],
+        "{:?}",
+        out.findings
+    );
+    assert!(out.findings[0].message.contains("sync:"));
+    assert!(out.findings[1].message.contains("Release"));
+}
+
+#[test]
+fn empty_sync_invariant_justifies_nothing() {
+    let out = check("pub fn f(x: &AtomicU32) {\n    // sync:\n    x.load(Ordering::Acquire);\n}\n");
+    assert_eq!(pairs(&out.findings), vec![("atomics-discipline", 3)]);
+}
+
+#[test]
+fn relaxed_on_publish_paths_needs_a_waiver() {
+    let s = scope::classify("crates/engine/src/pool.rs").expect("pool scope");
+    let src = "pub fn f(c: &AtomicBool) {\n    \
+               // sync: advisory flag; no payload rides on it.\n    \
+               c.store(true, Ordering::Relaxed);\n}\n";
+    let out = rules::check_file("crates/engine/src/pool.rs", &s, src);
+    assert_eq!(
+        pairs(&out.findings),
+        vec![("atomics-discipline", 3)],
+        "{:?}",
+        out.findings
+    );
+    assert!(out.findings[0].message.contains("publish/verify"));
+
+    // The same site with an explicit reason is waived — and the reason
+    // travels into the suppressed report.
+    let waived = "pub fn f(c: &AtomicBool) {\n    \
+                  // sync: advisory flag; no payload rides on it.\n    \
+                  c.store(true, Ordering::Relaxed); \
+                  // lint:allow(atomics-discipline): flag only; no data published\n}\n";
+    let out = rules::check_file("crates/engine/src/pool.rs", &s, waived);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(pairs(&out.suppressed), vec![("atomics-discipline", 3)]);
+    assert!(!out.suppressed[0].reason.is_empty());
+
+    // Outside the publish/verify paths a justified Relaxed needs no
+    // waiver at all.
+    let out = check(src);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn concurrency_passes_run_on_libraries_not_tools_or_tests() {
+    let lib = lib_scope();
+    assert!(lib.lock_discipline());
+    assert!(lib.atomics_discipline());
+    let tool = scope::classify("crates/xtask/src/rules.rs").expect("tool scope");
+    assert!(!tool.lock_discipline());
+    assert!(!tool.atomics_discipline());
+    let model = scope::classify("crates/model/src/explore.rs").expect("model scope");
+    assert!(!model.lock_discipline());
+    let t = scope::classify("crates/serve/tests/t.rs").expect("test scope");
+    assert!(!t.lock_discipline());
+    assert!(!t.atomics_discipline());
+
+    // The same hazard source produces nothing under a test scope.
+    let hazard = "pub fn f(m: &Mutex<u32>, tx: &Sender<u32>) {\n    \
+                  let g = m.lock().unwrap_or_else(|p| p.into_inner());\n    \
+                  let _ = tx.send(*g);\n}\n";
+    let out = rules::check_file("crates/serve/tests/t.rs", &t, hazard);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert!(out.lock_fns.is_empty());
+}
