@@ -19,5 +19,5 @@ pub mod stream_order;
 pub mod synth;
 
 pub use sampling::reservoir_sample;
-pub use stream_order::{locality_order, shuffled_order};
+pub use stream_order::{locality_order, shuffled_order, sliding_order};
 pub use synth::SynthConfig;

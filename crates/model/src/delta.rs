@@ -1,0 +1,348 @@
+//! Shim model of the delta-publish (copy-on-write shard patch)
+//! protocol.
+//!
+//! `serve::ServingIndex::patch_from_stream` builds the next generation
+//! *beside* the published one: untouched shards are `Arc`-shared, dirty
+//! shards are rebuilt into fresh allocations, and only then does the
+//! publisher flip the slot. Readers pin a generation with an `Arc` and
+//! keep dereferencing it **after** releasing the slot's read lock — so
+//! the protocol's safety cannot come from the lock alone. It comes from
+//! copy-on-write: a published object is never mutated again.
+//!
+//! The shim keeps exactly the pieces that argument rests on. An index
+//! object is a head counter, a tail counter, and per-shard build
+//! stamps (the model analogue of `Shard::built`); `verify_shards`
+//! passes when head equals tail and every shard stamp is at most the
+//! head. Two wirings:
+//!
+//! * [`DeltaModel::cow`] — the shipped protocol. The writer chains
+//!   patched publishes: read-lock to pin the base, **clone** it, stamp
+//!   head / one shard / tail on the private clone, then write-lock and
+//!   flip the published slot if newer. Every schedule must satisfy: a
+//!   reader never observes `head != tail` or a shard stamp above the
+//!   head, and the final published generation is the newest offered.
+//! * [`DeltaModel::in_place`] — the hazard variant: identical steps,
+//!   identical locking, but the patch mutates the *published* object
+//!   instead of a clone. Lock discipline is flawless — the tear happens
+//!   because the reader's pin outlives its read lock, which is exactly
+//!   why the real patch path must never write through the base `Arc`.
+//!   The regression tests assert the explorer *finds* the tear.
+
+use crate::explore::{Protocol, Step};
+use crate::slot::RwLockState;
+
+/// The model analogue of one `Arc<ServingIndex>` generation: head and
+/// tail generation counters plus per-shard build stamps.
+#[derive(Debug, Clone)]
+struct IndexObj {
+    head: u64,
+    tail: u64,
+    shards: Vec<u64>,
+}
+
+/// The single chained publisher.
+#[derive(Debug, Clone)]
+struct Writer {
+    /// Next position in the generation chain.
+    chain_idx: usize,
+    /// Program counter within the current publish; see `step`.
+    pc: u8,
+    /// Object index pinned as the patch base (read under the lock).
+    base: usize,
+    /// Object index of the private clone being patched (cow only).
+    obj: usize,
+}
+
+/// One reader: pins the published object, releases the lock, then
+/// verifies head / shard stamps / tail against the pin.
+#[derive(Debug, Clone)]
+struct Reader {
+    /// 0 pin under read lock, 1 release, 2 read head, 3 read shard
+    /// stamps, 4 read tail + record, 5 done.
+    pc: u8,
+    pin: usize,
+    head: u64,
+    shard_max: u64,
+    /// The `(head, max shard stamp, tail)` triple this reader observed.
+    recorded: Option<(u64, u64, u64)>,
+}
+
+/// Explorable model of the delta publish: one writer chaining `gens`
+/// patched publishes (thread 0) plus `readers` verifying readers.
+#[derive(Debug)]
+pub struct DeltaModel {
+    gens: Vec<u64>,
+    readers: usize,
+    shards: usize,
+    cow: bool,
+}
+
+/// Complete state of one schedule prefix.
+#[derive(Debug, Clone)]
+pub struct DeltaState {
+    lock: RwLockState,
+    /// All generations ever materialised; grows under cow, mutated in
+    /// place under the hazard variant. `published` indexes into it.
+    objects: Vec<IndexObj>,
+    published: usize,
+    writer: Writer,
+    readers: Vec<Reader>,
+}
+
+impl DeltaModel {
+    /// The shipped protocol: each publish patches a private clone of
+    /// the pinned base and only then flips the slot.
+    pub fn cow(gens: Vec<u64>, readers: usize, shards: usize) -> Self {
+        Self {
+            gens,
+            readers,
+            shards: shards.max(1),
+            cow: true,
+        }
+    }
+
+    /// The hazard variant: the same steps and the same locking, but the
+    /// patch writes through to the published object. Exists so the
+    /// regression tests can prove the explorer catches the tear.
+    pub fn in_place(gens: Vec<u64>, readers: usize, shards: usize) -> Self {
+        Self {
+            gens,
+            readers,
+            shards: shards.max(1),
+            cow: false,
+        }
+    }
+
+    /// The generation every schedule must end on: the largest offered.
+    fn expected_final(&self) -> u64 {
+        self.gens.iter().copied().max().unwrap_or(0)
+    }
+
+    fn step_writer(&self, state: &mut DeltaState) -> Step {
+        let Some(&gen) = self.gens.get(state.writer.chain_idx) else {
+            return Step::Done;
+        };
+        let shard = state.writer.chain_idx % self.shards;
+        match (state.writer.pc, self.cow) {
+            // Pin the base generation under the read lock.
+            (0, _) => {
+                if state.lock.try_read() {
+                    state.writer.base = state.published;
+                    state.writer.pc = 1;
+                    Step::Ran
+                } else {
+                    Step::Blocked
+                }
+            }
+            (1, _) => {
+                state.lock.done_reading();
+                state.writer.pc = 2;
+                Step::Ran
+            }
+            // cow: materialise a private clone of the base; every patch
+            // write below lands on the clone, which no reader can hold.
+            (2, true) => {
+                let clone = state.objects[state.writer.base].clone();
+                state.objects.push(clone);
+                state.writer.obj = state.objects.len() - 1;
+                state.writer.pc = 3;
+                Step::Ran
+            }
+            // hazard: "patch" the published object itself, under a
+            // flawlessly held write lock — the lock cannot save the
+            // reader whose pin outlived its read lock.
+            (2, false) => {
+                if state.lock.try_write() {
+                    state.writer.obj = state.writer.base;
+                    state.writer.pc = 3;
+                    Step::Ran
+                } else {
+                    Step::Blocked
+                }
+            }
+            (3, _) => {
+                state.objects[state.writer.obj].head = gen;
+                state.writer.pc = 4;
+                Step::Ran
+            }
+            (4, _) => {
+                state.objects[state.writer.obj].shards[shard] = gen;
+                state.writer.pc = 5;
+                Step::Ran
+            }
+            (5, _) => {
+                state.objects[state.writer.obj].tail = gen;
+                state.writer.pc = 6;
+                Step::Ran
+            }
+            (6, true) => {
+                if state.lock.try_write() {
+                    state.writer.pc = 7;
+                    Step::Ran
+                } else {
+                    Step::Blocked
+                }
+            }
+            // Publish-if-newer flip, then release; the hazard variant
+            // already holds the write lock from step 2.
+            (6, false) | (7, true) => {
+                if state.objects[state.published].head < gen {
+                    state.published = state.writer.obj;
+                }
+                state.writer.pc = if self.cow { 8 } else { 7 };
+                Step::Ran
+            }
+            (_, _) => {
+                state.lock.done_writing();
+                state.writer.chain_idx += 1;
+                state.writer.pc = 0;
+                Step::Ran
+            }
+        }
+    }
+}
+
+impl Protocol for DeltaModel {
+    type State = DeltaState;
+
+    fn init(&self) -> DeltaState {
+        DeltaState {
+            lock: RwLockState::default(),
+            objects: vec![IndexObj {
+                head: 0,
+                tail: 0,
+                shards: vec![0; self.shards],
+            }],
+            published: 0,
+            writer: Writer {
+                chain_idx: 0,
+                pc: 0,
+                base: 0,
+                obj: 0,
+            },
+            readers: (0..self.readers)
+                .map(|_| Reader {
+                    pc: 0,
+                    pin: 0,
+                    head: 0,
+                    shard_max: 0,
+                    recorded: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        1 + self.readers
+    }
+
+    fn step(&self, state: &mut DeltaState, thread: usize) -> Step {
+        if thread == 0 {
+            return self.step_writer(state);
+        }
+        let Some(r) = state.readers.get_mut(thread - 1) else {
+            return Step::Done;
+        };
+        match r.pc {
+            0 => {
+                if state.lock.try_read() {
+                    r.pin = state.published;
+                    r.pc = 1;
+                    Step::Ran
+                } else {
+                    Step::Blocked
+                }
+            }
+            1 => {
+                state.lock.done_reading();
+                r.pc = 2;
+                Step::Ran
+            }
+            // Everything below dereferences the pin *outside* the lock,
+            // exactly like a reader holding an `Arc<ServingIndex>`.
+            2 => {
+                r.head = state.objects[r.pin].head;
+                r.pc = 3;
+                Step::Ran
+            }
+            3 => {
+                r.shard_max = state.objects[r.pin].shards.iter().copied().max().unwrap_or(0);
+                r.pc = 4;
+                Step::Ran
+            }
+            4 => {
+                let tail = state.objects[r.pin].tail;
+                r.recorded = Some((r.head, r.shard_max, tail));
+                r.pc = 5;
+                Step::Ran
+            }
+            _ => Step::Done,
+        }
+    }
+
+    fn invariant(&self, state: &DeltaState) -> Result<(), String> {
+        for (i, r) in state.readers.iter().enumerate() {
+            if let Some((head, shard_max, tail)) = r.recorded {
+                if head != tail {
+                    return Err(format!(
+                        "torn generation: reader {i} observed head={head} tail={tail}"
+                    ));
+                }
+                if shard_max > head {
+                    return Err(format!(
+                        "torn shard patch: reader {i} observed shard stamp {shard_max} \
+                         above head {head}"
+                    ));
+                }
+                let valid = head == 0 || self.gens.contains(&head);
+                if !valid {
+                    return Err(format!(
+                        "reader {i} observed generation {head}, which was never published"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self, state: &DeltaState) -> Result<(), String> {
+        let expected = self.expected_final();
+        let obj = &state.objects[state.published];
+        if obj.head != expected || obj.tail != expected {
+            return Err(format!(
+                "stale publish: final generation head={} tail={} but {} was offered",
+                obj.head, obj.tail, expected
+            ));
+        }
+        if let Some(&s) = obj.shards.iter().find(|&&s| s > obj.head) {
+            return Err(format!(
+                "final published object has shard stamp {s} above head {}",
+                obj.head
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn cow_patch_chain_has_no_torn_schedules() {
+        let stats = explore(&DeltaModel::cow(vec![1], 1, 2)).expect("cow publish is race-free");
+        assert_eq!(stats.schedules, 1_877);
+    }
+
+    #[test]
+    fn in_place_patch_tears() {
+        let v = explore(&DeltaModel::in_place(vec![1], 1, 2))
+            .expect_err("the in-place variant must exhibit a violation");
+        assert!(
+            v.message.contains("torn"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+}

@@ -4,15 +4,19 @@
 //! The `xtask` lock/atomics passes prove *discipline* (no cyclic lock
 //! order, justified orderings); this crate proves *protocols*: it
 //! drives shim-instrumented copies of the `serve::swap::IndexSlot`
-//! publish/`verify_generation` protocol and the `serve::server`
-//! bounded-queue admission/drain protocol through **every** bounded
-//! schedule — a DFS over yield points with 2–3 model threads — and
-//! asserts the invariants the serving layer stakes its correctness on:
+//! publish/`verify_generation` protocol, the `serve::server`
+//! bounded-queue admission/drain protocol, and the copy-on-write
+//! delta-publish protocol (`serve::ServingIndex::patch_from_stream`)
+//! through **every** bounded schedule — a DFS over yield points with
+//! 2–3 model threads — and asserts the invariants the serving layer
+//! stakes its correctness on:
 //!
 //! * no torn generation (a reader never observes `head != tail`),
 //! * no stale-generation publish (`publish_if_newer` never lets an
 //!   older epoch overwrite a newer one),
-//! * no ticket lost or double-served across admission and drain.
+//! * no ticket lost or double-served across admission and drain,
+//! * no torn shard patch (a pinned generation's shard build stamps
+//!   never move, even while delta publishes race the pin).
 //!
 //! Each protocol also has a deliberately broken *hazard* variant — the
 //! same steps minus the lock, or with a non-atomic check-then-swap —
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod delta;
 pub mod explore;
 pub mod slot;
 

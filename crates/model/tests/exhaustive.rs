@@ -7,10 +7,11 @@
 //! worth a failing test either way.
 
 use model::admission::AdmissionModel;
+use model::delta::DeltaModel;
 use model::explore;
 use model::slot::SlotModel;
 
-/// Combined floor the two protocols must clear (see ISSUE/DESIGN §8).
+/// Combined floor the three protocols must clear (see ISSUE/DESIGN §8).
 const SCHEDULE_FLOOR: u64 = 10_000;
 
 #[test]
@@ -26,7 +27,13 @@ fn exhaustive_slot_and_admission_sweep() {
         .expect("admission protocol must keep the ticket ledger under every schedule");
     assert_eq!(adm.schedules, 89_460, "admission schedule count drifted");
 
-    let total = slot.schedules + adm.schedules;
+    // One publisher chaining two copy-on-write delta publishes over two
+    // shards, one reader dereferencing its pin outside the lock.
+    let delta = explore(&DeltaModel::cow(vec![1, 2], 1, 2))
+        .expect("cow delta publish must be race-free under every schedule");
+    assert_eq!(delta.schedules, 21_603, "delta schedule count drifted");
+
+    let total = slot.schedules + adm.schedules + delta.schedules;
     assert!(
         total >= SCHEDULE_FLOOR,
         "only {total} schedules explored; the acceptance floor is {SCHEDULE_FLOOR}"
@@ -35,10 +42,14 @@ fn exhaustive_slot_and_admission_sweep() {
 
 #[test]
 fn hazard_variants_are_still_caught() {
-    // Calibration: the same sweep sizes with the locks removed must
-    // fail. If these ever pass, the checker has gone vacuous.
+    // Calibration: the same sweep sizes with the protection removed
+    // must fail — locks stripped for slot and admission, copy-on-write
+    // replaced by an in-place patch (locks intact!) for delta. If these
+    // ever pass, the checker has gone vacuous.
     explore(&SlotModel::unlocked(vec![2, 1, 3], 2))
         .expect_err("unlocked slot must exhibit a torn or stale generation");
     explore(&AdmissionModel::unlocked_drain(3, 2, 2, 2))
         .expect_err("unlocked drain must lose a ticket");
+    explore(&DeltaModel::in_place(vec![1, 2], 1, 2))
+        .expect_err("in-place patching must tear a pinned generation");
 }

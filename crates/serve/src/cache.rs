@@ -56,6 +56,16 @@ impl PlanLru {
         self.generation
     }
 
+    /// Re-scopes the cache to `generation` while *keeping* every plan
+    /// whose cell `keep` accepts — the delta-publish path, where a patch
+    /// proves which cells' plans survived the epoch unchanged. Returns
+    /// how many plans were carried. Hit/miss counters survive.
+    pub fn carry_forward(&mut self, generation: u64, keep: impl Fn(&CellCoord) -> bool) -> usize {
+        self.map.retain(|coord, _| keep(coord));
+        self.generation = generation;
+        self.map.len()
+    }
+
     /// Looks a plan up, refreshing its recency on hit.
     pub fn get(&mut self, coord: &CellCoord) -> Option<Arc<CellPlan>> {
         self.stamp += 1;
@@ -157,6 +167,21 @@ mod tests {
         assert!(lru.get(&key(1)).is_none());
         assert_eq!(lru.hits(), 2);
         assert_eq!(lru.misses(), 1);
+    }
+
+    #[test]
+    fn carry_forward_keeps_only_accepted_cells() {
+        let mut lru = PlanLru::new(4);
+        lru.reset_for_generation(1);
+        lru.insert(key(1), plan());
+        lru.insert(key(2), plan());
+        lru.insert(key(3), plan());
+        let carried = lru.carry_forward(2, |c| c.coords()[0] != 2);
+        assert_eq!(carried, 2);
+        assert_eq!(lru.generation(), 2);
+        assert!(lru.get(&key(1)).is_some());
+        assert!(lru.get(&key(2)).is_none());
+        assert!(lru.get(&key(3)).is_some());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! coordinate the clustering never saw) falls back to every core cell
 //! whose box is within ε, still visited in coordinate order.
 
+use crate::patch::PatchSummary;
 use crate::ServeError;
 use rpdbscan_core::label::{extract_clusters, predecessor_map};
 use rpdbscan_core::partition::group_by_cell;
@@ -28,6 +29,7 @@ use rpdbscan_grid::{
     CellCoord, CellDictionary, DictionaryIndex, FxHashMap, GridSpec, SubCellEntry,
 };
 use rpdbscan_stream::StreamingRpDbscan;
+use std::sync::Arc;
 
 /// Relative slack on squared-distance cell bounds, absorbing the
 /// round-off of `side = eps/√d`. It is applied in both conservative
@@ -38,7 +40,7 @@ use rpdbscan_stream::StreamingRpDbscan;
 /// tested list, where the per-query arithmetic replicates the scalar
 /// oracle bit for bit. Same value and argument as
 /// `rpdbscan_grid::plan::PLAN_SLACK`.
-const EPS_SLACK: f64 = 1e-9;
+pub(crate) const EPS_SLACK: f64 = 1e-9;
 
 /// Per-cluster size summary served by [`ServingIndex::cluster_stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +67,11 @@ pub struct Classification {
 }
 
 /// Location of one cell record: `(shard, row)` into the index's shards.
-type CellRef = (u32, u32);
+/// Rows are *stable across patches* ([`ServingIndex::patch_from_stream`]
+/// tombstones vacated rows instead of compacting), so a plan carried
+/// over from the previous generation keeps resolving to the same
+/// records.
+pub(crate) type CellRef = (u32, u32);
 
 /// A memoised classify plan for one grid cell: every shard lookup a
 /// query landing in the cell will need, resolved once, plus the
@@ -135,44 +141,98 @@ impl CellPlan {
     }
 }
 
-/// One cell's frozen record.
+/// One cell's frozen record. Records sit behind `Arc` so an incremental
+/// publish can pointer-copy the untouched rows of a patched shard.
 #[derive(Debug, Clone)]
-struct CellRecord {
+pub(crate) struct CellRecord {
     /// The cell's lattice coordinate.
-    coord: CellCoord,
+    pub(crate) coord: CellCoord,
     /// Cluster id when the cell is core; `None` for non-core cells.
-    cluster: Option<u32>,
+    pub(crate) cluster: Option<u32>,
     /// For non-core cells: predecessor core cells, coordinate-sorted.
-    preds: Vec<CellCoord>,
+    pub(crate) preds: Vec<CellCoord>,
     /// Flat coordinates of the cell's core points.
-    core: Vec<f64>,
+    pub(crate) core: Vec<f64>,
     /// SoA sub-cell centres (`dim` values per sub-cell).
-    sub_centers: Vec<f64>,
+    pub(crate) sub_centers: Vec<f64>,
     /// Sub-cell densities, parallel to `sub_centers`.
-    sub_counts: Vec<u64>,
+    pub(crate) sub_counts: Vec<u64>,
     /// Total points in the cell (= sum of `sub_counts`).
-    count: u64,
+    pub(crate) count: u64,
 }
 
-/// One shard: the cells hashed to it plus the point rows routed to it.
+/// One shard: the cells hashed to it. Shards sit behind `Arc` so an
+/// incremental publish ([`ServingIndex::patch_from_stream`]) shares
+/// every shard whose cells all held with the previous generation
+/// wholesale — copy-on-write at shard granularity, per-cell `Arc`
+/// pointer copies within a patched shard.
 #[derive(Debug, Clone, Default)]
-struct Shard {
-    /// Cell coordinate → row in `records`.
-    cells: FxHashMap<CellCoord, u32>,
-    /// Cell records, in coordinate order within the shard.
-    records: Vec<CellRecord>,
-    /// Point id → stored label.
-    labels: FxHashMap<u32, Option<u32>>,
+pub(crate) struct Shard {
+    /// Cell coordinate → row in `records`. Keys sit behind `Arc` so a
+    /// patch's clone of the map is a refcount bump per entry instead of
+    /// a fresh coordinate allocation (lookups still take a plain
+    /// `&CellCoord` through `Borrow`).
+    pub(crate) cells: FxHashMap<Arc<CellCoord>, u32>,
+    /// Cell records; `None` marks a row a patch vacated. Rows are stable
+    /// across patches — a surviving cell keeps its row, which is what
+    /// lets carried-over plans keep their [`CellRef`]s.
+    pub(crate) records: Vec<Option<Arc<CellRecord>>>,
+    /// Vacated rows available for reuse by later patches.
+    pub(crate) free: Vec<u32>,
+    /// Generation that built or last patched this shard — equal to the
+    /// index generation on patched shards, strictly older on shards
+    /// shared from a previous generation.
+    pub(crate) built: u64,
 }
 
-/// Construction-time per-cell input, shared by the batch and stream
-/// builders.
-struct CellSeed {
-    coord: CellCoord,
-    cluster: Option<u32>,
-    preds: Vec<CellCoord>,
-    core: Vec<f64>,
-    subs: Vec<SubCellEntry>,
+/// Point-id → label rows routed to one shard. Split from [`Shard`]
+/// because point routing (`shard_of_point`) and cell routing
+/// (`shard_of_cell`) hash independently: a patch can share a label
+/// shard whose rows all held while rebuilding the same-numbered cell
+/// shard, and vice versa.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LabelShard {
+    /// Point id → stored label.
+    pub(crate) labels: FxHashMap<u32, Option<u32>>,
+    /// Generation that built or last patched this shard.
+    pub(crate) built: u64,
+}
+
+/// Construction-time per-cell input, shared by the batch, stream, and
+/// patch builders.
+pub(crate) struct CellSeed {
+    pub(crate) coord: CellCoord,
+    pub(crate) cluster: Option<u32>,
+    pub(crate) preds: Vec<CellCoord>,
+    pub(crate) core: Vec<f64>,
+    pub(crate) subs: Vec<SubCellEntry>,
+}
+
+impl CellSeed {
+    /// Freezes the seed into a record: sub-cell centres are materialised
+    /// into the SoA layout the classify kernel consumes. `scratch` must
+    /// hold `dim` slots.
+    pub(crate) fn into_record(self, spec: &GridSpec, scratch: &mut [f64]) -> CellRecord {
+        let dim = spec.dim();
+        let mut sub_centers = Vec::with_capacity(self.subs.len() * dim);
+        let mut sub_counts = Vec::with_capacity(self.subs.len());
+        let mut count = 0u64;
+        for sub in &self.subs {
+            spec.sub_center_into(&self.coord, sub.idx, scratch);
+            sub_centers.extend_from_slice(scratch);
+            sub_counts.push(u64::from(sub.count));
+            count += u64::from(sub.count);
+        }
+        CellRecord {
+            coord: self.coord,
+            cluster: self.cluster,
+            preds: self.preds,
+            core: self.core,
+            sub_centers,
+            sub_counts,
+            count,
+        }
+    }
 }
 
 /// An immutable, sharded, read-optimised copy of one clustering epoch.
@@ -183,37 +243,50 @@ struct CellSeed {
 /// references (all methods take `&self` and mutate nothing).
 #[derive(Debug)]
 pub struct ServingIndex {
-    spec: GridSpec,
-    eps2: f64,
+    pub(crate) spec: GridSpec,
+    pub(crate) eps2: f64,
     /// Density backend that produced the served clustering (recorded at
     /// index build; always `exact` today since approximate backends are
     /// rejected, but surfaced so deployments can attribute what they
     /// serve).
-    backend: &'static str,
+    pub(crate) backend: &'static str,
     /// Head generation counter, written first at construction.
-    generation: u64,
-    shards: Vec<Shard>,
-    clusters: Vec<ClusterStats>,
-    num_points: usize,
+    pub(crate) generation: u64,
+    pub(crate) shards: Vec<Arc<Shard>>,
+    pub(crate) label_shards: Vec<Arc<LabelShard>>,
+    pub(crate) clusters: Vec<ClusterStats>,
+    pub(crate) num_points: usize,
+    /// How this index was published: `Some` for an incremental patch of
+    /// a previous generation ([`ServingIndex::patch_from_stream`]),
+    /// `None` for a full build.
+    pub(crate) patch: Option<PatchSummary>,
     /// Tail generation counter, written last at construction; equal to
     /// `generation` in any fully constructed index, so a reader seeing
     /// the pair disagree would have caught a torn publication.
-    generation_tail: u64,
+    pub(crate) generation_tail: u64,
 }
 
 /// FNV-1a over a cell's lattice coordinates: the shard routing hash.
-fn shard_of_cell(coord: &CellCoord, num_shards: usize) -> usize {
+pub(crate) fn shard_of_cell(coord: &CellCoord, num_shards: usize) -> usize {
+    (coord_fnv64(coord.coords()) % num_shards as u64) as usize
+}
+
+/// FNV-1a over a coordinate's lattice indices. Shard routing reduces it
+/// modulo the shard count; the patch invalidation window stores the full
+/// 64 bits as a compact stand-in for the coordinate itself (a collision
+/// merely over-invalidates one cached plan, which is sound).
+pub(crate) fn coord_fnv64(coords: &[i64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &c in coord.coords() {
+    for &c in coords {
         for b in c.to_le_bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
-    (h % num_shards as u64) as usize
+    h
 }
 
 /// Multiplicative hash routing a point id to its shard.
-fn shard_of_point(id: u32, num_shards: usize) -> usize {
+pub(crate) fn shard_of_point(id: u32, num_shards: usize) -> usize {
     let h = u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     ((h >> 32) % num_shards as u64) as usize
 }
@@ -433,32 +506,23 @@ impl ServingIndex {
         let mut shards: Vec<Shard> = (0..k).map(|_| Shard::default()).collect();
         let mut scratch = vec![0.0; dim];
         for seed in seeds {
-            let mut sub_centers = Vec::with_capacity(seed.subs.len() * dim);
-            let mut sub_counts = Vec::with_capacity(seed.subs.len());
-            let mut count = 0u64;
-            for sub in &seed.subs {
-                spec.sub_center_into(&seed.coord, sub.idx, &mut scratch);
-                sub_centers.extend_from_slice(&scratch);
-                sub_counts.push(u64::from(sub.count));
-                count += u64::from(sub.count);
-            }
             let shard = &mut shards[shard_of_cell(&seed.coord, k)];
             shard
                 .cells
-                .insert(seed.coord.clone(), shard.records.len() as u32);
-            shard.records.push(CellRecord {
-                coord: seed.coord,
-                cluster: seed.cluster,
-                preds: seed.preds,
-                core: seed.core,
-                sub_centers,
-                sub_counts,
-                count,
-            });
+                .insert(Arc::new(seed.coord.clone()), shard.records.len() as u32);
+            let rec = seed.into_record(&spec, &mut scratch);
+            shard.records.push(Some(Arc::new(rec)));
+        }
+        for s in &mut shards {
+            s.built = generation;
         }
         let num_points = rows.len();
+        let mut label_shards: Vec<LabelShard> = (0..k).map(|_| LabelShard::default()).collect();
         for (id, label) in rows {
-            shards[shard_of_point(id, k)].labels.insert(id, label);
+            label_shards[shard_of_point(id, k)].labels.insert(id, label);
+        }
+        for s in &mut label_shards {
+            s.built = generation;
         }
 
         Self {
@@ -466,9 +530,11 @@ impl ServingIndex {
             eps2,
             backend,
             generation,
-            shards,
+            shards: shards.into_iter().map(Arc::new).collect(),
+            label_shards: label_shards.into_iter().map(Arc::new).collect(),
             clusters,
             num_points,
+            patch: None,
             generation_tail: generation,
         }
     }
@@ -502,6 +568,26 @@ impl ServingIndex {
         (self.generation == self.generation_tail).then_some(self.generation)
     }
 
+    /// Like [`Self::verify_generation`], but additionally checks that no
+    /// shard — cell or label — claims a build generation *newer* than
+    /// the index itself. Patched generations `Arc`-share untouched
+    /// shards with their base, so an (impossible by construction, hence
+    /// asserted) in-place mutation of a shared shard by a later patch
+    /// would trip exactly this. The delta-publish bench readers run it
+    /// on every load.
+    pub fn verify_shards(&self) -> Option<u64> {
+        let g = self.verify_generation()?;
+        let cells_ok = self.shards.iter().all(|s| s.built <= g);
+        let labels_ok = self.label_shards.iter().all(|s| s.built <= g);
+        (cells_ok && labels_ok).then_some(g)
+    }
+
+    /// How this index was published: `Some` when it was incrementally
+    /// patched from a previous generation, `None` for a full build.
+    pub fn patch_summary(&self) -> Option<&PatchSummary> {
+        self.patch.as_ref()
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -514,7 +600,7 @@ impl ServingIndex {
 
     /// Number of occupied cells.
     pub fn num_cells(&self) -> usize {
-        self.shards.iter().map(|s| s.records.len()).sum()
+        self.shards.iter().map(|s| s.cells.len()).sum()
     }
 
     /// Number of clusters.
@@ -536,7 +622,7 @@ impl ServingIndex {
     /// point is indexed (`label` itself is `None` for noise), `None` for
     /// unknown ids.
     pub fn label_of(&self, id: u32) -> Option<Option<u32>> {
-        self.shards[shard_of_point(id, self.shards.len())]
+        self.label_shards[shard_of_point(id, self.label_shards.len())]
             .labels
             .get(&id)
             .copied()
@@ -562,13 +648,15 @@ impl ServingIndex {
     }
 
     /// Looks a cell up across the shards.
-    fn find_cell(&self, coord: &CellCoord) -> Option<CellRef> {
+    pub(crate) fn find_cell(&self, coord: &CellCoord) -> Option<CellRef> {
         let s = shard_of_cell(coord, self.shards.len());
         self.shards[s].cells.get(coord).map(|&r| (s as u32, r))
     }
 
-    fn record(&self, (s, r): CellRef) -> &CellRecord {
-        &self.shards[s as usize].records[r as usize]
+    pub(crate) fn record(&self, (s, r): CellRef) -> &CellRecord {
+        self.shards[s as usize].records[r as usize]
+            .as_deref()
+            .expect("CellRef resolves to a vacated row") // lint:allow(panic-safety): refs come from the live cells map or from carried plans whose ε-window the patch kept clear of every vacated or rebuilt row
     }
 
     /// Builds the classify plan for one grid cell: resolves every shard
@@ -713,6 +801,7 @@ impl ServingIndex {
             let mut hits: Vec<(CellCoord, CellRef)> = Vec::new();
             for (s, shard) in self.shards.iter().enumerate() {
                 for (r, rec) in shard.records.iter().enumerate() {
+                    let Some(rec) = rec else { continue };
                     if self.spec.cell_min_dist2(coord, &rec.coord) <= bound {
                         hits.push((rec.coord.clone(), (s as u32, r as u32)));
                     }
@@ -883,7 +972,7 @@ impl ServingIndex {
         let mut occupied: Vec<CellCoord> = self
             .shards
             .iter()
-            .flat_map(|s| s.records.iter().map(|r| r.coord.clone()))
+            .flat_map(|s| s.records.iter().flatten().map(|r| r.coord.clone()))
             .collect();
         occupied.sort_unstable();
         let mut out: Vec<(CellCoord, CellPlan)> = occupied
@@ -933,6 +1022,33 @@ impl ServingIndex {
             }
         }
         out
+    }
+
+    /// The warm set for an incremental publish: plans only for the
+    /// occupied cells the patch invalidated (every other cell's plan is
+    /// carried over by the server), coordinate-sorted, at most `budget`.
+    /// Falls back to the full [`Self::warm_plans`] sweep when the index
+    /// is not a patch or the patch could not bound its invalidation set.
+    pub fn warm_plans_invalidated(&self, budget: usize) -> Vec<(CellCoord, CellPlan)> {
+        let Some(summary) = self.patch.as_ref().filter(|p| p.can_carry()) else {
+            return self.warm_plans(budget);
+        };
+        let mut coords: Vec<CellCoord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.cells.keys())
+            .filter(|c| summary.invalidates(c.as_ref()))
+            .map(|c| CellCoord::clone(c))
+            .collect();
+        coords.sort_unstable();
+        coords.truncate(budget);
+        coords
+            .into_iter()
+            .map(|c| {
+                let plan = self.plan_for(&c);
+                (c, plan)
+            })
+            .collect()
     }
 }
 

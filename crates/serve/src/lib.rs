@@ -50,11 +50,13 @@ use rpdbscan_grid::GridError;
 
 mod cache;
 mod index;
+mod patch;
 mod server;
 mod swap;
 
 pub use cache::PlanLru;
 pub use index::{CellPlan, Classification, ClusterStats, ServingIndex};
+pub use patch::PatchSummary;
 pub use server::{Request, Response, Server, ServerConfig, ServerStats};
 pub use swap::IndexSlot;
 
@@ -95,6 +97,18 @@ pub enum ServeError {
     /// rejected at index build. The payload is the rejected backend's
     /// tag.
     UnsupportedBackend(&'static str),
+    /// An incremental publish's base index serves a different grid than
+    /// the stream it would patch from; shard layouts are only comparable
+    /// when the grid specs match bitwise.
+    PatchGridMismatch,
+    /// An incremental publish's base index is not strictly older than the
+    /// stream epoch, so there is no delta to apply.
+    PatchNotNewer {
+        /// Generation of the base index.
+        base: u64,
+        /// Epoch of the stream.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -117,6 +131,16 @@ impl std::fmt::Display for ServeError {
                 f,
                 "serving indexes replay the exact cell graph; a `{b}`-backend \
                  clustering cannot be served"
+            ),
+            Self::PatchGridMismatch => write!(
+                f,
+                "incremental publish requires the base index and the stream \
+                 to share a grid spec"
+            ),
+            Self::PatchNotNewer { base, epoch } => write!(
+                f,
+                "incremental publish base generation {base} is not older than \
+                 stream epoch {epoch}"
             ),
         }
     }

@@ -115,6 +115,9 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Plans pre-built into the cache by warm publishes.
     pub plans_warmed: u64,
+    /// Plans carried across delta publishes without a rebuild (the
+    /// patch proved their cells' ε-windows untouched).
+    pub plans_carried: u64,
     /// Per-task latencies of `LabelOf` micro-batch tasks, seconds.
     pub label_of: LatencyHistogram,
     /// Per-task latencies of `Classify` micro-batch tasks, seconds.
@@ -131,6 +134,7 @@ struct StatsInner {
     batches: u64,
     served: u64,
     plans_warmed: u64,
+    plans_carried: u64,
     label_of: LatencyHistogram,
     classify: LatencyHistogram,
     cluster_stats: LatencyHistogram,
@@ -251,15 +255,34 @@ impl Server {
     }
 
     /// Pre-populates the plan cache for `index`'s generation: re-scopes
-    /// the LRU, then inserts every plan [`ServingIndex::warm_plans`]
-    /// yields under the cache-capacity budget. Inserts bypass the
-    /// hit/miss counters, so a warm publish leaves the miss count at
-    /// zero — the property the warm-publish unit test pins.
+    /// the LRU, then inserts every plan the index yields under the
+    /// cache-capacity budget. Inserts bypass the hit/miss counters, so a
+    /// warm publish leaves the miss count at zero — the property the
+    /// warm-publish unit test pins.
+    ///
+    /// When `index` was produced by a delta publish patched directly on
+    /// top of the generation this cache is scoped to, the plans of cells
+    /// the patch proved untouched are *carried* instead of rebuilt
+    /// ([`PlanLru::carry_forward`]) and only the invalidated ε-window is
+    /// rewarmed ([`ServingIndex::warm_plans_invalidated`]).
     fn warm_cache(&self, index: &ServingIndex) {
         if !self.config.warm_on_publish {
             return;
         }
-        let warmed = index.warm_plans(self.config.cache_capacity);
+        let carried: Option<u64> = {
+            let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            match index.patch_summary() {
+                Some(p) if p.can_carry() && cache.generation() == p.base_generation() => {
+                    Some(cache.carry_forward(index.generation(), |c| !p.invalidates(c)) as u64)
+                }
+                _ => None,
+            }
+        };
+        let warmed = if carried.is_some() {
+            index.warm_plans_invalidated(self.config.cache_capacity)
+        } else {
+            index.warm_plans(self.config.cache_capacity)
+        };
         let count = warmed.len() as u64;
         {
             let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
@@ -268,10 +291,9 @@ impl Server {
                 cache.insert(coord, Arc::new(plan));
             }
         }
-        self.stats
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .plans_warmed += count;
+        let mut stats = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        stats.plans_warmed += count;
+        stats.plans_carried += carried.unwrap_or(0);
     }
 
     /// Requests currently queued.
@@ -432,6 +454,7 @@ impl Server {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             plans_warmed: inner.plans_warmed,
+            plans_carried: inner.plans_carried,
             label_of: inner.label_of.clone(),
             classify: inner.classify.clone(),
             cluster_stats: inner.cluster_stats.clone(),

@@ -105,6 +105,36 @@ mod tests {
     }
 
     #[test]
+    fn patched_chain_publishes_cleanly_through_the_slot() {
+        // A delta-publish chain: epoch 1 is a full build, every later
+        // epoch is patched on top of its predecessor and published
+        // through the slot. Readers of any pinned generation must see
+        // coherent head/tail *and* per-shard build stamps
+        // (`verify_shards`), even though later generations Arc-share
+        // shards with the one they hold.
+        use rpdbscan_stream::StreamingRpDbscan;
+
+        let mut stream = StreamingRpDbscan::new(1, RpDbscanParams::new(1.0, 3)).unwrap();
+        let flat: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+        stream.insert_batch(&flat).unwrap();
+        let slot = IndexSlot::new(Arc::new(ServingIndex::from_stream(&stream, 2)));
+        let pinned = slot.load();
+        for step in 0..3 {
+            let far: Vec<f64> = (0..4).map(|i| 100.0 + step as f64 + i as f64 * 0.1).collect();
+            stream.insert_batch(&far).unwrap();
+            let prev = slot.load();
+            let next = Arc::new(ServingIndex::patch_from_stream(&prev, &stream).unwrap());
+            assert!(next.patch_summary().is_some());
+            assert_eq!(next.verify_shards(), Some(stream.epoch()));
+            assert!(slot.publish_if_newer(next));
+        }
+        // The first generation's reader still verifies, untouched by the
+        // three patched publishes layered above it.
+        assert_eq!(pinned.verify_shards(), Some(pinned.generation()));
+        assert_eq!(slot.load().generation(), stream.epoch());
+    }
+
+    #[test]
     fn concurrent_readers_never_observe_a_torn_generation() {
         // The live analogue of the `model::slot` sweep: readers verify
         // head/tail agreement while a publisher swaps epochs underneath.

@@ -204,6 +204,132 @@ fn cluster_stats_are_consistent_with_labels() {
     assert!(index.cluster_stats(index.num_clusters() as u32).is_none());
 }
 
+/// Every read a patched generation can answer must be bit-identical to
+/// a fresh `from_stream` build of the same epoch: labels, classify
+/// results, stats, and the shard-generation invariant — across dims,
+/// shard counts, and a churn mix of inserts and removes (so the
+/// incremental label path sees removals, border moves, and slot reuse).
+#[test]
+fn patched_generations_read_bit_identical_to_fresh_builds() {
+    for dim in [1usize, 3] {
+        for shards in [1usize, 4] {
+            let params = RpDbscanParams::new(1.0, 4);
+            let mut s = StreamingRpDbscan::new(dim, params).unwrap();
+            let rows = test_rows(dim);
+            let third = rows.len().div_ceil(3);
+            let first = s.insert_rows(&rows[..third]).unwrap();
+            let mut prev = std::sync::Arc::new(ServingIndex::from_stream(&s, shards));
+
+            // Epoch chain: grow, churn (remove every third survivor of
+            // the first batch — enough to empty cells and move borders),
+            // grow again, then shrink hard.
+            let removals: Vec<_> = first.iter().step_by(3).copied().collect();
+            s.insert_rows(&rows[third..2 * third]).unwrap();
+            s.remove_batch(&removals).unwrap();
+            s.insert_rows(&rows[2 * third..]).unwrap();
+            let late = s.insert_rows(&rows[..third]).unwrap();
+            for step in [1usize, 2] {
+                // Two patch steps per case: the second spans the epochs
+                // the first already consumed.
+                if step == 2 {
+                    s.remove_batch(&late).unwrap();
+                }
+                let patched = ServingIndex::patch_from_stream(&prev, &s).unwrap();
+                let fresh = ServingIndex::from_stream(&s, shards);
+                let ctx = format!("dim={dim} shards={shards} step={step}");
+                assert!(patched.patch_summary().is_some(), "{ctx}");
+                assert_eq!(patched.generation(), fresh.generation(), "{ctx}");
+                assert_eq!(patched.verify_shards(), Some(patched.generation()), "{ctx}");
+                assert_eq!(patched.num_points(), fresh.num_points(), "{ctx}");
+                assert_eq!(patched.num_cells(), fresh.num_cells(), "{ctx}");
+                assert_eq!(patched.num_clusters(), fresh.num_clusters(), "{ctx}");
+                for c in 0..fresh.num_clusters() as u32 {
+                    assert_eq!(patched.cluster_stats(c), fresh.cluster_stats(c), "{ctx} c={c}");
+                }
+                let snap = s.snapshot();
+                for id in &snap.ids {
+                    assert_eq!(patched.label_of(id.0), fresh.label_of(id.0), "{ctx} id={}", id.0);
+                }
+                // Dead slots answer None on both sides.
+                for id in &removals {
+                    assert_eq!(patched.label_of(id.0), fresh.label_of(id.0), "{ctx} dead {}", id.0);
+                }
+                let data = s.dataset();
+                for row in 0..data.len() {
+                    let q = data.point(PointId(row as u32));
+                    assert_eq!(
+                        patched.classify(q).unwrap(),
+                        fresh.classify(q).unwrap(),
+                        "{ctx} row={row}"
+                    );
+                }
+                let probe = vec![1.3; dim];
+                assert_eq!(
+                    patched.classify(&probe).unwrap(),
+                    fresh.classify(&probe).unwrap(),
+                    "{ctx} unoccupied probe"
+                );
+                prev = std::sync::Arc::new(patched);
+            }
+        }
+    }
+}
+
+/// Concurrent readers across a chain of delta publishes must never see
+/// a torn generation — even though every patched generation `Arc`-shares
+/// untouched shards with its base, so an (incorrect) in-place shard
+/// mutation would be visible through a reader's pinned `Arc`.
+#[test]
+fn delta_publishes_never_tear_with_arc_shared_shards() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let params = RpDbscanParams::new(1.0, 4);
+    let mut s = StreamingRpDbscan::new(2, params).unwrap();
+    let rows = test_rows(2);
+    s.insert_rows(&rows[..rows.len() / 2]).unwrap();
+    let slot = Arc::new(rpdbscan_serve::IndexSlot::new(Arc::new(
+        ServingIndex::from_stream(&s, 4),
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut loads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let index = slot.load();
+                    // The pinned Arc must stay internally consistent no
+                    // matter how many generations publish after it.
+                    assert_eq!(index.verify_shards(), Some(index.generation()));
+                    assert!(index.num_points() > 0);
+                    loads += 1;
+                }
+                loads
+            })
+        })
+        .collect();
+    let mut inserted = s.insert_rows(&rows[rows.len() / 2..]).unwrap();
+    for epoch in 0..6 {
+        // Churn: drop a slice of the latest arrivals, add a fresh blob.
+        let cut = inserted.len() / 3;
+        s.remove_batch(&inserted[..cut]).unwrap();
+        inserted = s
+            .insert_rows(&blob(2, &[epoch as f64, -3.0], 30, 0.4))
+            .unwrap();
+        let prev = slot.load();
+        let patched = ServingIndex::patch_from_stream(&prev, &s).unwrap();
+        assert!(patched.patch_summary().is_some());
+        slot.publish(Arc::new(patched));
+    }
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        let loads = r.join().expect("reader saw a torn generation");
+        assert!(loads > 0, "reader never observed a published index");
+    }
+}
+
 #[test]
 fn torn_generation_detector_holds_on_any_built_index() {
     let rows = test_rows(2);

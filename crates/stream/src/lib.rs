@@ -43,6 +43,9 @@ use rpdbscan_grid::{
 };
 use rpdbscan_metrics::Clustering;
 
+mod window;
+pub use window::SlidingWindow;
+
 /// Stable identifier of a point in the stream: assigned by
 /// [`StreamingRpDbscan::insert_batch`], consumed by
 /// [`StreamingRpDbscan::remove_batch`]. Slots of removed points are
@@ -94,6 +97,8 @@ pub enum StreamError {
         /// The decoded dictionary's `(dim, eps, rho)`.
         got: (usize, f64, f64),
     },
+    /// A sliding window must admit at least one point.
+    InvalidWindow,
 }
 
 impl std::fmt::Display for StreamError {
@@ -124,6 +129,9 @@ impl std::fmt::Display for StreamError {
                  dictionary is (dim={}, eps={}, rho={})",
                 expected.0, expected.1, expected.2, got.0, got.1, got.2
             ),
+            StreamError::InvalidWindow => {
+                write!(f, "sliding window must admit at least one point")
+            }
         }
     }
 }
@@ -233,6 +241,9 @@ pub struct Snapshot {
     pub labels: Clustering,
     /// Counters at this epoch.
     pub stats: StreamStats,
+    /// Cells whose serve-visible state the snapshot's epoch changed,
+    /// sorted by coordinate — see [`Snapshot::dirty_cells`].
+    pub dirty: Vec<CellCoord>,
 }
 
 impl Snapshot {
@@ -242,6 +253,18 @@ impl Snapshot {
     /// epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The cells whose exported state ([`StreamingRpDbscan::export_cell`])
+    /// this epoch changed, sorted by coordinate — including cells the
+    /// batch emptied entirely. An incremental index publisher rebuilds
+    /// only these; for deltas spanning more than one epoch use
+    /// [`StreamingRpDbscan::dirty_cells_since`]. Cluster-id *renumbering*
+    /// is deliberately out of scope (ids are reassigned globally every
+    /// epoch), so a delta consumer additionally compares its stored ids
+    /// against [`StreamingRpDbscan::cell_cluster`].
+    pub fn dirty_cells(&self) -> &[CellCoord] {
+        &self.dirty
     }
 }
 
@@ -347,6 +370,31 @@ pub struct StreamingRpDbscan {
     /// epoch-scoped dictionary indices, so the cache is flushed (and dirty
     /// cells' plans counted as invalidated) at the start of every epoch.
     plan_cache: PlanCache,
+    /// Last epoch each cell's *serve-visible* record changed: its point
+    /// membership, core set, successor edges, or predecessor list.
+    /// Coordinates of removed cells keep their removal epoch, so a delta
+    /// consumer that last synced at epoch `e` recovers every difference
+    /// from [`Self::dirty_cells_since`]. Density-only repairs are absent
+    /// on purpose — cached per-point densities are never exported.
+    touched_epoch: FxHashMap<CellCoord, u64>,
+    /// Per-epoch stamp lists for the most recent epochs (front = oldest
+    /// kept, back = current) — a materialised fast path for
+    /// head-chasing `dirty_cells_since` queries (an incremental publish
+    /// a few epochs behind), which would otherwise scan the whole
+    /// `touched_epoch` map on every publish.
+    recent_dirty: std::collections::VecDeque<(u64, Vec<CellCoord>)>,
+    /// Per-epoch removed point slots, same retention as `recent_dirty`:
+    /// the delta a label consumer needs to drop rows without rescanning.
+    recent_removed: std::collections::VecDeque<(u64, Vec<u32>)>,
+    /// Per-epoch slots whose `border_label` entry effectively changed
+    /// (inserted, rehomed, or cleared), same retention as `recent_dirty`.
+    /// Together with the dirty-cell and removed deltas this closes the
+    /// label-delta story: a border point's label can move even when its
+    /// own cell's exported record does not.
+    recent_label_moves: std::collections::VecDeque<(u64, Vec<u32>)>,
+    /// Slots removed by the batch being applied, staged for
+    /// `recent_removed` when the repair epoch materialises its deltas.
+    pending_removed: Vec<u32>,
     epoch: u64,
     stats: StreamStats,
 }
@@ -399,6 +447,11 @@ impl StreamingRpDbscan {
             num_clusters: 0,
             border_label: FxHashMap::default(),
             plan_cache: PlanCache::new(),
+            touched_epoch: FxHashMap::default(),
+            recent_dirty: std::collections::VecDeque::new(),
+            recent_removed: std::collections::VecDeque::new(),
+            recent_label_moves: std::collections::VecDeque::new(),
+            pending_removed: Vec::new(),
             epoch: 0,
             stats: StreamStats::default(),
         })
@@ -603,6 +656,7 @@ impl StreamingRpDbscan {
             self.live[s as usize] = false;
             self.free.push(s);
             self.border_label.remove(&s);
+            self.pending_removed.push(s);
         }
         self.n_live -= ids.len();
         self.stats.total_removed += ids.len() as u64;
@@ -640,7 +694,154 @@ impl StreamingRpDbscan {
             ids,
             labels: Clustering::new(labels),
             stats: self.stats,
+            dirty: self.dirty_cells_since(self.epoch.saturating_sub(1)),
         }
+    }
+
+    /// Cells whose serve-visible state changed *after* `epoch`
+    /// (exclusive), sorted by coordinate. Includes cells that have since
+    /// been emptied — the consumer sees them vanish from
+    /// [`Self::export_cell`] — and cells whose cluster id moved: ids are
+    /// sticky across epochs, and the component rebuild stamps exactly
+    /// the cells whose id changed.
+    pub fn dirty_cells_since(&self, epoch: u64) -> Vec<CellCoord> {
+        // Head-chasing consumer: every epoch after `epoch` is still in
+        // the recent-stamp deque (one entry per repair epoch), so the
+        // answer is a concatenation of a few small lists instead of a
+        // scan over every cell ever touched.
+        let covered = self
+            .recent_dirty
+            .front()
+            .is_some_and(|&(first, _)| first <= epoch + 1)
+            && self
+                .recent_dirty
+                .back()
+                .is_some_and(|&(last, _)| last == self.epoch);
+        if covered {
+            let mut out: Vec<CellCoord> = self
+                .recent_dirty
+                .iter()
+                .filter(|&&(e, _)| e > epoch)
+                .flat_map(|(_, v)| v.iter().cloned())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        let mut out: Vec<CellCoord> = self
+            .touched_epoch
+            .iter()
+            .filter(|&(_, &e)| e > epoch)
+            .map(|(c, _)| c.clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-point label rows at the current epoch: `(id, label)` for every
+    /// live point, equal as a set to [`Self::snapshot`]'s `ids`/`labels`
+    /// pairing but computed by walking the cell table instead of
+    /// re-deriving every point's cell — the cheap form delta consumers
+    /// use. Row order is unspecified.
+    pub fn export_label_rows(&self) -> Vec<(u32, Option<u32>)> {
+        let mut out = Vec::with_capacity(self.n_live);
+        // lint:allow(unordered-iter): rows land in id-keyed maps and additive folds downstream, so emission order is immaterial
+        for (coord, state) in &self.cells {
+            self.append_cell_rows(coord, state, &mut out);
+        }
+        out
+    }
+
+    /// Appends the current `(id, label)` rows of the cell at `coord`
+    /// (no-op when the cell is unoccupied) — the per-cell unit of
+    /// [`Self::export_label_rows`], for delta consumers that only
+    /// relabel the cells named by [`Self::dirty_cells_since`].
+    pub fn cell_label_rows(&self, coord: &CellCoord, out: &mut Vec<(u32, Option<u32>)>) {
+        if let Some(state) = self.cells.get(coord) {
+            self.append_cell_rows(coord, state, out);
+        }
+    }
+
+    fn append_cell_rows(
+        &self,
+        coord: &CellCoord,
+        state: &CellState,
+        out: &mut Vec<(u32, Option<u32>)>,
+    ) {
+        if state.is_core {
+            let cid = self.cluster_of_cell[coord];
+            for &p in &state.points {
+                out.push((p, Some(cid)));
+            }
+        } else {
+            for &p in &state.points {
+                let label = self.border_label.get(&p).map(|winner| {
+                    *self
+                        .cluster_of_cell
+                        .get(winner)
+                        .expect("border label points at a non-core cell") // lint:allow(panic-safety): repair only records border winners that are core cells, and every core cell gets a cluster id in the same pass
+                });
+                out.push((p, label));
+            }
+        }
+    }
+
+    /// The current label of the live point in `slot` (`Some(None)` is a
+    /// live noise point), or `None` when the slot is free.
+    pub fn label_of_point(&self, slot: u32) -> Option<Option<u32>> {
+        if !self.is_live(slot) {
+            return None;
+        }
+        let p = &self.coords[slot as usize * self.dim..(slot as usize + 1) * self.dim];
+        let coord = self.spec.cell_of(p);
+        let state = self.cells.get(&coord)?;
+        if state.is_core {
+            Some(self.cluster_of_cell.get(&coord).copied())
+        } else {
+            Some(self.border_label.get(&slot).map(|winner| {
+                *self
+                    .cluster_of_cell
+                    .get(winner)
+                    .expect("border label points at a non-core cell") // lint:allow(panic-safety): repair only records border winners that are core cells, and every core cell gets a cluster id in the same pass
+            }))
+        }
+    }
+
+    /// Whether `slot` currently holds a live point.
+    pub fn is_live(&self, slot: u32) -> bool {
+        self.live.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// The current border assignments as `(slot, winning core cell)`
+    /// pairs, one per labeled border point, in unspecified order.
+    pub fn border_winners(&self) -> impl Iterator<Item = (u32, &CellCoord)> + '_ {
+        // lint:allow(unordered-iter): order is documented unspecified; the delta-publish consumer feeds an id-keyed map
+        self.border_label.iter().map(|(&s, c)| (s, c))
+    }
+
+    /// Point slots removed *after* `epoch` (exclusive), sorted and
+    /// deduped, or `None` when the retained per-epoch deltas no longer
+    /// reach back that far. A returned slot may have been reused by a
+    /// later insert — callers pick between "drop the row" and "relabel"
+    /// by [`Self::is_live`].
+    pub fn removed_since(&self, epoch: u64) -> Option<Vec<u32>> {
+        Self::recent_slots_since(&self.recent_removed, epoch, self.epoch)
+    }
+
+    /// Slots whose border-label entry effectively changed *after*
+    /// `epoch` (exclusive), sorted and deduped, or `None` when the
+    /// retained deltas don't reach back that far. Together with
+    /// [`Self::dirty_cells_since`] and [`Self::removed_since`] this is a
+    /// complete account of label movement: a border point's label can
+    /// move without its own cell's exported record changing.
+    pub fn label_moves_since(&self, epoch: u64) -> Option<Vec<u32>> {
+        Self::recent_slots_since(&self.recent_label_moves, epoch, self.epoch)
+    }
+
+    /// Cluster id of the core cell at `coord` under the current epoch's
+    /// numbering (`None` when the cell is unoccupied or non-core).
+    pub fn cell_cluster(&self, coord: &CellCoord) -> Option<u32> {
+        self.cluster_of_cell.get(coord).copied()
     }
 
     /// The live points as a [`Dataset`], in [`Self::snapshot`]'s row
@@ -672,33 +873,40 @@ impl StreamingRpDbscan {
     pub fn export_cells(&self) -> Vec<CellExport> {
         let mut coords: Vec<&CellCoord> = self.cells.keys().collect();
         coords.sort_unstable();
-        let mut out = Vec::with_capacity(coords.len());
-        for coord in coords {
-            let state = &self.cells[coord];
-            let cluster = if state.is_core {
-                self.cluster_of_cell.get(coord).copied()
-            } else {
-                None
-            };
-            let preds = if state.is_core {
-                Vec::new()
-            } else {
-                self.preds.get(coord).cloned().unwrap_or_default()
-            };
-            let mut core_coords = Vec::with_capacity(state.core_points.len() * self.dim);
-            for &s in &state.core_points {
-                core_coords.extend_from_slice(
-                    &self.coords[s as usize * self.dim..(s as usize + 1) * self.dim],
-                );
-            }
-            out.push(CellExport {
-                coord: coord.clone(),
-                cluster,
-                preds,
-                core_coords,
-            });
+        coords
+            .into_iter()
+            .filter_map(|coord| self.export_cell(coord))
+            .collect()
+    }
+
+    /// Exports one cell's serving record at the current epoch, or `None`
+    /// when the cell is unoccupied — the per-cell counterpart of
+    /// [`Self::export_cells`] for delta consumers that only rebuild the
+    /// cells named by [`Self::dirty_cells_since`].
+    pub fn export_cell(&self, coord: &CellCoord) -> Option<CellExport> {
+        let state = self.cells.get(coord)?;
+        let cluster = if state.is_core {
+            self.cluster_of_cell.get(coord).copied()
+        } else {
+            None
+        };
+        let preds = if state.is_core {
+            Vec::new()
+        } else {
+            self.preds.get(coord).cloned().unwrap_or_default()
+        };
+        let mut core_coords = Vec::with_capacity(state.core_points.len() * self.dim);
+        for &s in &state.core_points {
+            core_coords.extend_from_slice(
+                &self.coords[s as usize * self.dim..(s as usize + 1) * self.dim],
+            );
         }
-        out
+        Some(CellExport {
+            coord: coord.clone(),
+            cluster,
+            preds,
+            core_coords,
+        })
     }
 
     /// Splits `items` into at most `2 × physical threads` chunks for stage
@@ -1212,6 +1420,21 @@ impl StreamingRpDbscan {
         // non-core cells whose predecessor lists or predecessor core
         // points may have changed.
         let mut label_dirty: FxHashSet<CellCoord> = FxHashSet::default();
+        // Cells whose *exported* record actually changed this epoch: a
+        // strict subset of `label_dirty`, which also holds cells that
+        // merely need their border labels re-checked. Only this subset
+        // is stamped into `touched_epoch` — stamping all of
+        // `label_dirty` would dirty the whole ε-repair region and sink
+        // the serving layer's incremental publish.
+        let mut serve_dirty: FxHashSet<CellCoord> = FxHashSet::default();
+        // Slots whose border-label entry effectively changes this epoch,
+        // for the `recent_label_moves` delta.
+        let mut label_moves: Vec<u32> = Vec::new();
+        // Cells on the receiving end of an edge flip. Whether that flip
+        // is serve-visible depends on the target's *final* core status
+        // this epoch (a core cell exports an empty predecessor list), so
+        // the decision is deferred until every repair has been applied.
+        let mut pred_targets: FxHashSet<CellCoord> = FxHashSet::default();
         for (coord, rep) in repairs.into_iter().flatten() {
             let rep = match rep {
                 Repair::Full(r) => r,
@@ -1228,6 +1451,9 @@ impl StreamingRpDbscan {
             };
             let state = self.cells.entry(coord.clone()).or_default();
             let core_changed = state.core_points != rep.core_points;
+            if core_changed {
+                serve_dirty.insert(coord.clone());
+            }
             let old_targets: Vec<CellCoord> = if state.is_core {
                 std::mem::take(&mut state.neighbors)
             } else {
@@ -1242,7 +1468,9 @@ impl StreamingRpDbscan {
                 // Core-cell points are labeled through their cell; stale
                 // border assignments must not linger.
                 for &p in &state.points {
-                    self.border_label.remove(&p);
+                    if self.border_label.remove(&p).is_some() {
+                        label_moves.push(p);
+                    }
                 }
             }
             for (&p, &d) in state.points.iter().zip(rep.densities.iter()) {
@@ -1276,6 +1504,7 @@ impl StreamingRpDbscan {
                             }
                         }
                         label_dirty.insert(t.clone());
+                        pred_targets.insert(t.clone());
                         i += 1;
                     }
                     std::cmp::Ordering::Greater => {
@@ -1286,6 +1515,7 @@ impl StreamingRpDbscan {
                             v.insert(k, coord.clone());
                         }
                         label_dirty.insert(t.clone());
+                        pred_targets.insert(t.clone());
                         j += 1;
                     }
                     std::cmp::Ordering::Equal => {
@@ -1313,6 +1543,31 @@ impl StreamingRpDbscan {
             self.cells.remove(c);
             self.preds.remove(c);
             label_dirty.remove(c);
+        }
+
+        // An edge flip only shows up in the *target's* exported record
+        // when the target ends the epoch non-core (core cells export an
+        // empty predecessor list, and their cluster-id movements are
+        // stamped by `rebuild_components`). Core targets whose core set
+        // itself moved are already in `serve_dirty`; emptied targets are
+        // covered by `changed_set`.
+        // lint:allow(unordered-iter): targets land in a set, so visit order is immaterial
+        for t in pred_targets {
+            if self.cells.get(&t).is_some_and(|s| !s.is_core) {
+                serve_dirty.insert(t);
+            }
+        }
+
+        // Stamp the serve-visible delta of this epoch: every cell whose
+        // core set or predecessor list actually moved (`serve_dirty`)
+        // plus every cell whose dictionary entry moved (`changed_set`,
+        // which also covers the cells just emptied). Cells the repair
+        // merely re-checked stay unstamped — their exported record is
+        // unchanged. Cluster-id movements are stamped separately by
+        // `rebuild_components`.
+        // lint:allow(unordered-iter): epoch stamps land in a map keyed by the same coords, so insertion order is immaterial
+        for c in serve_dirty.iter().chain(changed_set.iter()) {
+            self.touched_epoch.insert(c.clone(), self.epoch);
         }
 
         // Re-extract connected components of core cells over the cached
@@ -1365,12 +1620,44 @@ impl StreamingRpDbscan {
         for (slot, winner) in assignments.into_iter().flatten() {
             match winner {
                 Some(c) => {
-                    self.border_label.insert(slot, c);
+                    if self.border_label.insert(slot, c.clone()) != Some(c) {
+                        label_moves.push(slot);
+                    }
                 }
                 None => {
-                    self.border_label.remove(&slot);
+                    if self.border_label.remove(&slot).is_some() {
+                        label_moves.push(slot);
+                    }
                 }
             }
+        }
+
+        // Materialise this epoch's stamps for the head-chasing
+        // `dirty_cells_since` fast path (one map scan per epoch here
+        // instead of one per publish; publishes more than
+        // `RECENT_DIRTY_EPOCHS` epochs behind fall back to the map).
+        const RECENT_DIRTY_EPOCHS: usize = 8;
+        let mut last: Vec<CellCoord> = self
+            .touched_epoch
+            .iter()
+            .filter(|&(_, &e)| e == self.epoch)
+            .map(|(c, _)| c.clone())
+            .collect();
+        last.sort_unstable();
+        self.recent_dirty.push_back((self.epoch, last));
+        while self.recent_dirty.len() > RECENT_DIRTY_EPOCHS {
+            self.recent_dirty.pop_front();
+        }
+        let removed = std::mem::take(&mut self.pending_removed);
+        self.recent_removed.push_back((self.epoch, removed));
+        while self.recent_removed.len() > RECENT_DIRTY_EPOCHS {
+            self.recent_removed.pop_front();
+        }
+        label_moves.sort_unstable();
+        label_moves.dedup();
+        self.recent_label_moves.push_back((self.epoch, label_moves));
+        while self.recent_label_moves.len() > RECENT_DIRTY_EPOCHS {
+            self.recent_label_moves.pop_front();
         }
 
         self.stats.live_points = self.n_live;
@@ -1383,7 +1670,41 @@ impl StreamingRpDbscan {
         Ok(())
     }
 
+    /// Concatenation of a per-epoch slot-delta deque over `(epoch, now]`,
+    /// sorted and deduped, or `None` when the deque no longer covers the
+    /// requested range (every repair epoch pushes one entry, so coverage
+    /// means the front entry is at or before `epoch + 1` and the back is
+    /// current).
+    fn recent_slots_since(
+        deque: &std::collections::VecDeque<(u64, Vec<u32>)>,
+        epoch: u64,
+        now: u64,
+    ) -> Option<Vec<u32>> {
+        let covered = deque.front().is_some_and(|&(first, _)| first <= epoch + 1)
+            && deque.back().is_some_and(|&(last, _)| last == now);
+        covered.then(|| {
+            let mut out: Vec<u32> = deque
+                .iter()
+                .filter(|&&(e, _)| e > epoch)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+    }
+
     /// Rebuilds `cluster_of_cell` from the cached core-core adjacency.
+    ///
+    /// Cluster ids are *sticky* across epochs: each component keeps the
+    /// previous id of its first member (coordinate order) that both had
+    /// an id last epoch and whose id no earlier component claimed; only
+    /// components that can't (brand-new ones, or the losing halves of a
+    /// split) draw fresh ids, the smallest unclaimed ones. An insertion
+    /// therefore renumbers the clusters it actually touches instead of
+    /// shifting every id after it — which is what keeps the serving
+    /// layer's delta publish proportional to the real change: every cell
+    /// whose id *did* move is stamped into the epoch's dirty set here.
     fn rebuild_components(&mut self) {
         let mut core: Vec<&CellCoord> = self
             .cells
@@ -1405,13 +1726,56 @@ impl StreamingRpDbscan {
                 }
             }
         }
+        // First pass, in coordinate order: each component claims the
+        // first previous id among its members that is still unclaimed.
         let mut cluster_of_root: FxHashMap<u32, u32> = FxHashMap::default();
-        let mut cluster_of_cell: FxHashMap<CellCoord, u32> = FxHashMap::default();
+        let mut claimed = FxHashSet::default();
+        let mut root_order: Vec<u32> = Vec::new();
         for &c in &core {
             let root = uf.find(dense[c]);
-            let next = cluster_of_root.len() as u32;
-            let cid = *cluster_of_root.entry(root).or_insert(next);
+            if !cluster_of_root.contains_key(&root) {
+                root_order.push(root);
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = cluster_of_root.entry(root) {
+                if let Some(&prev) = self.cluster_of_cell.get(c) {
+                    if claimed.insert(prev) {
+                        slot.insert(prev);
+                    }
+                }
+            }
+        }
+        // Second pass: unclaimed components (new, or split losers) take
+        // the smallest free ids in first-member coordinate order.
+        let mut next_free = 0u32;
+        for root in root_order {
+            if cluster_of_root.contains_key(&root) {
+                continue;
+            }
+            while claimed.contains(&next_free) {
+                next_free += 1;
+            }
+            claimed.insert(next_free);
+            cluster_of_root.insert(root, next_free);
+        }
+        let mut cluster_of_cell: FxHashMap<CellCoord, u32> = FxHashMap::default();
+        for &c in &core {
+            let cid = cluster_of_root[&uf.find(dense[c])];
             cluster_of_cell.insert(c.clone(), cid);
+        }
+        // Stamp every id movement into the epoch's dirty set: cells
+        // whose id changed or that just became core, and cells that
+        // stopped being core. The serving layer's incremental publish
+        // reads these stamps instead of re-scanning every record.
+        // lint:allow(unordered-iter): stamps land in a map keyed by the same coords, so visit order is immaterial
+        for (c, &cid) in &cluster_of_cell {
+            if self.cluster_of_cell.get(c) != Some(&cid) {
+                self.touched_epoch.insert(c.clone(), self.epoch);
+            }
+        }
+        for c in self.cluster_of_cell.keys() {
+            if !cluster_of_cell.contains_key(c) {
+                self.touched_epoch.insert(c.clone(), self.epoch);
+            }
         }
         self.num_clusters = cluster_of_root.len();
         self.cluster_of_cell = cluster_of_cell;

@@ -1,0 +1,161 @@
+//! Sliding-window ingestion: the TTL workload that makes deletion-side
+//! repair matter.
+//!
+//! [`SlidingWindow`] wraps a [`StreamingRpDbscan`] and bounds the number
+//! of live points: each [`SlidingWindow::push_batch`] inserts at the
+//! front of the arrival order and expires the oldest points past the
+//! window through the existing exact [`StreamingRpDbscan::remove_batch`]
+//! path (the Ester et al. 1998 incremental-DBSCAN lineage — insertions
+//! *and* deletions maintained exactly). One push therefore advances one
+//! or two epochs, and the wrapped stream's snapshot always equals a
+//! batch run over exactly the surviving points.
+
+use crate::{StreamError, StreamPointId, StreamingRpDbscan};
+use std::collections::VecDeque;
+
+/// A [`StreamingRpDbscan`] with sliding-window expiry; see the module
+/// docs.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    stream: StreamingRpDbscan,
+    window: usize,
+    /// Live ids in arrival order: front = oldest (next to expire). Slot
+    /// recycling keeps each live id in the queue exactly once.
+    arrivals: VecDeque<StreamPointId>,
+    last_expired: usize,
+}
+
+impl SlidingWindow {
+    /// Wraps `stream`, keeping at most `window` live points. The stream's
+    /// current live points (if any) count as the oldest arrivals, in id
+    /// order. A zero window is rejected with
+    /// [`StreamError::InvalidWindow`].
+    pub fn new(stream: StreamingRpDbscan, window: usize) -> Result<Self, StreamError> {
+        if window == 0 {
+            return Err(StreamError::InvalidWindow);
+        }
+        let arrivals: VecDeque<StreamPointId> = stream.snapshot().ids.into_iter().collect();
+        let mut w = Self {
+            stream,
+            window,
+            arrivals,
+            last_expired: 0,
+        };
+        w.expire_excess()?;
+        Ok(w)
+    }
+
+    /// Inserts a micro-batch (flat coordinates, `dim` values per point)
+    /// at the front of the window, then expires the oldest points beyond
+    /// the window bound. Returns the inserted ids in batch order;
+    /// [`Self::last_expired`] reports how many points the push evicted.
+    pub fn push_batch(&mut self, flat: &[f64]) -> Result<Vec<StreamPointId>, StreamError> {
+        let ids = self.stream.insert_batch(flat)?;
+        self.arrivals.extend(ids.iter().copied());
+        self.expire_excess()?;
+        Ok(ids)
+    }
+
+    fn expire_excess(&mut self) -> Result<(), StreamError> {
+        let excess = self.arrivals.len().saturating_sub(self.window);
+        self.last_expired = excess;
+        if excess > 0 {
+            let expired: Vec<StreamPointId> = self.arrivals.drain(..excess).collect();
+            self.stream.remove_batch(&expired)?;
+        }
+        Ok(())
+    }
+
+    /// The wrapped stream (snapshots, exports, delta accessors).
+    pub fn stream(&self) -> &StreamingRpDbscan {
+        &self.stream
+    }
+
+    /// Number of live points (at most the window bound).
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Whether the window holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// The configured window bound.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Points the most recent push (or construction) expired.
+    pub fn last_expired(&self) -> usize {
+        self.last_expired
+    }
+
+    /// Unwraps the window, returning the stream with its current live
+    /// set.
+    pub fn into_stream(self) -> StreamingRpDbscan {
+        self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpdbscan_core::{RpDbscan, RpDbscanParams};
+    use rpdbscan_metrics::{rand_index, NoisePolicy};
+
+    fn line(lo: usize, hi: usize) -> Vec<f64> {
+        (lo..hi).flat_map(|i| [i as f64 * 0.2, 0.0]).collect()
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let s = StreamingRpDbscan::new(2, RpDbscanParams::new(1.0, 3)).unwrap();
+        assert_eq!(
+            SlidingWindow::new(s, 0).err(),
+            Some(StreamError::InvalidWindow)
+        );
+    }
+
+    #[test]
+    fn pushes_expire_the_oldest_points_exactly() {
+        let s = StreamingRpDbscan::new(2, RpDbscanParams::new(1.0, 3)).unwrap();
+        let mut w = SlidingWindow::new(s, 20).unwrap();
+        let first = w.push_batch(&line(0, 15)).unwrap();
+        assert_eq!(w.len(), 15);
+        assert_eq!(w.last_expired(), 0);
+        w.push_batch(&line(15, 30)).unwrap();
+        // 30 arrivals against a 20-point window: the 10 oldest go.
+        assert_eq!(w.len(), 20);
+        assert_eq!(w.last_expired(), 10);
+        let live: Vec<StreamPointId> = w.stream().snapshot().ids;
+        for id in &first[..10] {
+            assert!(!live.contains(id), "expired id {id:?} still live");
+        }
+        for id in &first[10..] {
+            assert!(live.contains(id), "surviving id {id:?} was expired");
+        }
+    }
+
+    #[test]
+    fn windowed_snapshot_matches_a_batch_run_over_the_survivors() {
+        let params = RpDbscanParams::new(1.0, 3);
+        let s = StreamingRpDbscan::new(2, params.clone()).unwrap();
+        let mut w = SlidingWindow::new(s, 25).unwrap();
+        // Slide far enough that every point of the first pushes expires,
+        // including a push larger than the window itself.
+        for (lo, hi) in [(0, 10), (10, 40), (40, 55)] {
+            w.push_batch(&line(lo, hi)).unwrap();
+        }
+        assert_eq!(w.len(), 25);
+        let snap = w.stream().snapshot();
+        let batch = RpDbscan::new(params)
+            .unwrap()
+            .run_local(&w.stream().dataset())
+            .unwrap();
+        assert_eq!(
+            rand_index(&snap.labels, &batch.clustering, NoisePolicy::SingleCluster),
+            1.0
+        );
+    }
+}

@@ -129,6 +129,13 @@ fn concurrency_passes_run_on_libraries_not_tools_or_tests() {
     let lib = lib_scope();
     assert!(lib.lock_discipline());
     assert!(lib.atomics_discipline());
+    // The delta-publish and sliding-window modules are library code on
+    // the serving/streaming publish paths: both passes must cover them.
+    for path in ["crates/serve/src/patch.rs", "crates/stream/src/window.rs"] {
+        let s = scope::classify(path).expect("publish-path scope");
+        assert!(s.lock_discipline(), "{path}");
+        assert!(s.atomics_discipline(), "{path}");
+    }
     let tool = scope::classify("crates/xtask/src/rules.rs").expect("tool scope");
     assert!(!tool.lock_discipline());
     assert!(!tool.atomics_discipline());

@@ -6,11 +6,13 @@
 //!                   [--algo rp|exact|esp|rbp|cbp|spark|ng]
 //!                   [--rho R] [--partitions K] [--workers W] [--delim C]
 //! rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B
-//!                   [--rho R] [--workers W] [--order file|shuffled|locality]
+//!                   [--rho R] [--workers W] [--window N]
+//!                   [--order file|shuffled|locality|sliding]
 //!                   [--seed S] [--delim C]
 //! rpdbscan serve    <in.csv> --eps E --min-pts M [--queries q.csv]
 //!                   [--out labels.csv] [--shards K] [--workers W]
 //!                   [--rho R] [--queue CAP] [--delim C]
+//!                   [--window N --batch B [--order O] [--seed S]]
 //! rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
 //! rpdbscan metrics  <a.csv> <b.csv>
 //! rpdbscan plot     <labeled.csv> <out.svg>
@@ -21,11 +23,21 @@
 //! the final labels — byte-for-byte the clustering `cluster --algo rp`
 //! would produce on the same points.
 //!
+//! `stream --window N` keeps only the newest `N` points live: each
+//! micro-batch expires the oldest arrivals past the window through the
+//! exact deletion-repair path, and the final labels cover the survivors.
+//!
 //! `serve` clusters the input once, builds a sharded [`ServingIndex`],
 //! and classifies query coordinates through the micro-batched [`Server`]
 //! read path. Without `--queries` it re-serves the input points and
 //! reports agreement with the stored labels (always 100% — classification
 //! replays Phase III exactly).
+//!
+//! `serve --window N --batch B` instead replays the input as a sliding
+//! window of `N` points and *delta-publishes* each epoch: the first epoch
+//! builds the index from the stream, every later one patches the previous
+//! generation copy-on-write ([`ServingIndex::patch_from_stream`]), and
+//! queries are answered from the final published generation.
 //!
 //! `generate` kinds: `moons`, `blobs`, `chameleon`, `geolife`, `cosmo`,
 //! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
@@ -71,7 +83,8 @@ cluster options:
 
 stream options:
   --batch B        points per insert micro-batch (required)
-  --order file|shuffled|locality   arrival order  (default file)
+  --window N       sliding window: keep only the newest N points live
+  --order file|shuffled|locality|sliding   arrival order  (default file)
   --seed S         shuffle seed          (default 0)
   --save-dict F    write the final cell dictionary (wire format) to F
   --check-dict F   decode F and verify it matches this run's grid
@@ -83,6 +96,9 @@ serve options:
   --out F          write classified queries as a labeled CSV to F
   --shards K       index shards         (default 4)
   --queue CAP      admission queue capacity / micro-batch size (default 1024)
+  --window N       sliding-window replay with per-epoch delta publishes
+  --batch B        replay micro-batch size  (required with --window)
+  --order, --seed  arrival order for the windowed replay, as in stream
   --density-backend B   must be exact: classification replays the exact cell graph
   --rho, --workers, --delim as above
 
@@ -291,6 +307,19 @@ fn cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves an `--order` flag into a visit permutation over `data`.
+/// `locality` buckets by ε-sided cells; `sliding` sweeps the first axis
+/// with ε of arrival jitter.
+fn visit_order(order: &str, data: &Dataset, eps: f64, seed: u64) -> Result<Vec<u32>, String> {
+    match order {
+        "file" => Ok((0..data.len() as u32).collect()),
+        "shuffled" => Ok(rp_dbscan::data::shuffled_order(data, seed)),
+        "locality" => Ok(rp_dbscan::data::locality_order(data, eps, seed)),
+        "sliding" => Ok(rp_dbscan::data::sliding_order(data, eps, seed)),
+        other => Err(format!("unknown --order {other:?}")),
+    }
+}
+
 fn stream(args: &[String]) -> Result<(), String> {
     let input = PathBuf::from(args.first().ok_or("stream: missing <in.csv>")?);
     let output = PathBuf::from(args.get(1).ok_or("stream: missing <out.csv>")?);
@@ -305,24 +334,25 @@ fn stream(args: &[String]) -> Result<(), String> {
     let delim: char = parse_flag(args, "--delim", ',')?;
     let order = flag(args, "--order").unwrap_or_else(|| "file".into());
     let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let window: Option<usize> = flag(args, "--window")
+        .map(|v| v.parse().map_err(|_| format!("invalid --window {v:?}")))
+        .transpose()?;
+    if window == Some(0) {
+        return Err("stream: --window must be >= 1".into());
+    }
     let save_dict = flag(args, "--save-dict").map(PathBuf::from);
     let check_dict = flag(args, "--check-dict").map(PathBuf::from);
 
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
-    let idx: Vec<u32> = match order.as_str() {
-        "file" => (0..data.len() as u32).collect(),
-        "shuffled" => rp_dbscan::data::shuffled_order(&data, seed),
-        "locality" => rp_dbscan::data::locality_order(&data, eps, seed),
-        other => return Err(format!("unknown --order {other:?}")),
-    };
+    let idx = visit_order(&order, &data, eps, seed)?;
     // Streaming repair only exists for the exact backend; approximate
     // selections are rejected by `with_engine` with a typed error.
     let params = RpDbscanParams::new(eps, min_pts)
         .with_rho(rho)
         .with_density_backend(parse_backend(args)?);
     let engine = Engine::with_cost_model(workers, CostModel::free());
-    let mut s =
+    let s =
         StreamingRpDbscan::with_engine(data.dim(), params, engine).map_err(|e| e.to_string())?;
     if let Some(p) = &check_dict {
         let bytes = std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()))?;
@@ -336,21 +366,25 @@ fn stream(args: &[String]) -> Result<(), String> {
         );
     }
     println!(
-        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "epoch", "inserted", "total", "clusters", "changed", "dirty", "sec"
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "epoch", "inserted", "expired", "total", "clusters", "changed", "dirty", "sec"
     );
+    // An absent --window is an unbounded one: push_batch never expires.
+    let mut w =
+        SlidingWindow::new(s, window.unwrap_or(usize::MAX)).map_err(|e| e.to_string())?;
     for chunk in idx.chunks(batch) {
         let mut flat = Vec::with_capacity(chunk.len() * data.dim());
         for &i in chunk {
             flat.extend_from_slice(data.point_at(i as usize));
         }
         let t = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
-        s.insert_batch(&flat).map_err(|e| e.to_string())?;
-        let snap = s.snapshot();
+        w.push_batch(&flat).map_err(|e| e.to_string())?;
+        let snap = w.stream().snapshot();
         println!(
-            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.3}",
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8.3}",
             snap.epoch,
             chunk.len(),
+            w.last_expired(),
             snap.stats.live_points,
             snap.stats.num_clusters,
             snap.stats.last_changed_cells,
@@ -358,6 +392,7 @@ fn stream(args: &[String]) -> Result<(), String> {
             t.elapsed().as_secs_f64()
         );
     }
+    let s = w.into_stream();
     let snap = s.snapshot();
     io::write_labeled_csv(&output, &s.dataset(), &snap.labels, delim).map_err(|e| e.to_string())?;
     println!("wrote labels to {}", output.display());
@@ -387,47 +422,64 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     let queries_path = flag(args, "--queries").map(PathBuf::from);
     let out_path = flag(args, "--out").map(PathBuf::from);
+    let window: Option<usize> = flag(args, "--window")
+        .map(|v| v.parse().map_err(|_| format!("invalid --window {v:?}")))
+        .transpose()?;
+    if window == Some(0) {
+        return Err("serve: --window must be >= 1".into());
+    }
 
     let data = load(&input, delim)?;
     println!("loaded {} points ({}d)", data.len(), data.dim());
     // Classification replays the exact cell graph; an approximate
-    // backend selection fails here (driver) and at `from_batch`.
+    // backend selection fails here (driver) and at the index build.
     let params = RpDbscanParams::new(eps, min_pts)
         .with_rho(rho)
         .with_density_backend(parse_backend(args)?);
-    let out = RpDbscan::new(params)
-        .map_err(|e| e.to_string())?
-        .run_local(&data)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "clustered: {} clusters, {} noise",
-        out.clustering.num_clusters(),
-        out.clustering.noise_count()
-    );
-    let index =
-        ServingIndex::from_batch(&data, &out, &params, shards, 1).map_err(|e| e.to_string())?;
-    println!(
-        "serving index: {} shards, {} cells, {} points, generation {}, backend {}",
-        index.num_shards(),
-        index.num_cells(),
-        index.num_points(),
-        index.generation(),
-        index.backend()
-    );
-    let server = Server::new(
-        Engine::with_cost_model(workers, CostModel::free()),
-        std::sync::Arc::new(index),
-        ServerConfig {
-            queue_capacity: queue,
-            cache_capacity: 4096,
-            ..ServerConfig::default()
-        },
-    );
+    let config = ServerConfig {
+        queue_capacity: queue,
+        cache_capacity: 4096,
+        ..ServerConfig::default()
+    };
+    // Both paths end with a published index and the labels the input's
+    // points are stored under (the self-serve agreement oracle).
+    let (server, stored, base_data) = if let Some(win) = window {
+        serve_window_build(args, data, &params, eps, win, shards, workers, config)?
+    } else {
+        let out = RpDbscan::new(params)
+            .map_err(|e| e.to_string())?
+            .run_local(&data)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "clustered: {} clusters, {} noise",
+            out.clustering.num_clusters(),
+            out.clustering.noise_count()
+        );
+        let index =
+            ServingIndex::from_batch(&data, &out, &params, shards, 1).map_err(|e| e.to_string())?;
+        let server = Server::new(
+            Engine::with_cost_model(workers, CostModel::free()),
+            std::sync::Arc::new(index),
+            config,
+        );
+        (server, out.clustering.labels().to_vec(), data)
+    };
+    {
+        let index = server.index();
+        println!(
+            "serving index: {} shards, {} cells, {} points, generation {}, backend {}",
+            index.num_shards(),
+            index.num_cells(),
+            index.num_points(),
+            index.generation(),
+            index.backend()
+        );
+    }
 
     let self_serve = queries_path.is_none();
     let qdata = match &queries_path {
         Some(p) => load(p, delim)?,
-        None => data,
+        None => base_data,
     };
     if qdata.dim() != server.index().spec().dim() {
         return Err(format!(
@@ -459,7 +511,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     if self_serve {
         let agree = labels
             .iter()
-            .zip(out.clustering.labels())
+            .zip(&stored)
             .filter(|(a, b)| a == b)
             .count();
         println!(
@@ -486,6 +538,94 @@ fn serve(args: &[String]) -> Result<(), String> {
         println!("wrote labels to {}", p.display());
     }
     Ok(())
+}
+
+/// Replays the input as a sliding window of `win` points and publishes
+/// one index generation per epoch: a full [`ServingIndex::from_stream`]
+/// build for the first, a copy-on-write [`ServingIndex::patch_from_stream`]
+/// delta on top of the served generation for every later one (falling
+/// back to a full build if the patch is rejected). Returns the server
+/// with the final generation published, the survivors' stored labels,
+/// and the survivors themselves as the self-serve query set.
+#[allow(clippy::too_many_arguments)]
+fn serve_window_build(
+    args: &[String],
+    data: Dataset,
+    params: &RpDbscanParams,
+    eps: f64,
+    win: usize,
+    shards: usize,
+    workers: usize,
+    config: ServerConfig,
+) -> Result<(Server, Vec<Option<u32>>, Dataset), String> {
+    let batch: usize = require(args, "--batch")?;
+    if batch == 0 {
+        return Err("serve: --batch must be >= 1".into());
+    }
+    let order = flag(args, "--order").unwrap_or_else(|| "file".into());
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let idx = visit_order(&order, &data, eps, seed)?;
+    let engine = Engine::with_cost_model(workers, CostModel::free());
+    let s = StreamingRpDbscan::with_engine(data.dim(), params.clone(), engine)
+        .map_err(|e| e.to_string())?;
+    let mut w = SlidingWindow::new(s, win).map_err(|e| e.to_string())?;
+    let mut server: Option<Server> = None;
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>18} {:>8}",
+        "epoch", "inserted", "expired", "live", "clusters", "publish", "sec"
+    );
+    for chunk in idx.chunks(batch) {
+        let mut flat = Vec::with_capacity(chunk.len() * data.dim());
+        for &i in chunk {
+            flat.extend_from_slice(data.point_at(i as usize));
+        }
+        let t = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
+        w.push_batch(&flat).map_err(|e| e.to_string())?;
+        let publish = match &server {
+            None => {
+                let index = std::sync::Arc::new(ServingIndex::from_stream(w.stream(), shards));
+                server = Some(Server::new(
+                    Engine::with_cost_model(workers, CostModel::free()),
+                    index,
+                    config.clone(),
+                ));
+                "full build".to_string()
+            }
+            Some(srv) => {
+                let prev = srv.index();
+                match ServingIndex::patch_from_stream(&prev, w.stream()) {
+                    Ok(patched) => {
+                        let label = patched.patch_summary().map_or_else(
+                            || "patch".to_string(),
+                            |p| format!("patch {}/{} shards", p.patched_shards(), p.shared_shards()),
+                        );
+                        srv.publish_if_newer(std::sync::Arc::new(patched));
+                        label
+                    }
+                    Err(_) => {
+                        // Grid drift or a non-newer base: rebuild fully.
+                        let index = ServingIndex::from_stream(w.stream(), shards);
+                        srv.publish_if_newer(std::sync::Arc::new(index));
+                        "full rebuild".to_string()
+                    }
+                }
+            }
+        };
+        let snap = w.stream().snapshot();
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>18} {:>8.3}",
+            snap.epoch,
+            chunk.len(),
+            w.last_expired(),
+            snap.stats.live_points,
+            snap.stats.num_clusters,
+            publish,
+            t.elapsed().as_secs_f64()
+        );
+    }
+    let server = server.ok_or("serve: input produced no epochs")?;
+    let snap = w.stream().snapshot();
+    Ok((server, snap.labels.labels().to_vec(), w.stream().dataset()))
 }
 
 fn compare(args: &[String]) -> Result<(), String> {

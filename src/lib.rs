@@ -74,5 +74,5 @@ pub mod prelude {
         Classification, IndexSlot, Request, Response, ServeError, Server, ServerConfig,
         ServingIndex,
     };
-    pub use rpdbscan_stream::{StreamPointId, StreamingRpDbscan};
+    pub use rpdbscan_stream::{SlidingWindow, StreamPointId, StreamingRpDbscan};
 }
