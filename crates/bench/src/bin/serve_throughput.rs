@@ -372,7 +372,15 @@ fn main() {
     let mut lag_rows: Vec<LagRow> = Vec::new();
     println!(
         "{:>9} {:>6} {:>7} {:>8} {:>11} {:>11} {:>8} {:>9} {:>8}",
-        "fraction", "epoch", "batch", "expired", "full(s)", "patch(s)", "speedup", "rebuilt", "carried"
+        "fraction",
+        "epoch",
+        "batch",
+        "expired",
+        "full(s)",
+        "patch(s)",
+        "speedup",
+        "rebuilt",
+        "carried"
     );
     for &fraction in fractions {
         let b = ((n as f64 * fraction).ceil() as usize).max(1);
@@ -456,7 +464,10 @@ fn main() {
             // Publish through the server: untouched cells' plans are
             // carried, so classifying them afterwards must cost zero
             // cold plan builds.
-            let summary = patched.patch_summary().expect("patched index has a summary").clone();
+            let summary = patched
+                .patch_summary()
+                .expect("patched index has a summary")
+                .clone();
             let carried_before = server.stats().plans_carried;
             assert!(server.publish_if_newer(Arc::clone(&patched)));
             let stats = server.stats();

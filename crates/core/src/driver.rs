@@ -20,7 +20,7 @@ use rpdbscan_grid::{
 use rpdbscan_metrics::Clustering;
 /// Measured facts about a completed run (feeds Tables 5/7 and Figures
 /// 12/13/14/17).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Density backend that answered the Phase II core-point decision
     /// (`exact` for every run of this driver; the approximate backends
@@ -69,6 +69,27 @@ pub struct RunStats {
     /// The cost model's break-even occupancy for this run — cells below
     /// it can never be planned (calibrated once per dictionary build).
     pub route_min_occupancy: u32,
+    /// True when the run streamed cells from a column store instead of a
+    /// resident dataset. Every field below is zero on resident runs.
+    pub out_of_core: bool,
+    /// The buffer pool's byte budget.
+    pub pool_budget_bytes: u64,
+    /// Page pins answered from cache.
+    pub pool_hits: u64,
+    /// Page pins that read from disk.
+    pub pool_misses: u64,
+    /// Pages evicted by the pool.
+    pub pool_evictions: u64,
+    /// High-water mark of bytes the pool tracked at once — the scale
+    /// bench asserts this stays within the budget.
+    pub pool_peak_tracked_bytes: u64,
+    /// Bytes written to Phase II→III spill files.
+    pub spill_bytes_written: u64,
+    /// Bytes read back from spill files during the tournament merge.
+    pub spill_bytes_read: u64,
+    /// High-water mark of bytes any single spill-merge frontier held in
+    /// memory (merged type table + survivor edges + union-find).
+    pub merge_peak_frontier_bytes: u64,
 }
 
 /// A finished clustering plus its statistics.
@@ -282,6 +303,15 @@ impl RpDbscan {
             query_cells_routed_planned: query_stats.cells_routed_planned as u64,
             query_cells_routed_kd: query_stats.cells_routed_kd as u64,
             route_min_occupancy: routing.min_occupancy().unwrap_or(0),
+            out_of_core: false,
+            pool_budget_bytes: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_evictions: 0,
+            pool_peak_tracked_bytes: 0,
+            spill_bytes_written: 0,
+            spill_bytes_read: 0,
+            merge_peak_frontier_bytes: 0,
         };
         Ok(RpDbscanOutput { clustering, stats })
     }

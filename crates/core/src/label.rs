@@ -60,6 +60,33 @@ pub fn extract_clusters(g: &CellSubgraph) -> GlobalClusters {
     }
 }
 
+/// Everything Phase III-2 labeling reads from the merged global graph,
+/// derived once and shared read-only across the per-partition label
+/// tasks (both the resident and out-of-core drivers label against this
+/// same bundle).
+#[derive(Debug, Clone)]
+pub struct LabelSupport {
+    /// The merged global cell graph.
+    pub global: CellSubgraph,
+    /// Cluster id per core cell.
+    pub clusters: GlobalClusters,
+    /// Predecessor core cells per non-core cell.
+    pub preds: FxHashMap<u32, Vec<u32>>,
+}
+
+impl LabelSupport {
+    /// Extracts clusters and the predecessor map from the global graph.
+    pub fn build(global: CellSubgraph) -> LabelSupport {
+        let clusters = extract_clusters(&global);
+        let preds = predecessor_map(&global);
+        LabelSupport {
+            global,
+            clusters,
+            preds,
+        }
+    }
+}
+
 /// Predecessor core cells of every non-core cell: the `PC` set of
 /// Algorithm 4, Line 18, read off the global graph's partial edges.
 pub fn predecessor_map(g: &CellSubgraph) -> FxHashMap<u32, Vec<u32>> {

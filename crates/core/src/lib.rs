@@ -47,6 +47,7 @@ pub mod driver;
 pub mod graph;
 pub mod label;
 pub mod merge;
+pub mod ooc;
 pub mod params;
 pub mod partition;
 pub mod phase2;
@@ -54,8 +55,10 @@ pub mod repair;
 
 pub use driver::{validate_backend_config, RpDbscan, RpDbscanOutput, RunStats};
 pub use graph::{CellSubgraph, CellType, EdgeType};
+pub use ooc::OutOfCoreConfig;
 pub use params::{DensityBackendKind, RpDbscanParams};
-pub use partition::{CellPoints, Partition};
+pub use partition::{pseudo_random_deal, CellPoints, Partition};
+pub use phase2::{LocalBuilder, PointSource, QueryRouting};
 pub use repair::{
     assign_border_point, cell_contribution, contribution_delta, recompute_cell, sub_diff,
     CellRepair, SubDiff,
@@ -92,6 +95,10 @@ pub enum CoreError {
         /// What was wrong with its configuration.
         reason: &'static str,
     },
+    /// The out-of-core pipeline hit a column-store error: a corrupt or
+    /// truncated store file, a grid-parameter mismatch between the store
+    /// header and the run's parameters, or a spill IO failure.
+    Store(rpdbscan_store::StoreError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -112,6 +119,7 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidBackendConfig { backend, reason } => {
                 write!(f, "invalid `{backend}` backend configuration: {reason}")
             }
+            CoreError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -127,5 +135,11 @@ impl From<rpdbscan_grid::GridError> for CoreError {
 impl From<rpdbscan_engine::StageError> for CoreError {
     fn from(e: rpdbscan_engine::StageError) -> Self {
         CoreError::Stage(e)
+    }
+}
+
+impl From<rpdbscan_store::StoreError> for CoreError {
+    fn from(e: rpdbscan_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }

@@ -56,25 +56,38 @@ pub fn group_by_cell(spec: &GridSpec, data: &Dataset) -> Vec<CellPoints> {
     cells
 }
 
+/// The seeded shuffle + round-robin deal at the heart of
+/// [`pseudo_random_partition`], generic over the item being dealt.
+///
+/// The resident pipeline deals [`CellPoints`]; the out-of-core pipeline
+/// deals directory cell *indices*. Because `StdRng::seed_from_u64` plus
+/// `shuffle` depend only on the seed and the item count, both pipelines
+/// deal the same-length, same-order cell list identically — the anchor
+/// of their bit-for-bit output equivalence.
+pub fn pseudo_random_deal<T>(items: Vec<T>, k: usize, seed: u64) -> Vec<Vec<T>> {
+    assert!(k >= 1, "need at least one partition");
+    let mut items = items;
+    let mut rng = StdRng::seed_from_u64(seed);
+    items.shuffle(&mut rng);
+    let mut parts: Vec<Vec<T>> = (0..k)
+        .map(|_| Vec::with_capacity(items.len() / k + 1))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        parts[i % k].push(item);
+    }
+    parts
+}
+
 /// Distributes cells over `k` partitions uniformly at random
 /// (Algorithm 2, Lines 5–11: a random key per cell, then aggregation by
 /// key). A seeded shuffle followed by round-robin dealing realises the
 /// paper's "partitions of the same size" with cell counts equal to ±1.
 pub fn pseudo_random_partition(cells: Vec<CellPoints>, k: usize, seed: u64) -> Vec<Partition> {
-    assert!(k >= 1, "need at least one partition");
-    let mut cells = cells;
-    let mut rng = StdRng::seed_from_u64(seed);
-    cells.shuffle(&mut rng);
-    let mut parts: Vec<Partition> = (0..k)
-        .map(|id| Partition {
-            id,
-            cells: Vec::with_capacity(cells.len() / k + 1),
-        })
-        .collect();
-    for (i, cell) in cells.into_iter().enumerate() {
-        parts[i % k].cells.push(cell);
-    }
-    parts
+    pseudo_random_deal(cells, k, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(id, cells)| Partition { id, cells })
+        .collect()
 }
 
 /// Ablation variant: *true* random partitioning of individual points

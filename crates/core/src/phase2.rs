@@ -74,6 +74,150 @@ pub struct LocalClustering {
     pub queries: u64,
 }
 
+/// Where a cell's point coordinates come from.
+///
+/// The resident pipeline reads them straight out of the shared
+/// [`Dataset`]; the out-of-core pipeline gathers them through the buffer
+/// pool into a row-major scratch buffer first. Both feed the same
+/// [`LocalBuilder`], so Algorithm 3's decisions — and therefore the
+/// clustering output — are bit-identical between the two.
+#[derive(Debug, Clone, Copy)]
+pub enum PointSource<'a> {
+    /// Coordinates live in the shared dataset, addressed by point id.
+    Dataset(&'a Dataset),
+    /// Coordinates were gathered row-major: the cell's `j`-th point (in
+    /// the same order as the id slice handed to
+    /// [`LocalBuilder::process_cell`]) occupies `rows[j*dim..(j+1)*dim]`.
+    Rows(&'a [f64]),
+}
+
+impl PointSource<'_> {
+    /// Coordinates of the cell's `j`-th point, whose id is `pid`.
+    #[inline]
+    fn point(&self, dim: usize, j: usize, pid: PointId) -> &[f64] {
+        match self {
+            PointSource::Dataset(data) => data.point(pid),
+            PointSource::Rows(rows) => &rows[j * dim..(j + 1) * dim],
+        }
+    }
+}
+
+/// Incremental Algorithm 3 state: feed cells one at a time with
+/// [`Self::process_cell`], then [`Self::finish`]. Holds the partition's
+/// accumulating subgraph plus all query scratch, so processing a cell
+/// allocates nothing in steady state regardless of the point source.
+#[derive(Debug)]
+pub struct LocalBuilder {
+    subgraph: CellSubgraph,
+    core_points: FxHashMap<u32, Vec<PointId>>,
+    stats: QueryStats,
+    queries: u64,
+    // Scratch buffers reused across all points of the partition.
+    neighbors: Vec<u32>,
+    r: rpdbscan_grid::RegionQueryResult,
+    center: Vec<f64>,
+}
+
+impl LocalBuilder {
+    /// A fresh builder for one partition under `index`'s grid.
+    pub fn new(index: &DictionaryIndex) -> LocalBuilder {
+        LocalBuilder {
+            subgraph: CellSubgraph::new(),
+            core_points: FxHashMap::default(),
+            stats: QueryStats::default(),
+            queries: 0,
+            neighbors: Vec::new(),
+            r: rpdbscan_grid::RegionQueryResult::default(),
+            center: vec![0.0; index.spec().dim()],
+        }
+    }
+
+    /// Runs Algorithm 3's per-cell body: region-query every point of the
+    /// cell, mark core points, and (for a core cell) add successor edges.
+    ///
+    /// `ids` lists the cell's point ids; `source` resolves the `j`-th
+    /// id's coordinates. A cell absent from the broadcast dictionary is
+    /// an internal-consistency violation reported as a [`TaskError`].
+    pub fn process_cell(
+        &mut self,
+        index: &DictionaryIndex,
+        min_pts: usize,
+        routing: QueryRouting,
+        coord: &rpdbscan_grid::CellCoord,
+        ids: &[PointId],
+        source: PointSource<'_>,
+    ) -> Result<(), TaskError> {
+        let dim = index.spec().dim();
+        let cell_idx = index.dict().index_of(coord).ok_or_else(|| {
+            TaskError::new(format!(
+                "partition cell {coord} missing from broadcast dictionary"
+            ))
+        })?;
+        self.neighbors.clear();
+        let mut is_core_cell = false;
+        let plan = match routing.route(ids.len()) {
+            QueryRoute::Planned => {
+                self.stats.cells_routed_planned += 1;
+                let plan = CellQueryPlan::build(index, cell_idx);
+                // Build cost is charged once per cell, not once per point.
+                self.stats.merge(plan.build_stats());
+                Some(plan)
+            }
+            QueryRoute::Kd => {
+                self.stats.cells_routed_kd += 1;
+                None
+            }
+        };
+        for (j, &pid) in ids.iter().enumerate() {
+            let p = source.point(dim, j, pid);
+            match &plan {
+                Some(plan) => plan.query_into(p, &mut self.r),
+                None => index.region_query_cells_scratch(p, &mut self.r, &mut self.center),
+            }
+            self.stats.merge(&self.r.stats);
+            self.queries += 1;
+            if self.r.density >= min_pts as u64 {
+                // p is a core point (Line 9–10); its cell is core (11–12)
+                // and all cells holding one of its (ε,ρ)-neighbour
+                // sub-cells are reachable successors (13–16).
+                is_core_cell = true;
+                self.core_points.entry(cell_idx).or_default().push(pid);
+                for &nc in &self.r.neighbor_cells {
+                    if nc != cell_idx {
+                        self.neighbors.push(nc);
+                    }
+                }
+            }
+        }
+        self.subgraph.set_type(
+            cell_idx,
+            if is_core_cell {
+                CellType::Core
+            } else {
+                CellType::NonCore
+            },
+        );
+        if is_core_cell {
+            self.neighbors.sort_unstable();
+            self.neighbors.dedup();
+            for &nc in &self.neighbors {
+                self.subgraph.add_edge(cell_idx, nc);
+            }
+        }
+        Ok(())
+    }
+
+    /// The partition's finished local clustering.
+    pub fn finish(self) -> LocalClustering {
+        LocalClustering {
+            subgraph: self.subgraph,
+            core_points: self.core_points,
+            stats: self.stats,
+            queries: self.queries,
+        }
+    }
+}
+
 /// Runs Algorithm 3 on one partition.
 ///
 /// `index` is the broadcast dictionary; `data` provides point coordinates
@@ -98,80 +242,18 @@ pub fn build_local_clustering(
     min_pts: usize,
     routing: QueryRouting,
 ) -> Result<LocalClustering, TaskError> {
-    let dict = index.dict();
-    let mut subgraph = CellSubgraph::new();
-    let mut core_points: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
-    let mut stats = QueryStats::default();
-    let mut queries = 0u64;
-    // Scratch buffers reused across all points of the partition.
-    let mut neighbors: Vec<u32> = Vec::new();
-    let mut r = rpdbscan_grid::RegionQueryResult::default();
-    let mut center = vec![0.0; index.spec().dim()];
-
+    let mut builder = LocalBuilder::new(index);
     for cell in &partition.cells {
-        let cell_idx = dict.index_of(&cell.coord).ok_or_else(|| {
-            TaskError::new(format!(
-                "partition cell {} missing from broadcast dictionary",
-                cell.coord
-            ))
-        })?;
-        neighbors.clear();
-        let mut is_core_cell = false;
-        let plan = match routing.route(cell.points.len()) {
-            QueryRoute::Planned => {
-                stats.cells_routed_planned += 1;
-                let plan = CellQueryPlan::build(index, cell_idx);
-                // Build cost is charged once per cell, not once per point.
-                stats.merge(plan.build_stats());
-                Some(plan)
-            }
-            QueryRoute::Kd => {
-                stats.cells_routed_kd += 1;
-                None
-            }
-        };
-        for &pid in &cell.points {
-            match &plan {
-                Some(plan) => plan.query_into(data.point(pid), &mut r),
-                None => index.region_query_cells_scratch(data.point(pid), &mut r, &mut center),
-            }
-            stats.merge(&r.stats);
-            queries += 1;
-            if r.density >= min_pts as u64 {
-                // p is a core point (Line 9–10); its cell is core (11–12)
-                // and all cells holding one of its (ε,ρ)-neighbour
-                // sub-cells are reachable successors (13–16).
-                is_core_cell = true;
-                core_points.entry(cell_idx).or_default().push(pid);
-                for &nc in &r.neighbor_cells {
-                    if nc != cell_idx {
-                        neighbors.push(nc);
-                    }
-                }
-            }
-        }
-        subgraph.set_type(
-            cell_idx,
-            if is_core_cell {
-                CellType::Core
-            } else {
-                CellType::NonCore
-            },
-        );
-        if is_core_cell {
-            neighbors.sort_unstable();
-            neighbors.dedup();
-            for &nc in &neighbors {
-                subgraph.add_edge(cell_idx, nc);
-            }
-        }
+        builder.process_cell(
+            index,
+            min_pts,
+            routing,
+            &cell.coord,
+            &cell.points,
+            PointSource::Dataset(data),
+        )?;
     }
-    Ok(LocalClustering {
-        subgraph,
-        core_points,
-        stats,
-        queries,
-    })
+    Ok(builder.finish())
 }
 
 #[cfg(test)]

@@ -41,15 +41,27 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Reads a dataset from delimited text. The dimensionality is inferred
-/// from the first non-empty line; `delimiter` is typically `','` or `' '`.
-pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
+/// Streams a delimited-text file one point at a time without ever
+/// materialising a [`Dataset`] — the row buffer is reused across lines,
+/// so memory stays O(1) in the file size. `f` receives each parsed row;
+/// an `Err(message)` it returns is surfaced as an [`IoError::Parse`]
+/// carrying the line it arose on. The dimensionality is pinned by the
+/// first data row; a later row of a different width is rejected here, in
+/// the parse layer. Returns the number of rows delivered.
+///
+/// This is the ingest path for out-of-core stores: `rpdbscan ingest`
+/// feeds rows straight into a `StoreWriter` through this function.
+pub fn for_each_csv_row<F>(path: &Path, delimiter: char, mut f: F) -> Result<u64, IoError>
+where
+    F: FnMut(&[f64]) -> Result<(), String>,
+{
     let file = std::fs::File::open(path)?;
     let mut reader = BufReader::new(file);
     let mut line = String::new();
-    let mut builder: Option<DatasetBuilder> = None;
     let mut row: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
     let mut lineno = 0usize;
+    let mut rows = 0u64;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -74,22 +86,37 @@ pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
         if row.is_empty() {
             continue;
         }
+        let expected = *dim.get_or_insert(row.len());
+        if row.len() != expected {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("expected {expected} coordinates, found {}", row.len()),
+            });
+        }
+        f(&row).map_err(|message| IoError::Parse {
+            line: lineno,
+            message,
+        })?;
+        rows += 1;
+    }
+    Ok(rows)
+}
+
+/// Reads a dataset from delimited text. The dimensionality is inferred
+/// from the first non-empty line; `delimiter` is typically `','` or `' '`.
+pub fn read_csv(path: &Path, delimiter: char) -> Result<Dataset, IoError> {
+    let mut builder: Option<DatasetBuilder> = None;
+    for_each_csv_row(path, delimiter, |row| {
         let b = match &mut builder {
             Some(b) => b,
             None => {
                 let fresh =
-                    DatasetBuilder::with_capacity(row.len(), 1024).map_err(|e| IoError::Parse {
-                        line: lineno,
-                        message: e.to_string(),
-                    })?;
+                    DatasetBuilder::with_capacity(row.len(), 1024).map_err(|e| e.to_string())?;
                 builder.get_or_insert(fresh)
             }
         };
-        b.push(&row).map_err(|e| IoError::Parse {
-            line: lineno,
-            message: e.to_string(),
-        })?;
-    }
+        b.push(row).map(|_| ()).map_err(|e| e.to_string())
+    })?;
     match builder {
         Some(b) => Ok(b.build()),
         None => Dataset::from_flat(1, vec![]).map_err(|e| IoError::Parse {
@@ -195,6 +222,36 @@ mod tests {
         write_labeled_csv(&p, &d, &c, ',').unwrap();
         let text = std::fs::read_to_string(&p).unwrap();
         assert_eq!(text, "1,2,7\n3,4,-1\n");
+    }
+
+    #[test]
+    fn streaming_rows_match_dataset_read() {
+        let p = tmpfile("stream_rows.csv");
+        std::fs::write(&p, "# head\n1.0,2.0\n\n3.5,4.5\n5.0,6.0\n").unwrap();
+        let mut flat = Vec::new();
+        let n = for_each_csv_row(&p, ',', |row| {
+            flat.extend_from_slice(row);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(flat, vec![1.0, 2.0, 3.5, 4.5, 5.0, 6.0]);
+        // A callback error carries the line it arose on.
+        let err = for_each_csv_row(&p, ',', |_| Err("full".into())).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert_eq!(message, "full");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Ragged rows are rejected by the streaming layer itself.
+        let bad = tmpfile("stream_ragged.csv");
+        std::fs::write(&bad, "1.0,2.0\n3.0\n").unwrap();
+        assert!(matches!(
+            for_each_csv_row(&bad, ',', |_| Ok(())),
+            Err(IoError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

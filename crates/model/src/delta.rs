@@ -266,7 +266,12 @@ impl Protocol for DeltaModel {
                 Step::Ran
             }
             3 => {
-                r.shard_max = state.objects[r.pin].shards.iter().copied().max().unwrap_or(0);
+                r.shard_max = state.objects[r.pin]
+                    .shards
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0);
                 r.pc = 4;
                 Step::Ran
             }

@@ -120,7 +120,9 @@ mod tests {
         let slot = IndexSlot::new(Arc::new(ServingIndex::from_stream(&stream, 2)));
         let pinned = slot.load();
         for step in 0..3 {
-            let far: Vec<f64> = (0..4).map(|i| 100.0 + step as f64 + i as f64 * 0.1).collect();
+            let far: Vec<f64> = (0..4)
+                .map(|i| 100.0 + step as f64 + i as f64 * 0.1)
+                .collect();
             stream.insert_batch(&far).unwrap();
             let prev = slot.load();
             let next = Arc::new(ServingIndex::patch_from_stream(&prev, &stream).unwrap());

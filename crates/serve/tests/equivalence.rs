@@ -244,15 +244,29 @@ fn patched_generations_read_bit_identical_to_fresh_builds() {
                 assert_eq!(patched.num_cells(), fresh.num_cells(), "{ctx}");
                 assert_eq!(patched.num_clusters(), fresh.num_clusters(), "{ctx}");
                 for c in 0..fresh.num_clusters() as u32 {
-                    assert_eq!(patched.cluster_stats(c), fresh.cluster_stats(c), "{ctx} c={c}");
+                    assert_eq!(
+                        patched.cluster_stats(c),
+                        fresh.cluster_stats(c),
+                        "{ctx} c={c}"
+                    );
                 }
                 let snap = s.snapshot();
                 for id in &snap.ids {
-                    assert_eq!(patched.label_of(id.0), fresh.label_of(id.0), "{ctx} id={}", id.0);
+                    assert_eq!(
+                        patched.label_of(id.0),
+                        fresh.label_of(id.0),
+                        "{ctx} id={}",
+                        id.0
+                    );
                 }
                 // Dead slots answer None on both sides.
                 for id in &removals {
-                    assert_eq!(patched.label_of(id.0), fresh.label_of(id.0), "{ctx} dead {}", id.0);
+                    assert_eq!(
+                        patched.label_of(id.0),
+                        fresh.label_of(id.0),
+                        "{ctx} dead {}",
+                        id.0
+                    );
                 }
                 let data = s.dataset();
                 for row in 0..data.len() {

@@ -1,0 +1,477 @@
+//! On-disk layout (format v1) and the encode/decode primitives.
+//!
+//! ```text
+//! offset 0                                   HEADER (72 bytes, LE)
+//!   [0..8)   magic            b"RPDBSOA1"
+//!   [8..12)  version          u32 = 1
+//!   [12..16) dim              u32 (>= 1)
+//!   [16..24) n_points         u64 (<= u32::MAX: point ids are 32-bit)
+//!   [24..28) page_rows        u32 (>= 1)
+//!   [28..32) reserved         u32 = 0
+//!   [32..40) eps              f64 bits (ingest grid spec)
+//!   [40..48) rho              f64 bits (ingest grid spec)
+//!   [48..56) dir_offset       u64
+//!   [56..64) dir_bytes        u64
+//!   [64..72) dir_checksum     u64 (FNV-1a of the directory section)
+//! offset 72                                  COLUMN DATA
+//!   dim coordinate columns, each n_points × f64, cell-sorted row order,
+//!   then one permutation column of n_points × u32 original point ids.
+//!   Every column is split into pages of page_rows rows (last page
+//!   short); pages are stored back to back with no padding.
+//! offset dir_offset                          DIRECTORY (dir_bytes long)
+//!   n_cells u64
+//!   per cell (ascending coordinate order):
+//!     dim × i64 lattice coordinate, row_start u64, row_count u64
+//!   n_page_checksums u64
+//!   per page: u64 FNV-1a of the page's raw bytes, enumerated column
+//!   0..=dim (the permutation column is column `dim`), page 0..pages.
+//! ```
+//!
+//! Rows are sorted by `(cell coordinate, original point id)`, so each
+//! cell is one contiguous row range and ids ascend within a cell —
+//! exactly the order the resident pipeline produces, which is what makes
+//! the out-of-core run bit-identical to the resident one.
+
+use crate::StoreError;
+use rpdbscan_grid::CellCoord;
+
+/// First eight bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"RPDBSOA1";
+/// Format version this build writes and the highest it reads.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_BYTES: u64 = 72;
+/// Default rows per page (32 KiB coordinate pages, 16 KiB id pages).
+pub const DEFAULT_PAGE_ROWS: u32 = 4096;
+
+/// One directory entry: a grid cell's contiguous row range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMeta {
+    /// The cell's lattice coordinate.
+    pub coord: CellCoord,
+    /// First row of the cell in the cell-sorted row order.
+    pub row_start: u64,
+    /// Number of rows (points) in the cell.
+    pub row_count: u64,
+}
+
+/// Decoded fixed header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Dimensionality of the stored points.
+    pub dim: u32,
+    /// Number of points.
+    pub n_points: u64,
+    /// Rows per page.
+    pub page_rows: u32,
+    /// ε the ingest grid spec was built with.
+    pub eps: f64,
+    /// ρ the ingest grid spec was built with.
+    pub rho: f64,
+    /// Byte offset of the directory section.
+    pub dir_offset: u64,
+    /// Byte length of the directory section.
+    pub dir_bytes: u64,
+    /// FNV-1a checksum of the directory section.
+    pub dir_checksum: u64,
+}
+
+/// 64-bit FNV-1a over a byte slice — dependency-free and deterministic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Byte width of a column: coordinate columns hold `f64`, the
+/// permutation column (`col == dim`) holds `u32`.
+#[inline]
+pub fn col_width(dim: u32, col: u32) -> u64 {
+    if col < dim {
+        8
+    } else {
+        4
+    }
+}
+
+/// File offset of a column's first byte.
+#[inline]
+pub fn col_offset(dim: u32, n_points: u64, col: u32) -> u64 {
+    let coord_cols = (col.min(dim)) as u64;
+    HEADER_BYTES + coord_cols * n_points * 8 + if col > dim { n_points * 4 } else { 0 }
+}
+
+/// Number of pages in a column of `n_points` rows.
+#[inline]
+pub fn pages_in_col(n_points: u64, page_rows: u32) -> u32 {
+    n_points.div_ceil(page_rows.max(1) as u64) as u32
+}
+
+/// Rows held by page `page` of a column (the last page may be short).
+#[inline]
+pub fn rows_in_page(n_points: u64, page_rows: u32, page: u32) -> u64 {
+    let first = page as u64 * page_rows as u64;
+    n_points.saturating_sub(first).min(page_rows as u64)
+}
+
+/// Flat index of `(col, page)` in the directory's checksum table:
+/// columns `0..=dim` in order, pages within a column in order.
+#[inline]
+pub fn page_sum_index(n_points: u64, page_rows: u32, col: u32, page: u32) -> usize {
+    col as usize * pages_in_col(n_points, page_rows) as usize + page as usize
+}
+
+impl Header {
+    /// Total column-data bytes (everything between header and directory).
+    pub fn column_bytes(&self) -> u64 {
+        self.n_points * (self.dim as u64 * 8 + 4)
+    }
+
+    /// Encodes the header into its fixed 72-byte form.
+    pub fn encode(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut out = [0u8; HEADER_BYTES as usize];
+        out[0..8].copy_from_slice(&MAGIC);
+        out[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out[12..16].copy_from_slice(&self.dim.to_le_bytes());
+        out[16..24].copy_from_slice(&self.n_points.to_le_bytes());
+        out[24..28].copy_from_slice(&self.page_rows.to_le_bytes());
+        // [28..32) reserved, zero
+        out[32..40].copy_from_slice(&self.eps.to_bits().to_le_bytes());
+        out[40..48].copy_from_slice(&self.rho.to_bits().to_le_bytes());
+        out[48..56].copy_from_slice(&self.dir_offset.to_le_bytes());
+        out[56..64].copy_from_slice(&self.dir_bytes.to_le_bytes());
+        out[64..72].copy_from_slice(&self.dir_checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates the fixed header.
+    pub fn decode(buf: &[u8]) -> Result<Header, StoreError> {
+        if (buf.len() as u64) < HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                what: "header",
+                expected: HEADER_BYTES,
+                got: buf.len() as u64,
+            });
+        }
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&buf[0..8]);
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { got: magic });
+        }
+        let mut c = Cursor::new(&buf[8..HEADER_BYTES as usize], "header");
+        let version = c.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                got: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let dim = c.u32()?;
+        let n_points = c.u64()?;
+        let page_rows = c.u32()?;
+        let _reserved = c.u32()?;
+        let eps = f64::from_bits(c.u64()?);
+        let rho = f64::from_bits(c.u64()?);
+        let dir_offset = c.u64()?;
+        let dir_bytes = c.u64()?;
+        let dir_checksum = c.u64()?;
+        if dim == 0 {
+            return Err(StoreError::Corrupt {
+                what: "header",
+                detail: "dim must be >= 1".into(),
+            });
+        }
+        if page_rows == 0 {
+            return Err(StoreError::Corrupt {
+                what: "header",
+                detail: "page_rows must be >= 1".into(),
+            });
+        }
+        if n_points > u32::MAX as u64 {
+            return Err(StoreError::Corrupt {
+                what: "header",
+                detail: format!("n_points {n_points} exceeds 32-bit point ids"),
+            });
+        }
+        let h = Header {
+            dim,
+            n_points,
+            page_rows,
+            eps,
+            rho,
+            dir_offset,
+            dir_bytes,
+            dir_checksum,
+        };
+        if dir_offset != HEADER_BYTES + h.column_bytes() {
+            return Err(StoreError::Corrupt {
+                what: "header",
+                detail: format!(
+                    "directory offset {dir_offset} disagrees with {} column bytes",
+                    h.column_bytes()
+                ),
+            });
+        }
+        Ok(h)
+    }
+}
+
+/// Encodes the directory section (cell ranges + page checksum table).
+pub fn encode_directory(cells: &[CellMeta], page_sums: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + cells.len() * 64 + 8 + page_sums.len() * 8);
+    out.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+    for cell in cells {
+        for &c in cell.coord.coords() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&cell.row_start.to_le_bytes());
+        out.extend_from_slice(&cell.row_count.to_le_bytes());
+    }
+    out.extend_from_slice(&(page_sums.len() as u64).to_le_bytes());
+    for &s in page_sums {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes the directory section and validates the cell ranges: ascending
+/// coordinates, contiguous row ranges covering exactly `0..n_points`, and
+/// a checksum entry for every page of every column.
+pub fn decode_directory(h: &Header, buf: &[u8]) -> Result<(Vec<CellMeta>, Vec<u64>), StoreError> {
+    let mut c = Cursor::new(buf, "directory");
+    let n_cells = c.u64()?;
+    if n_cells > h.n_points {
+        return Err(StoreError::Corrupt {
+            what: "directory",
+            detail: format!("{n_cells} cells for {} points", h.n_points),
+        });
+    }
+    let mut cells = Vec::with_capacity(n_cells as usize);
+    let mut next_row = 0u64;
+    for i in 0..n_cells {
+        let mut coord = Vec::with_capacity(h.dim as usize);
+        for _ in 0..h.dim {
+            coord.push(c.i64()?);
+        }
+        let coord = CellCoord::new(coord);
+        let row_start = c.u64()?;
+        let row_count = c.u64()?;
+        if row_start != next_row || row_count == 0 {
+            return Err(StoreError::Corrupt {
+                what: "directory",
+                detail: format!(
+                    "cell {i} range [{row_start}, +{row_count}) breaks contiguity at row {next_row}"
+                ),
+            });
+        }
+        if let Some(prev) = cells.last() {
+            let prev: &CellMeta = prev;
+            if prev.coord >= coord {
+                return Err(StoreError::Corrupt {
+                    what: "directory",
+                    detail: format!("cell {i} coordinate not ascending"),
+                });
+            }
+        }
+        next_row += row_count;
+        cells.push(CellMeta {
+            coord,
+            row_start,
+            row_count,
+        });
+    }
+    if next_row != h.n_points {
+        return Err(StoreError::Corrupt {
+            what: "directory",
+            detail: format!("cells cover {next_row} rows of {}", h.n_points),
+        });
+    }
+    let n_sums = c.u64()?;
+    let expected_sums = (h.dim as u64 + 1) * pages_in_col(h.n_points, h.page_rows) as u64;
+    if n_sums != expected_sums {
+        return Err(StoreError::Corrupt {
+            what: "directory",
+            detail: format!("{n_sums} page checksums, expected {expected_sums}"),
+        });
+    }
+    let mut sums = Vec::with_capacity(n_sums as usize);
+    for _ in 0..n_sums {
+        sums.push(c.u64()?);
+    }
+    if !c.at_end() {
+        return Err(StoreError::Corrupt {
+            what: "directory",
+            detail: "trailing bytes after checksum table".into(),
+        });
+    }
+    Ok((cells, sums))
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Cursor { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(StoreError::Truncated {
+                what: self.what,
+                expected: (self.pos + n) as u64,
+                got: self.buf.len() as u64,
+            }),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(self.take(8)?);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        let h = Header {
+            dim: 2,
+            n_points: 10,
+            page_rows: 4,
+            eps: 0.5,
+            rho: 0.01,
+            dir_offset: 0,
+            dir_bytes: 99,
+            dir_checksum: 7,
+        };
+        Header {
+            dir_offset: HEADER_BYTES + h.column_bytes(),
+            ..h
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = header();
+        assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut b = header().encode();
+        b[0] = b'X';
+        assert!(matches!(
+            Header::decode(&b),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut b = header().encode();
+        b[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            Header::decode(&b),
+            Err(StoreError::UnsupportedVersion {
+                got: 99,
+                supported: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn short_header_is_truncated() {
+        assert!(matches!(
+            Header::decode(&[0u8; 10]),
+            Err(StoreError::Truncated { what: "header", .. })
+        ));
+    }
+
+    #[test]
+    fn page_geometry() {
+        assert_eq!(pages_in_col(10, 4), 3);
+        assert_eq!(rows_in_page(10, 4, 0), 4);
+        assert_eq!(rows_in_page(10, 4, 2), 2);
+        assert_eq!(pages_in_col(0, 4), 0);
+        assert_eq!(col_width(2, 0), 8);
+        assert_eq!(col_width(2, 2), 4);
+        assert_eq!(col_offset(2, 10, 1), HEADER_BYTES + 80);
+        assert_eq!(col_offset(2, 10, 2), HEADER_BYTES + 160);
+    }
+
+    #[test]
+    fn directory_round_trip_and_validation() {
+        let h = header();
+        let cells = vec![
+            CellMeta {
+                coord: CellCoord::new([0, 0]),
+                row_start: 0,
+                row_count: 6,
+            },
+            CellMeta {
+                coord: CellCoord::new([1, 0]),
+                row_start: 6,
+                row_count: 4,
+            },
+        ];
+        let sums = vec![1u64; 9]; // 3 cols × 3 pages
+        let buf = encode_directory(&cells, &sums);
+        let (c2, s2) = decode_directory(&h, &buf).unwrap();
+        assert_eq!(c2, cells);
+        assert_eq!(s2, sums);
+
+        // Non-contiguous ranges are corrupt.
+        let bad = vec![
+            CellMeta {
+                coord: CellCoord::new([0, 0]),
+                row_start: 0,
+                row_count: 5,
+            },
+            CellMeta {
+                coord: CellCoord::new([1, 0]),
+                row_start: 6,
+                row_count: 4,
+            },
+        ];
+        assert!(matches!(
+            decode_directory(&h, &encode_directory(&bad, &sums)),
+            Err(StoreError::Corrupt { .. })
+        ));
+
+        // Truncation inside the table is typed.
+        assert!(matches!(
+            decode_directory(&h, &buf[..buf.len() - 3]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+}

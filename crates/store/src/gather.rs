@@ -1,0 +1,193 @@
+//! Cell-granular gathers through the buffer pool.
+//!
+//! Phase II and labeling consume one cell at a time: a contiguous row
+//! range per the directory. These helpers pin the overlapping pages of
+//! each column in turn (one pin live at a time, so tiny budgets work),
+//! decode into caller-owned scratch, and unpin. All hot loops take
+//! hoisted buffers and are marked `// lint:hot`.
+
+use crate::format;
+use crate::pool::{BufferPool, PageKey};
+use crate::StoreError;
+
+impl BufferPool {
+    /// Gathers a row range's coordinates row-major into `out`
+    /// (`out[row * dim + c]`), replacing its contents.
+    // lint:hot
+    pub fn gather_coords(
+        &self,
+        row_start: u64,
+        row_count: u64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), StoreError> {
+        let dim = self.store().dim();
+        out.clear();
+        out.resize((row_count as usize) * dim, 0.0);
+        let n = self.store().len();
+        let page_rows = self.store().page_rows() as u64;
+        check_range(row_start, row_count, n)?;
+        for c in 0..dim {
+            let mut row = row_start;
+            let end = row_start + row_count;
+            while row < end {
+                let page = (row / page_rows) as u32;
+                let pref = self.pin(PageKey {
+                    col: c as u32,
+                    page,
+                })?;
+                let bytes = pref.bytes();
+                let page_first = page as u64 * page_rows;
+                let page_end = page_first + format::rows_in_page(n, page_rows as u32, page);
+                let upto = end.min(page_end);
+                let mut a = [0u8; 8];
+                for r in row..upto {
+                    let off = ((r - page_first) * 8) as usize;
+                    a.copy_from_slice(&bytes[off..off + 8]);
+                    out[(r - row_start) as usize * dim + c] = f64::from_le_bytes(a);
+                }
+                row = upto;
+            }
+        }
+        Ok(())
+    }
+
+    /// Gathers a row range's original point ids into `out`, replacing
+    /// its contents. Ids ascend within any single cell's range.
+    // lint:hot
+    pub fn gather_ids(
+        &self,
+        row_start: u64,
+        row_count: u64,
+        out: &mut Vec<u32>,
+    ) -> Result<(), StoreError> {
+        out.clear();
+        out.reserve(row_count as usize);
+        let n = self.store().len();
+        let dim = self.store().dim() as u32;
+        let page_rows = self.store().page_rows() as u64;
+        check_range(row_start, row_count, n)?;
+        let mut row = row_start;
+        let end = row_start + row_count;
+        let mut a = [0u8; 4];
+        while row < end {
+            let page = (row / page_rows) as u32;
+            let pref = self.pin(PageKey { col: dim, page })?;
+            let bytes = pref.bytes();
+            let page_first = page as u64 * page_rows;
+            let page_end = page_first + format::rows_in_page(n, page_rows as u32, page);
+            let upto = end.min(page_end);
+            for r in row..upto {
+                let off = ((r - page_first) * 4) as usize;
+                a.copy_from_slice(&bytes[off..off + 4]);
+                out.push(u32::from_le_bytes(a));
+            }
+            row = upto;
+        }
+        Ok(())
+    }
+
+    /// Merge-scans a cell's permutation rows for `ids` (ascending
+    /// original point ids, each present in the range) and appends the
+    /// matching row numbers — ascending — to `out_rows` (cleared first).
+    /// Used by labeling to locate a predecessor cell's core points.
+    // lint:hot
+    pub fn rows_of_ids(
+        &self,
+        row_start: u64,
+        row_count: u64,
+        ids: &[u32],
+        out_rows: &mut Vec<u64>,
+    ) -> Result<(), StoreError> {
+        out_rows.clear();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let n = self.store().len();
+        let dim = self.store().dim() as u32;
+        let page_rows = self.store().page_rows() as u64;
+        check_range(row_start, row_count, n)?;
+        let mut want = 0usize;
+        let mut row = row_start;
+        let end = row_start + row_count;
+        let mut a = [0u8; 4];
+        'scan: while row < end {
+            let page = (row / page_rows) as u32;
+            let pref = self.pin(PageKey { col: dim, page })?;
+            let bytes = pref.bytes();
+            let page_first = page as u64 * page_rows;
+            let page_end = page_first + format::rows_in_page(n, page_rows as u32, page);
+            let upto = end.min(page_end);
+            for r in row..upto {
+                let off = ((r - page_first) * 4) as usize;
+                a.copy_from_slice(&bytes[off..off + 4]);
+                if u32::from_le_bytes(a) == ids[want] {
+                    out_rows.push(r);
+                    want += 1;
+                    if want == ids.len() {
+                        break 'scan;
+                    }
+                }
+            }
+            row = upto;
+        }
+        if want != ids.len() {
+            return Err(StoreError::Corrupt {
+                what: "permutation",
+                detail: format!(
+                    "only {want} of {} ids found in rows [{row_start}, +{row_count})",
+                    ids.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Gathers the coordinates of specific rows (ascending) row-major
+    /// into `out`, replacing its contents.
+    // lint:hot
+    pub fn gather_rows_coords(&self, rows: &[u64], out: &mut Vec<f64>) -> Result<(), StoreError> {
+        let dim = self.store().dim();
+        out.clear();
+        out.resize(rows.len() * dim, 0.0);
+        let n = self.store().len();
+        let page_rows = self.store().page_rows() as u64;
+        let mut a = [0u8; 8];
+        for c in 0..dim {
+            let mut cur_page = u32::MAX;
+            let mut pref = None;
+            for (j, &r) in rows.iter().enumerate() {
+                if r >= n {
+                    return Err(StoreError::Corrupt {
+                        what: "row address",
+                        detail: format!("row {r} out of range (n = {n})"),
+                    });
+                }
+                let page = (r / page_rows) as u32;
+                if page != cur_page {
+                    pref = Some(self.pin(PageKey {
+                        col: c as u32,
+                        page,
+                    })?);
+                    cur_page = page;
+                }
+                if let Some(p) = &pref {
+                    let off = ((r - page as u64 * page_rows) * 8) as usize;
+                    a.copy_from_slice(&p.bytes()[off..off + 8]);
+                    out[j * dim + c] = f64::from_le_bytes(a);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates `[row_start, row_start + row_count)` against the store.
+fn check_range(row_start: u64, row_count: u64, n: u64) -> Result<(), StoreError> {
+    match row_start.checked_add(row_count) {
+        Some(end) if end <= n => Ok(()),
+        _ => Err(StoreError::Corrupt {
+            what: "row range",
+            detail: format!("[{row_start}, +{row_count}) exceeds {n} rows"),
+        }),
+    }
+}

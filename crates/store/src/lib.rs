@@ -1,0 +1,169 @@
+//! Out-of-core column store for paper-scale datasets.
+//!
+//! The paper's headline runs cluster billions of points — far past what a
+//! resident `Vec<f64>` holds. This crate gives the batch pipeline a
+//! file-backed structure-of-arrays layout it can stream instead:
+//!
+//! * **Ingest** ([`StoreWriter`]): points are sorted once by `(cell,
+//!   original id)` under a fixed [`rpdbscan_grid::GridSpec`] and written
+//!   as per-dimension coordinate columns plus a permutation column of
+//!   original point ids, all split into fixed-size pages with per-page
+//!   checksums. A cell → row-range directory closes the file, so every
+//!   grid cell is a contiguous row range — Phase I-1's group-by-cell
+//!   happens exactly once per dataset, at ingest time.
+//! * **Read** ([`ColumnStore`]): opens the file, validates magic /
+//!   version / length / directory checksum, and serves positioned page
+//!   reads (safe `read_exact_at`; no memory mapping, no `unsafe`).
+//! * **Buffer pool** ([`BufferPool`]): a byte-budgeted page cache with
+//!   pinned-page `Arc` handles and clock (second-chance) eviction. Cell
+//!   gathers pin one page at a time, so peak tracked bytes stay at
+//!   `O(budget + one page per concurrent reader)`.
+//! * **Spill files** ([`SpillDir`]): byte-accounted scratch files the
+//!   Phase III tournament merge streams per-partition cell graphs
+//!   through, keeping the merge frontier — not the whole edge set —
+//!   in memory.
+//!
+//! Everything is deterministic: page contents depend only on the input
+//! order and the grid spec, and the pool's hit/miss/eviction counters are
+//! reproducible for a fixed operation sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod gather;
+pub mod pool;
+pub mod reader;
+pub mod spill;
+pub mod writer;
+
+pub use format::{CellMeta, DEFAULT_PAGE_ROWS, FORMAT_VERSION, MAGIC};
+pub use pool::{BufferPool, PageKey, PageRef, PoolStats};
+pub use reader::ColumnStore;
+pub use spill::{SpillDir, SpillHandle, SpillReader, SpillStats, SpillWriter};
+pub use writer::{IngestStats, StoreWriter};
+
+/// Typed failures of the store layer: open/ingest problems, corrupted
+/// or truncated files, checksum mismatches, and grid-spec disagreements.
+/// Mirrors the dictionary-decode hardening: every malformed input turns
+/// into a value the caller can match on, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Underlying filesystem error (message form of `std::io::Error`).
+    Io(String),
+    /// The file does not start with [`MAGIC`] — not a column store.
+    BadMagic {
+        /// The first eight bytes actually found.
+        got: [u8; 8],
+    },
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        got: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The file ends before a section the header promised.
+    Truncated {
+        /// Which section was cut short.
+        what: &'static str,
+        /// Bytes the section needed.
+        expected: u64,
+        /// Bytes actually available.
+        got: u64,
+    },
+    /// A stored checksum disagrees with the bytes on disk.
+    ChecksumMismatch {
+        /// `"directory"` or `"page"`.
+        what: &'static str,
+        /// Column of the failing page (0 for the directory).
+        col: u32,
+        /// Page index within the column (0 for the directory).
+        page: u32,
+        /// Checksum recorded at ingest.
+        expected: u64,
+        /// Checksum of the bytes read back.
+        got: u64,
+    },
+    /// Structurally invalid content behind a valid header (bad ranges,
+    /// out-of-order cells, impossible counts).
+    Corrupt {
+        /// Which invariant failed.
+        what: &'static str,
+        /// Details for the log line.
+        detail: String,
+    },
+    /// The store was ingested under a different grid than the run asks
+    /// for; ε/ρ are baked into the cell lattice at ingest time.
+    GridMismatch {
+        /// `"dim"`, `"eps"` or `"rho"`.
+        field: &'static str,
+        /// Value recorded in the store.
+        store: f64,
+        /// Value the caller requested.
+        requested: f64,
+    },
+    /// A configuration value is out of range (zero page rows, mismatched
+    /// row dimensionality, too many points for 32-bit ids, ...).
+    InvalidConfig {
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::BadMagic { got } => {
+                write!(f, "not a column store (magic {got:02x?})")
+            }
+            StoreError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "store format v{got} is newer than supported v{supported}"
+                )
+            }
+            StoreError::Truncated {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "store truncated in {what}: need {expected} bytes, have {got}"
+            ),
+            StoreError::ChecksumMismatch {
+                what,
+                col,
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checksum mismatch in {what} (col {col}, page {page}): \
+                 stored {expected:#018x}, computed {got:#018x}"
+            ),
+            StoreError::Corrupt { what, detail } => {
+                write!(f, "corrupt store ({what}): {detail}")
+            }
+            StoreError::GridMismatch {
+                field,
+                store,
+                requested,
+            } => write!(
+                f,
+                "grid mismatch: store was ingested with {field}={store}, run requested {requested} \
+                 — re-ingest or match the store's parameters"
+            ),
+            StoreError::InvalidConfig { what } => write!(f, "invalid store config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

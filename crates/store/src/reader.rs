@@ -1,0 +1,227 @@
+//! Opening and reading a column store file.
+//!
+//! [`ColumnStore::open`] validates the fixed header (magic, version,
+//! geometry), checks the file length against what the header promises,
+//! verifies the directory checksum, and decodes the cell directory.
+//! Page reads are positioned (`read_exact_at`) so any number of threads
+//! can read through one shared `File` without seeking state — all safe
+//! Rust, no memory mapping.
+
+use crate::format::{self, CellMeta, Header, HEADER_BYTES};
+use crate::StoreError;
+use rpdbscan_grid::GridSpec;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+/// A validated, read-only column store.
+#[derive(Debug)]
+pub struct ColumnStore {
+    file: File,
+    path: PathBuf,
+    header: Header,
+    spec: GridSpec,
+    cells: Vec<CellMeta>,
+    page_sums: Vec<u64>,
+}
+
+impl ColumnStore {
+    /// Opens and validates a store file.
+    pub fn open(path: &Path) -> Result<ColumnStore, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_BYTES {
+            return Err(StoreError::Truncated {
+                what: "header",
+                expected: HEADER_BYTES,
+                got: file_len,
+            });
+        }
+        let mut head = [0u8; HEADER_BYTES as usize];
+        pread(&file, path, &mut head, 0).map_err(|_| StoreError::Truncated {
+            what: "header",
+            expected: HEADER_BYTES,
+            got: file_len,
+        })?;
+        let header = Header::decode(&head)?;
+
+        let expected_len = header.dir_offset + header.dir_bytes;
+        if file_len < expected_len {
+            return Err(StoreError::Truncated {
+                what: "file body",
+                expected: expected_len,
+                got: file_len,
+            });
+        }
+        if file_len > expected_len {
+            return Err(StoreError::Corrupt {
+                what: "file body",
+                detail: format!("{} trailing bytes", file_len - expected_len),
+            });
+        }
+
+        let mut dir = vec![0u8; header.dir_bytes as usize];
+        pread(&file, path, &mut dir, header.dir_offset)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        let got_sum = format::fnv1a(&dir);
+        if got_sum != header.dir_checksum {
+            return Err(StoreError::ChecksumMismatch {
+                what: "directory",
+                col: 0,
+                page: 0,
+                expected: header.dir_checksum,
+                got: got_sum,
+            });
+        }
+        let (cells, page_sums) = format::decode_directory(&header, &dir)?;
+
+        let spec = GridSpec::new(header.dim as usize, header.eps, header.rho).map_err(|e| {
+            StoreError::Corrupt {
+                what: "grid spec",
+                detail: e.to_string(),
+            }
+        })?;
+
+        Ok(ColumnStore {
+            file,
+            path: path.to_path_buf(),
+            header,
+            spec,
+            cells,
+            page_sums,
+        })
+    }
+
+    /// Dimensionality of the stored points.
+    pub fn dim(&self) -> usize {
+        self.header.dim as usize
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> u64 {
+        self.header.n_points
+    }
+
+    /// True when the store holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.header.n_points == 0
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> u32 {
+        self.header.page_rows
+    }
+
+    /// ε the store was ingested with.
+    pub fn eps(&self) -> f64 {
+        self.header.eps
+    }
+
+    /// ρ the store was ingested with.
+    pub fn rho(&self) -> f64 {
+        self.header.rho
+    }
+
+    /// The ingest grid spec (reconstructed and validated at open).
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// The cell directory: ascending cell coordinates, each a contiguous
+    /// row range of the cell-sorted row order.
+    pub fn cells(&self) -> &[CellMeta] {
+        &self.cells
+    }
+
+    /// The file this store reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes a fully resident copy of the coordinates would occupy
+    /// (`n × dim × 8`) — the yardstick the pool budget is set against.
+    pub fn resident_bytes(&self) -> u64 {
+        self.header.n_points * self.header.dim as u64 * 8
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.header.dir_offset + self.header.dir_bytes
+    }
+
+    /// Pages per column.
+    pub fn pages_per_col(&self) -> u32 {
+        format::pages_in_col(self.header.n_points, self.header.page_rows)
+    }
+
+    /// Byte length of page `page` of column `col`.
+    pub fn page_bytes(&self, col: u32, page: u32) -> u64 {
+        format::rows_in_page(self.header.n_points, self.header.page_rows, page)
+            * format::col_width(self.header.dim, col)
+    }
+
+    /// Reads one page into `buf` (resized to the exact page length) and
+    /// verifies its checksum against the directory's table. `col` is a
+    /// coordinate column in `0..dim` or `dim` for the permutation column.
+    // lint:hot
+    pub fn read_page(&self, col: u32, page: u32, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        let h = &self.header;
+        if col > h.dim || page >= self.pages_per_col() {
+            return Err(StoreError::Corrupt {
+                what: "page address",
+                detail: format!("col {col} page {page} out of range"),
+            });
+        }
+        let rows_before = page as u64 * h.page_rows as u64;
+        let offset = format::col_offset(h.dim, h.n_points, col)
+            + rows_before * format::col_width(h.dim, col);
+        let len = self.page_bytes(col, page) as usize;
+        buf.clear();
+        buf.resize(len, 0);
+        pread(&self.file, &self.path, buf, offset).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => StoreError::Truncated {
+                what: "page",
+                expected: offset + len as u64,
+                got: offset,
+            },
+            _ => StoreError::Io(e.to_string()),
+        })?;
+        let idx = format::page_sum_index(h.n_points, h.page_rows, col, page);
+        let expected = match self.page_sums.get(idx) {
+            Some(&s) => s,
+            None => {
+                return Err(StoreError::Corrupt {
+                    what: "page checksum table",
+                    detail: format!("no entry for col {col} page {page}"),
+                })
+            }
+        };
+        let got = format::fnv1a(buf);
+        if got != expected {
+            return Err(StoreError::ChecksumMismatch {
+                what: "page",
+                col,
+                page,
+                expected,
+                got,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Positioned read of exactly `buf.len()` bytes at `offset`.
+#[cfg(unix)]
+fn pread(file: &File, _path: &Path, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+/// Portable fallback: re-open the file per read so no seek state is
+/// shared between threads. Correct everywhere, fast only on unix.
+#[cfg(not(unix))]
+fn pread(_file: &File, path: &Path, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}

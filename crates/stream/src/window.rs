@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn windowed_snapshot_matches_a_batch_run_over_the_survivors() {
         let params = RpDbscanParams::new(1.0, 3);
-        let s = StreamingRpDbscan::new(2, params.clone()).unwrap();
+        let s = StreamingRpDbscan::new(2, params).unwrap();
         let mut w = SlidingWindow::new(s, 25).unwrap();
         // Slide far enough that every point of the first pushes expires,
         // including a push larger than the window itself.

@@ -45,7 +45,7 @@ pub struct FileScope {
 }
 
 /// Crates whose `src/` is held to the full library rule set.
-pub const LIBRARY_CRATES: [&str; 13] = [
+pub const LIBRARY_CRATES: [&str; 14] = [
     "rp-dbscan",
     "geom",
     "grid",
@@ -59,12 +59,13 @@ pub const LIBRARY_CRATES: [&str; 13] = [
     "stream",
     "serve",
     "density",
+    "store",
 ];
 
 /// Crates whose result ordering is part of the paper's determinism
 /// claim: `HashMap`/`HashSet` iteration there must feed an
 /// order-insensitive sink or an explicit sort.
-pub const ORDERED_CRATES: [&str; 5] = ["core", "stream", "grid", "serve", "density"];
+pub const ORDERED_CRATES: [&str; 6] = ["core", "stream", "grid", "serve", "density", "store"];
 
 /// Analysis tooling exempt from the library rule set: the linter
 /// itself, and the offline interleaving explorer (whose shim mutexes

@@ -204,6 +204,43 @@ fn density_is_a_full_library_and_ordered_crate() {
 }
 
 #[test]
+fn store_is_a_full_library_and_ordered_crate() {
+    // The column store feeds coordinates straight into Phase II and the
+    // spill merge — result-shaped bytes — so it gets the complete rule
+    // set plus ordered iteration, exactly like core/stream/grid/serve/
+    // density. Its page-read path is `// lint:hot`-marked, so per-call
+    // allocations there must keep tripping hot-path-alloc.
+    let s = scope::classify("crates/store/src/gather.rs").expect("library scope");
+    assert!(s.panic_safety());
+    assert!(s.determinism_time());
+    assert!(s.thread_discipline());
+    assert!(s.float_eq());
+    assert!(s.unordered_iter());
+    let out = rules::check_file(
+        "crates/store/src/gather.rs",
+        &s,
+        "pub fn f() {\n    let m: std::collections::HashMap<u32, u32> = Default::default();\n    \
+         for (k, v) in &m {\n        println!(\"{k}{v}\");\n    }\n    \
+         let x: Option<u32> = None;\n    x.unwrap();\n}\n\
+         // lint:hot\nfn page_read() {\n    let buf: Vec<u8> = Vec::new();\n    drop(buf);\n}\n",
+    );
+    let names: Vec<&str> = out.findings.iter().map(|f| f.rule).collect();
+    assert!(names.contains(&"panic-safety"), "{names:?}");
+    assert!(names.contains(&"unordered-iter"), "{names:?}");
+    assert!(names.contains(&"hot-path-alloc"), "{names:?}");
+
+    let root = scope::classify("crates/store/src/lib.rs").expect("crate root");
+    assert!(
+        root.is_crate_root,
+        "store lib.rs must carry forbid(unsafe_code)"
+    );
+    // Its tests directory only gets the unsafe scan, like every crate.
+    let t = scope::classify("crates/store/tests/store_integrity.rs").expect("test scope");
+    assert!(!t.panic_safety());
+    assert!(!t.unordered_iter());
+}
+
+#[test]
 fn fixtures_are_out_of_scope_for_the_workspace_walk() {
     assert!(scope::classify("crates/xtask/fixtures/panic_cases.rs").is_none());
     assert!(scope::classify("vendor/foo/src/lib.rs").is_none());

@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! rpdbscan generate <kind> <n> <out.csv> [--seed S]
+//! rpdbscan ingest   <in.csv> --out <store> --eps E [--rho R]
+//!                   [--page-rows N] [--delim C]
 //! rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M
 //!                   [--algo rp|exact|esp|rbp|cbp|spark|ng]
 //!                   [--rho R] [--partitions K] [--workers W] [--delim C]
+//! rpdbscan cluster  <out.labels> --store <file> --min-pts M
+//!                   [--mem-budget B] [--spill-dir D]
+//!                   [--partitions K] [--workers W]
 //! rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B
 //!                   [--rho R] [--workers W] [--window N]
 //!                   [--order file|shuffled|locality|sliding]
@@ -39,6 +44,15 @@
 //! generation copy-on-write ([`ServingIndex::patch_from_stream`]), and
 //! queries are answered from the final published generation.
 //!
+//! `ingest` streams a CSV into an out-of-core column store: points are
+//! sorted by grid cell under `(ε, ρ)` and written as paged,
+//! checksummed per-dimension columns plus a cell directory. `cluster
+//! --store <file>` then runs the out-of-core pipeline against it under a
+//! byte-capped buffer pool (`--mem-budget`, default ¼ of the dataset's
+//! resident size), spilling per-partition cell graphs to disk, and
+//! writes one cluster label per line in original point order — the
+//! labels are bit-identical to what the resident pipeline produces.
+//!
 //! `generate` kinds: `moons`, `blobs`, `chameleon`, `geolife`, `cosmo`,
 //! `osm`, `teraclick`, `mixture:<dim>:<alpha>`, `uniform:<dim>:<range>`.
 //! Labeled CSVs carry the cluster id as a trailing column (−1 = noise).
@@ -64,12 +78,21 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rpdbscan generate <kind> <n> <out.csv> [--seed S]
+  rpdbscan ingest   <in.csv> --out <store> --eps E [--rho R] [options]
   rpdbscan cluster  <in.csv> <out.csv> --eps E --min-pts M [options]
+  rpdbscan cluster  <out.labels> --store <file> --min-pts M [options]
   rpdbscan stream   <in.csv> <out.csv> --eps E --min-pts M --batch B [options]
   rpdbscan serve    <in.csv> --eps E --min-pts M [options]
   rpdbscan compare  <in.csv> --eps E --min-pts M [--workers W]
   rpdbscan metrics  <a.csv> <b.csv>
   rpdbscan plot     <labeled.csv> <out.svg>
+
+ingest options:
+  --out F          output store file     (required)
+  --eps E          grid cell side = eps/sqrt(dim)   (required)
+  --rho R          approximation rate    (default 0.01)
+  --page-rows N    rows per page         (default 4096)
+  --delim C        field delimiter       (default ,)
 
 cluster options:
   --algo rp|exact|esp|rbp|cbp|spark|ng   (default rp)
@@ -80,6 +103,14 @@ cluster options:
   --density-backend exact|knn|sampled    Phase II density estimator (default exact; rp only)
   --knn-k K        kNN-graph neighbours per point   (knn backend, default 10)
   --sample-frac S  core-candidate sample fraction   (sampled backend, default 0.1)
+
+cluster --store options (out-of-core; eps/rho come from the store header):
+  --store F        column store written by ingest
+  --mem-budget B   buffer-pool byte cap, K/M/G suffixes allowed
+                   (default: resident size / 4)
+  --spill-dir D    directory for merge spill files  (default: temp dir)
+  --eps E, --rho R verified against the store header if given
+  --min-pts, --partitions, --workers as above
 
 stream options:
   --batch B        points per insert micro-batch (required)
@@ -150,6 +181,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("no command given")?;
     match cmd.as_str() {
         "generate" => generate(&args[1..]),
+        "ingest" => ingest(&args[1..]),
         "cluster" => cluster(&args[1..]),
         "stream" => stream(&args[1..]),
         "serve" => serve(&args[1..]),
@@ -220,7 +252,166 @@ fn load(path: &Path, delim: char) -> Result<Dataset, String> {
     io::read_csv(path, delim).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Parses a byte count with an optional K/M/G/T suffix (powers of 1024).
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    let bad = || format!("invalid byte count {v:?} (expected e.g. 1073741824, 256M, 2G)");
+    let (digits, shift) = match v.chars().last() {
+        Some('K' | 'k') => (&v[..v.len() - 1], 10),
+        Some('M' | 'm') => (&v[..v.len() - 1], 20),
+        Some('G' | 'g') => (&v[..v.len() - 1], 30),
+        Some('T' | 't') => (&v[..v.len() - 1], 40),
+        Some(_) => (v, 0),
+        None => return Err(bad()),
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| bad())?;
+    n.checked_mul(1u64 << shift).ok_or_else(bad)
+}
+
+/// `rpdbscan ingest <in.csv> --out <store> --eps E [--rho R] …` —
+/// streams the CSV row-by-row into a cell-sorted column store.
+fn ingest(args: &[String]) -> Result<(), String> {
+    let input = PathBuf::from(args.first().ok_or("ingest: missing <in.csv>")?);
+    let out = PathBuf::from(flag(args, "--out").ok_or("missing required flag --out")?);
+    let eps: f64 = require(args, "--eps")?;
+    let rho: f64 = parse_flag(args, "--rho", 0.01)?;
+    let page_rows: u32 = parse_flag(args, "--page-rows", rp_dbscan::store::DEFAULT_PAGE_ROWS)?;
+    let delim: char = parse_flag(args, "--delim", ',')?;
+
+    // The grid (and with it the writer) is created lazily on the first
+    // row, once the dimensionality is known.
+    let mut writer: Option<rp_dbscan::store::StoreWriter> = None;
+    let mut dim = 0usize;
+    io::for_each_csv_row(&input, delim, |row| {
+        let w = match &mut writer {
+            Some(w) => w,
+            None => {
+                dim = row.len();
+                let spec = GridSpec::new(dim, eps, rho).map_err(|e| e.to_string())?;
+                let fresh = rp_dbscan::store::StoreWriter::new(spec, page_rows)
+                    .map_err(|e| e.to_string())?;
+                writer.get_or_insert(fresh)
+            }
+        };
+        w.push(row).map_err(|e| e.to_string())
+    })
+    .map_err(|e| format!("{}: {e}", input.display()))?;
+    let writer = writer.ok_or_else(|| {
+        format!(
+            "{}: input has no points, cannot infer dimensionality",
+            input.display()
+        )
+    })?;
+    let stats = writer
+        .finish(&out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "ingested {} points ({dim}d) into {}: {} cells, {} pages, {} bytes",
+        stats.points,
+        out.display(),
+        stats.cells,
+        stats.pages,
+        stats.file_bytes
+    );
+    Ok(())
+}
+
+/// `rpdbscan cluster <out.labels> --store <file> …` — the out-of-core
+/// pipeline: pool-pinned page reads under a byte budget, spill-to-disk
+/// tournament merge, one label per output line in original point order.
+fn cluster_store(args: &[String]) -> Result<(), String> {
+    let output = PathBuf::from(args.first().ok_or("cluster: missing <out.labels>")?);
+    if output.to_string_lossy().starts_with("--") {
+        return Err("cluster: the <out.labels> positional must come before flags".into());
+    }
+    let store_path = PathBuf::from(flag(args, "--store").ok_or("missing required flag --store")?);
+    let min_pts: usize = require(args, "--min-pts")?;
+    let partitions: usize = parse_flag(args, "--partitions", 32)?;
+    let workers: usize = parse_flag(args, "--workers", 8)?;
+
+    let store = rp_dbscan::store::ColumnStore::open(&store_path)
+        .map_err(|e| format!("{}: {e}", store_path.display()))?;
+    let store = std::sync::Arc::new(store);
+    // ε/ρ are baked into the store's cell lattice; explicit flags are
+    // still accepted and verified bitwise by the driver (GridMismatch).
+    let eps: f64 = parse_flag(args, "--eps", store.eps())?;
+    let rho: f64 = parse_flag(args, "--rho", store.rho())?;
+    let budget = match flag(args, "--mem-budget") {
+        Some(v) => parse_bytes(&v)?,
+        None => (store.resident_bytes() / 4).max(64 * 1024),
+    };
+    let mut cfg = OutOfCoreConfig::new(budget);
+    if let Some(d) = flag(args, "--spill-dir") {
+        cfg = cfg.with_spill_dir(PathBuf::from(d));
+    }
+    println!(
+        "store {}: {} points ({}d), {} cells, eps {} rho {}, {} file bytes",
+        store_path.display(),
+        store.len(),
+        store.dim(),
+        store.cells().len(),
+        store.eps(),
+        store.rho(),
+        store.file_bytes()
+    );
+
+    let params = RpDbscanParams::new(eps, min_pts)
+        .with_rho(rho)
+        .with_partitions(partitions);
+    let engine = Engine::new(workers);
+    let start = std::time::Instant::now(); // lint:allow(determinism-time): wall-clock timing is printed for the user, not fed into clustering results
+    let out = RpDbscan::new(params)
+        .map_err(|e| e.to_string())?
+        .run_out_of_core(&store, &cfg, &engine)
+        .map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    let s = &out.stats;
+    println!(
+        "pool: budget {} bytes, {} hits / {} misses, {} evictions, peak tracked {} bytes",
+        s.pool_budget_bytes,
+        s.pool_hits,
+        s.pool_misses,
+        s.pool_evictions,
+        s.pool_peak_tracked_bytes
+    );
+    println!(
+        "spill: {} bytes written, {} bytes read, merge frontier peak {} bytes",
+        s.spill_bytes_written, s.spill_bytes_read, s.merge_peak_frontier_bytes
+    );
+    println!(
+        "rp (out-of-core): {} clusters, {} noise, {wall:.2}s wall, {:.3}s simulated",
+        out.clustering.num_clusters(),
+        out.clustering.noise_count(),
+        engine.report().total_elapsed()
+    );
+    write_labels(&output, &out.clustering)?;
+    println!("wrote labels to {}", output.display());
+    Ok(())
+}
+
+/// Writes one cluster label per line (−1 = noise), line `i` belonging to
+/// original point `i`. Unlike a labeled CSV this needs no coordinates,
+/// so the out-of-core path never has to materialise the dataset.
+fn write_labels(path: &Path, clustering: &Clustering) -> Result<(), String> {
+    use std::io::Write;
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut write = || -> std::io::Result<()> {
+        for label in clustering.labels() {
+            match label {
+                Some(c) => writeln!(w, "{c}")?,
+                None => writeln!(w, "-1")?,
+            }
+        }
+        w.flush()
+    };
+    write().map_err(|e| format!("{}: {e}", path.display()))
+}
+
 fn cluster(args: &[String]) -> Result<(), String> {
+    if flag(args, "--store").is_some() {
+        return cluster_store(args);
+    }
     let input = PathBuf::from(args.first().ok_or("cluster: missing <in.csv>")?);
     let output = PathBuf::from(args.get(1).ok_or("cluster: missing <out.csv>")?);
     let eps: f64 = require(args, "--eps")?;
@@ -370,8 +561,7 @@ fn stream(args: &[String]) -> Result<(), String> {
         "epoch", "inserted", "expired", "total", "clusters", "changed", "dirty", "sec"
     );
     // An absent --window is an unbounded one: push_batch never expires.
-    let mut w =
-        SlidingWindow::new(s, window.unwrap_or(usize::MAX)).map_err(|e| e.to_string())?;
+    let mut w = SlidingWindow::new(s, window.unwrap_or(usize::MAX)).map_err(|e| e.to_string())?;
     for chunk in idx.chunks(batch) {
         let mut flat = Vec::with_capacity(chunk.len() * data.dim());
         for &i in chunk {
@@ -509,11 +699,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         labels.len() - clustered
     );
     if self_serve {
-        let agree = labels
-            .iter()
-            .zip(&stored)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = labels.iter().zip(&stored).filter(|(a, b)| a == b).count();
         println!(
             "agreement with stored labels: {}/{} ({:.1}%)",
             agree,
@@ -566,8 +752,8 @@ fn serve_window_build(
     let seed: u64 = parse_flag(args, "--seed", 0)?;
     let idx = visit_order(&order, &data, eps, seed)?;
     let engine = Engine::with_cost_model(workers, CostModel::free());
-    let s = StreamingRpDbscan::with_engine(data.dim(), params.clone(), engine)
-        .map_err(|e| e.to_string())?;
+    let s =
+        StreamingRpDbscan::with_engine(data.dim(), *params, engine).map_err(|e| e.to_string())?;
     let mut w = SlidingWindow::new(s, win).map_err(|e| e.to_string())?;
     let mut server: Option<Server> = None;
     println!(
@@ -597,7 +783,9 @@ fn serve_window_build(
                     Ok(patched) => {
                         let label = patched.patch_summary().map_or_else(
                             || "patch".to_string(),
-                            |p| format!("patch {}/{} shards", p.patched_shards(), p.shared_shards()),
+                            |p| {
+                                format!("patch {}/{} shards", p.patched_shards(), p.shared_shards())
+                            },
                         );
                         srv.publish_if_newer(std::sync::Arc::new(patched));
                         label

@@ -36,6 +36,9 @@
 //! * [`density`] — pluggable Phase II density backends: the exact grid
 //!   plus mutual-kNN and sampled-core approximations for high
 //!   dimensions.
+//! * [`store`] — out-of-core column store: paged SoA files, a
+//!   byte-budgeted buffer pool, and spill files for the memory-bounded
+//!   merge.
 //! * [`data`] — synthetic workload generators and IO.
 //! * [`metrics`] — Rand index / ARI / NMI.
 //! * [`geom`] — points, boxes, kd-trees.
@@ -52,6 +55,7 @@ pub use rpdbscan_grid as grid;
 pub use rpdbscan_metrics as metrics;
 pub use rpdbscan_plot as plot;
 pub use rpdbscan_serve as serve;
+pub use rpdbscan_store as store;
 pub use rpdbscan_stream as stream;
 
 /// The most commonly used items in one import.
@@ -59,7 +63,7 @@ pub mod prelude {
     pub use rpdbscan_baselines::{
         exact_dbscan, NgDbscan, NgParams, RegionDbscan, RegionParams, SplitStrategy,
     };
-    pub use rpdbscan_core::{DensityBackendKind, RpDbscan, RpDbscanParams};
+    pub use rpdbscan_core::{DensityBackendKind, OutOfCoreConfig, RpDbscan, RpDbscanParams};
     pub use rpdbscan_data::synth;
     pub use rpdbscan_data::SynthConfig;
     pub use rpdbscan_density::{backend_for, DensityBackend, DensityOutput, DensityStats};
@@ -74,5 +78,6 @@ pub mod prelude {
         Classification, IndexSlot, Request, Response, ServeError, Server, ServerConfig,
         ServingIndex,
     };
+    pub use rpdbscan_store::{BufferPool, ColumnStore, StoreError, StoreWriter};
     pub use rpdbscan_stream::{SlidingWindow, StreamPointId, StreamingRpDbscan};
 }

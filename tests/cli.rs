@@ -299,6 +299,214 @@ fn serve_self_agreement_and_query_file() {
 }
 
 #[test]
+fn ingest_and_out_of_core_cluster_match_resident() {
+    let csv = tmp("ooc_blobs.csv");
+    let out = bin()
+        .args([
+            "generate",
+            "blobs",
+            "2500",
+            csv.to_str().unwrap(),
+            "--seed",
+            "19",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let store = tmp("ooc_blobs.store");
+    let out = bin()
+        .args([
+            "ingest",
+            csv.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--page-rows",
+            "128",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ingested 2500 points"), "{stdout}");
+
+    // Out-of-core under a deliberately tiny pool budget.
+    let labels = tmp("ooc_blobs.labels");
+    let out = bin()
+        .args([
+            "cluster",
+            labels.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--min-pts",
+            "10",
+            "--mem-budget",
+            "16K",
+            "--partitions",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pool: budget 16384 bytes"), "{stdout}");
+    assert!(stdout.contains("spill:"), "{stdout}");
+
+    // Resident run on the same CSV: the trailing label column must be
+    // byte-for-byte the out-of-core labels file.
+    let labeled = tmp("ooc_blobs_resident.csv");
+    let out = bin()
+        .args([
+            "cluster",
+            csv.to_str().unwrap(),
+            labeled.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "10",
+            "--partitions",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let resident: Vec<String> = std::fs::read_to_string(&labeled)
+        .unwrap()
+        .lines()
+        .map(|l| l.rsplit(',').next().unwrap().to_string())
+        .collect();
+    let ooc: Vec<String> = std::fs::read_to_string(&labels)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(ooc, resident, "out-of-core labels must match resident");
+}
+
+#[test]
+fn corrupted_store_files_fail_with_typed_errors() {
+    let csv = tmp("ooc_corrupt.csv");
+    bin()
+        .args(["generate", "blobs", "400", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let store = tmp("ooc_corrupt.store");
+    let out = bin()
+        .args([
+            "ingest",
+            csv.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--eps",
+            "1.0",
+            "--page-rows",
+            "64",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let good = std::fs::read(&store).unwrap();
+
+    let run = |store_path: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "cluster".to_string(),
+            tmp("ooc_corrupt.labels").to_str().unwrap().to_string(),
+            "--store".into(),
+            store_path.to_str().unwrap().to_string(),
+            "--min-pts".into(),
+            "10".into(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        bin().args(args).output().unwrap()
+    };
+
+    // Flipped magic: not a store.
+    let bad = tmp("ooc_badmagic.store");
+    let mut bytes = good.clone();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = run(&bad, &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a column store"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Truncated body.
+    let cut = tmp("ooc_truncated.store");
+    std::fs::write(&cut, &good[..good.len() - 11]).unwrap();
+    let out = run(&cut, &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("store truncated"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Flipped directory byte: checksum failure at open.
+    let rot = tmp("ooc_dirrot.store");
+    let mut bytes = good.clone();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0x80;
+    std::fs::write(&rot, &bytes).unwrap();
+    let out = run(&rot, &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Flipped page byte: open succeeds (directory intact) but the run
+    // fails when the damaged page is pinned.
+    let pagerot = tmp("ooc_pagerot.store");
+    let mut bytes = good.clone();
+    bytes[72 + 5] ^= 0x01;
+    std::fs::write(&pagerot, &bytes).unwrap();
+    let out = run(&pagerot, &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // An intact store with mismatched grid parameters is a typed
+    // mismatch, not a wrong answer.
+    let out = run(&store, &["--eps", "2.0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("grid mismatch"), "{stderr}");
+
+    // Bad byte-count syntax is rejected up front.
+    let out = run(&store, &["--mem-budget", "12Q"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid byte count"), "{stderr}");
+
+    // Ingesting an empty CSV cannot infer a dimensionality.
+    let empty = tmp("ooc_empty.csv");
+    std::fs::write(&empty, "# nothing\n").unwrap();
+    let out = bin()
+        .args([
+            "ingest",
+            empty.to_str().unwrap(),
+            "--out",
+            tmp("ooc_empty.store").to_str().unwrap(),
+            "--eps",
+            "1.0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot infer dimensionality"), "{stderr}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
